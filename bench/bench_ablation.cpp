@@ -1,0 +1,103 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   A1: combined vs separated action forms (Sections 5.1/7.1's "these two
+//       actions can then be combined") — same convergence, fewer actions;
+//   A2: distributed-daemon firing probability — more simultaneity, fewer
+//       selections, same moves order;
+//   A3: weak-fairness patience — how much forcing costs;
+//   A4: per-step price of the engine's optional contract checking.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "engine/simulator.hpp"
+#include "protocols/diffusing.hpp"
+#include "protocols/token_ring.hpp"
+#include "sched/daemons.hpp"
+
+using namespace nonmask;
+
+namespace {
+
+void BM_CombinedVsSeparated(benchmark::State& state) {
+  const bool combined = state.range(0) == 1;
+  const auto dd = make_diffusing(RootedTree::balanced(63, 2), combined);
+  RandomDaemon daemon(3);
+  Rng rng(7);
+  double steps = 0, runs = 0;
+  for (auto _ : state) {
+    RunOptions opts;
+    opts.max_steps = 5'000'000;
+    const auto r =
+        converge(dd.design, dd.design.program.random_state(rng), daemon, opts);
+    steps += static_cast<double>(r.steps);
+    runs += 1;
+  }
+  state.SetLabel(combined ? "combined" : "separated");
+  state.counters["actions"] =
+      static_cast<double>(dd.design.program.num_actions());
+  state.counters["steps/run"] = steps / runs;
+}
+
+void BM_DistributedFiringProbability(benchmark::State& state) {
+  const double p = static_cast<double>(state.range(0)) / 100.0;
+  const auto dd = make_diffusing(RootedTree::balanced(63, 2), true);
+  DistributedDaemon daemon(p, 5);
+  Rng rng(9);
+  double steps = 0, moves = 0, runs = 0;
+  for (auto _ : state) {
+    RunOptions opts;
+    opts.max_steps = 5'000'000;
+    const auto r =
+        converge(dd.design, dd.design.program.random_state(rng), daemon, opts);
+    steps += static_cast<double>(r.steps);
+    moves += static_cast<double>(r.moves);
+    runs += 1;
+  }
+  state.counters["p-fire"] = p;
+  state.counters["selections/run"] = steps / runs;
+  state.counters["moves/run"] = moves / runs;
+}
+
+void BM_WeakFairnessPatience(benchmark::State& state) {
+  const std::size_t patience = static_cast<std::size_t>(state.range(0));
+  const auto tr = make_dijkstra_ring(32, 33);
+  WeaklyFairDaemon daemon(std::make_unique<RandomDaemon>(3), patience);
+  Rng rng(11);
+  double steps = 0, runs = 0;
+  for (auto _ : state) {
+    RunOptions opts;
+    opts.max_steps = 5'000'000;
+    const auto r =
+        converge(tr.design, tr.design.program.random_state(rng), daemon, opts);
+    steps += static_cast<double>(r.steps);
+    runs += 1;
+  }
+  state.counters["patience"] = static_cast<double>(patience);
+  state.counters["steps/run"] = steps / runs;
+}
+
+void BM_ContractCheckingOverhead(benchmark::State& state) {
+  const bool check = state.range(0) == 1;
+  const auto dd = make_diffusing(RootedTree::balanced(31, 2), true);
+  RandomDaemon daemon(13);
+  Rng rng(15);
+  for (auto _ : state) {
+    RunOptions opts;
+    opts.max_steps = 5'000'000;
+    opts.check_contracts = check;
+    const auto r =
+        converge(dd.design, dd.design.program.random_state(rng), daemon, opts);
+    benchmark::DoNotOptimize(r.steps);
+  }
+  state.SetLabel(check ? "checked" : "unchecked");
+}
+
+}  // namespace
+
+BENCHMARK(BM_CombinedVsSeparated)->Arg(0)->Arg(1);
+BENCHMARK(BM_DistributedFiringProbability)
+    ->Arg(10)->Arg(25)->Arg(50)->Arg(75)->Arg(100);
+BENCHMARK(BM_WeakFairnessPatience)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_ContractCheckingOverhead)->Arg(0)->Arg(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,146 @@
+// Checker throughput: explicit-state enumeration rates for closure and
+// convergence checking, and the weakly-fair SCC analysis, as the state
+// space grows. (Infrastructure scaling, not a paper claim.)
+#include <benchmark/benchmark.h>
+
+#include "checker/closure_check.hpp"
+#include "checker/convergence_check.hpp"
+#include "checker/state_space.hpp"
+#include "checker/falsify.hpp"
+#include "checker/synchronous.hpp"
+#include "checker/variant.hpp"
+#include "protocols/diffusing.hpp"
+#include "protocols/running_example.hpp"
+#include "protocols/token_ring.hpp"
+
+using namespace nonmask;
+
+namespace {
+
+void BM_ClosureThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto dd = make_diffusing(RootedTree::balanced(n, 2), true);
+  StateSpace space(dd.design.program);
+  const auto S = dd.design.S();
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    const auto report = check_closed(space, S);
+    benchmark::DoNotOptimize(report.closed);
+    states += space.size();
+  }
+  state.counters["states/s"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsRate);
+  state.counters["space"] = static_cast<double>(space.size());
+}
+
+void BM_ConvergenceThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto dd = make_diffusing(RootedTree::balanced(n, 2), true);
+  StateSpace space(dd.design.program);
+  const auto S = dd.design.S();
+  const auto T = dd.design.T();
+  std::uint64_t transitions = 0;
+  for (auto _ : state) {
+    const auto report = check_convergence(space, S, T);
+    benchmark::DoNotOptimize(report.verdict);
+    transitions += report.transitions;
+  }
+  state.counters["transitions/s"] = benchmark::Counter(
+      static_cast<double>(transitions), benchmark::Counter::kIsRate);
+  state.counters["space"] = static_cast<double>(space.size());
+}
+
+void BM_WeaklyFairThroughput(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto tr = make_dijkstra_ring(n, n);
+  StateSpace space(tr.design.program);
+  const auto S = tr.design.S();
+  const auto T = tr.design.T();
+  for (auto _ : state) {
+    const auto report = check_convergence_weakly_fair(space, S, T);
+    benchmark::DoNotOptimize(report.verdict);
+  }
+  state.counters["space"] = static_cast<double>(space.size());
+}
+
+void BM_VariantExtraction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto dd = make_diffusing(RootedTree::balanced(n, 2), true);
+  StateSpace space(dd.design.program);
+  const auto S = dd.design.S();
+  for (auto _ : state) {
+    const auto variant = compute_variant(space, S);
+    benchmark::DoNotOptimize(variant.has_value());
+  }
+  state.counters["space"] = static_cast<double>(space.size());
+}
+
+// Synchronous-daemon checking: a deterministic function on states, so
+// worst cases come out much smaller and checking much faster than the
+// interleaved analysis.
+void BM_SynchronousCheck(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto dd = make_diffusing(RootedTree::balanced(n, 2), true);
+  StateSpace space(dd.design.program);
+  const auto S = dd.design.S();
+  const auto T = dd.design.T();
+  for (auto _ : state) {
+    const auto report = check_convergence_synchronous(space, S, T);
+    state.counters["worst-sync-steps"] =
+        static_cast<double>(report.max_steps_to_S);
+    benchmark::DoNotOptimize(report.converges);
+  }
+  state.counters["space"] = static_cast<double>(space.size());
+}
+
+// Monte-Carlo falsification throughput at a domain size no exhaustive
+// checker can touch, against the known-livelocking running example.
+void BM_Falsify(benchmark::State& state) {
+  const Design d = make_running_example(RunningExampleVariant::kWriteXBoth, 0,
+                                        (1 << 16));
+  FalsifyOptions opts;
+  opts.walks = 50;
+  opts.make_start = [](const Program& p, Rng& rng) {
+    State s = p.random_state(rng);
+    s.set(p.find_variable("z"), s.get(p.find_variable("y")));
+    return s;
+  };
+  double found = 0, runs = 0;
+  for (auto _ : state) {
+    opts.seed = static_cast<std::uint64_t>(runs) + 1;
+    const auto result = falsify_convergence(d, opts);
+    found += result.violated ? 1 : 0;
+    runs += 1;
+    benchmark::DoNotOptimize(result.steps_taken);
+  }
+  state.counters["found%"] = 100.0 * found / runs;
+}
+
+void BM_EncodeDecode(benchmark::State& state) {
+  const auto dd = make_diffusing(RootedTree::balanced(10, 2), true);
+  StateSpace space(dd.design.program);
+  State s(dd.design.program.num_variables());
+  std::uint64_t code = 0;
+  for (auto _ : state) {
+    space.decode_into(code % space.size(), s);
+    benchmark::DoNotOptimize(space.encode(s));
+    ++code;
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ClosureThroughput)->Arg(5)->Arg(7)->Arg(9)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ConvergenceThroughput)->Arg(5)->Arg(7)->Arg(9)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WeaklyFairThroughput)->Arg(3)->Arg(4)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VariantExtraction)->Arg(5)->Arg(7)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SynchronousCheck)->Arg(5)->Arg(7)->Arg(9)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Falsify)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EncodeDecode);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// E8 — fairness and the daemon (Section 8).
+//
+// The paper remarks its derived programs converge even without fairness.
+// This bench pits every daemon — including the unfair first-enabled and
+// the greedy adversarial daemon — against the diffusing computation and
+// the Dijkstra ring, measuring steps to converge from random corruption.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "engine/simulator.hpp"
+#include "protocols/diffusing.hpp"
+#include "protocols/token_ring.hpp"
+#include "sched/daemons.hpp"
+
+using namespace nonmask;
+
+namespace {
+
+enum DaemonKind {
+  kRandom = 0,
+  kRoundRobin,
+  kFirstEnabled,
+  kAdversarial,
+  kDistributed,
+  kSynchronous,
+  kWeaklyFair,
+};
+
+DaemonPtr make_daemon(DaemonKind kind, const Invariant& inv) {
+  switch (kind) {
+    case kRandom: return std::make_unique<RandomDaemon>(1);
+    case kRoundRobin: return std::make_unique<RoundRobinDaemon>();
+    case kFirstEnabled: return std::make_unique<FirstEnabledDaemon>();
+    case kAdversarial: return std::make_unique<AdversarialDaemon>(inv, 2);
+    case kDistributed: return std::make_unique<DistributedDaemon>(0.5, 3);
+    case kSynchronous: return std::make_unique<SynchronousDaemon>();
+    case kWeaklyFair:
+      return std::make_unique<WeaklyFairDaemon>(
+          std::make_unique<RandomDaemon>(4), 32);
+  }
+  return std::make_unique<RandomDaemon>(1);
+}
+
+const char* daemon_name(DaemonKind kind) {
+  switch (kind) {
+    case kRandom: return "random";
+    case kRoundRobin: return "round-robin";
+    case kFirstEnabled: return "first-enabled(unfair)";
+    case kAdversarial: return "adversarial(unfair)";
+    case kDistributed: return "distributed";
+    case kSynchronous: return "synchronous";
+    case kWeaklyFair: return "weakly-fair";
+  }
+  return "?";
+}
+
+void measure(benchmark::State& state, const Design& d, DaemonKind kind) {
+  auto daemon = make_daemon(kind, d.invariant);
+  Rng rng(17);
+  double steps = 0, moves = 0, runs = 0, converged = 0;
+  for (auto _ : state) {
+    RunOptions opts;
+    opts.max_steps = 2'000'000;
+    const auto r = converge(d, d.program.random_state(rng), *daemon, opts);
+    steps += static_cast<double>(r.steps);
+    moves += static_cast<double>(r.moves);
+    converged += r.converged ? 1 : 0;
+    runs += 1;
+  }
+  state.SetLabel(daemon_name(kind));
+  state.counters["steps/run"] = steps / runs;
+  state.counters["moves/run"] = moves / runs;
+  state.counters["converged%"] = 100.0 * converged / runs;
+}
+
+void BM_DiffusingUnderDaemon(benchmark::State& state) {
+  const auto dd = make_diffusing(RootedTree::balanced(63, 2), true);
+  measure(state, dd.design, static_cast<DaemonKind>(state.range(0)));
+}
+
+void BM_DijkstraUnderDaemon(benchmark::State& state) {
+  const auto tr = make_dijkstra_ring(64, 65);
+  measure(state, tr.design, static_cast<DaemonKind>(state.range(0)));
+}
+
+}  // namespace
+
+BENCHMARK(BM_DiffusingUnderDaemon)->DenseRange(0, 6, 1);
+BENCHMARK(BM_DijkstraUnderDaemon)->DenseRange(0, 6, 1);
+
+BENCHMARK_MAIN();

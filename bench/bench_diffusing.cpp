@@ -1,0 +1,111 @@
+// E3/E4 — stabilizing diffusing computation (Section 5.1).
+//
+// Series regenerated:
+//   * convergence cost (steps, asynchronous rounds) from fully random
+//     corruption, vs N, for chain / star / balanced-binary / random trees —
+//     rounds track tree height (chain linear, star constant-ish);
+//   * the fault-free wave period in S (one full red+green sweep), vs N.
+#include <benchmark/benchmark.h>
+
+#include "engine/simulator.hpp"
+#include "protocols/diffusing.hpp"
+#include "sched/daemons.hpp"
+
+using namespace nonmask;
+
+namespace {
+
+enum Shape { kChain = 0, kStar = 1, kBinary = 2, kRandomTree = 3 };
+
+RootedTree make_shape(Shape shape, int n, Rng& rng) {
+  switch (shape) {
+    case kChain: return RootedTree::chain(n);
+    case kStar: return RootedTree::star(n);
+    case kBinary: return RootedTree::balanced(n, 2);
+    case kRandomTree: return RootedTree::random(n, rng);
+  }
+  return RootedTree::chain(n);
+}
+
+const char* shape_name(Shape shape) {
+  switch (shape) {
+    case kChain: return "chain";
+    case kStar: return "star";
+    case kBinary: return "binary";
+    case kRandomTree: return "random";
+  }
+  return "?";
+}
+
+void BM_Converge(benchmark::State& state) {
+  const auto shape = static_cast<Shape>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  Rng tree_rng(1234);
+  const auto tree = make_shape(shape, n, tree_rng);
+  const auto dd = make_diffusing(tree, true);
+  RandomDaemon daemon(99);
+  Rng rng(5);
+  double steps = 0, rounds = 0, runs = 0;
+  for (auto _ : state) {
+    RunOptions opts;
+    opts.max_steps = 10'000'000;
+    const auto r =
+        converge(dd.design, dd.design.program.random_state(rng), daemon, opts);
+    steps += static_cast<double>(r.steps);
+    rounds += static_cast<double>(r.rounds);
+    runs += 1;
+  }
+  state.SetLabel(shape_name(shape));
+  state.counters["N"] = n;
+  state.counters["height"] = tree.height();
+  state.counters["steps/run"] = steps / runs;
+  state.counters["rounds/run"] = rounds / runs;
+}
+
+// Fault-free wave period: steps for the root to complete one full
+// initiate -> ... -> reflect cycle, in S, under round-robin.
+void BM_WavePeriod(benchmark::State& state) {
+  const auto shape = static_cast<Shape>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  Rng tree_rng(1234);
+  const auto tree = make_shape(shape, n, tree_rng);
+  const auto dd = make_diffusing(tree, true);
+  RoundRobinDaemon daemon;
+  Simulator sim(dd.design.program, daemon);
+  const VarId root_color = dd.color[static_cast<std::size_t>(tree.root())];
+
+  double steps = 0, waves = 0;
+  State s = dd.design.program.initial_state();
+  RunOptions opts;
+  opts.max_steps = 1;
+  for (auto _ : state) {
+    // One wave: root goes red, then green again.
+    bool went_red = false;
+    while (true) {
+      s = sim.run(s, opts).final_state;
+      steps += 1;
+      const bool red = s.get(root_color) == kRed;
+      if (red) went_red = true;
+      if (went_red && !red) break;
+    }
+    waves += 1;
+  }
+  state.SetLabel(shape_name(shape));
+  state.counters["N"] = n;
+  // Every node fires exactly one propagate and one reflect per wave (plus
+  // the root's initiate replacing its propagate): 2N steps regardless of
+  // shape. Depth shows up in *rounds*, not steps — see BM_Converge.
+  state.counters["steps/wave"] = steps / waves;
+  state.counters["2N"] = 2.0 * n;
+  state.counters["height"] = tree.height();
+}
+
+}  // namespace
+
+BENCHMARK(BM_Converge)
+    ->ArgsProduct({{kChain, kStar, kBinary, kRandomTree},
+                   {15, 63, 255, 1023}});
+BENCHMARK(BM_WavePeriod)
+    ->ArgsProduct({{kChain, kStar, kBinary}, {15, 63, 255}});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Extension protocols at scale: BFS spanning tree, coloring, maximal
+// matching, leader election — convergence cost from full random corruption
+// vs problem size, under the random central daemon.
+#include <benchmark/benchmark.h>
+
+#include "engine/simulator.hpp"
+#include "protocols/aggregation.hpp"
+#include "protocols/coloring.hpp"
+#include "protocols/distributed_reset.hpp"
+#include "protocols/independent_set.hpp"
+#include "protocols/leader_election.hpp"
+#include "protocols/matching.hpp"
+#include "protocols/spanning_tree.hpp"
+#include "sched/daemons.hpp"
+
+using namespace nonmask;
+
+namespace {
+
+void measure(benchmark::State& state, const Design& d, double n) {
+  RandomDaemon daemon(3);
+  Rng rng(11);
+  double steps = 0, rounds = 0, runs = 0;
+  for (auto _ : state) {
+    RunOptions opts;
+    opts.max_steps = 20'000'000;
+    const auto r = converge(d, d.program.random_state(rng), daemon, opts);
+    steps += static_cast<double>(r.steps);
+    rounds += static_cast<double>(r.rounds);
+    runs += 1;
+  }
+  state.counters["N"] = n;
+  state.counters["steps/run"] = steps / runs;
+  state.counters["rounds/run"] = rounds / runs;
+}
+
+void BM_SpanningTree(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  const auto g = UndirectedGraph::random_connected(n, 2 * n, rng);
+  const auto st = make_spanning_tree(g, 0);
+  measure(state, st.design, n);
+}
+
+void BM_Coloring(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(9);
+  const auto g = UndirectedGraph::random_connected(n, 2 * n, rng);
+  const auto cd = make_coloring(g);
+  measure(state, cd.design, n);
+}
+
+void BM_Matching(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(13);
+  const auto g = UndirectedGraph::random_connected(n, 2 * n, rng);
+  const auto md = make_matching(g);
+  measure(state, md.design, n);
+}
+
+void BM_LeaderElection(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto le = make_leader_election(n);
+  measure(state, le.design, n);
+}
+
+void BM_DistributedReset(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(17);
+  const auto tree = RootedTree::random(n, rng);
+  const auto dr = make_distributed_reset(tree, 8, true);
+  measure(state, dr.design, n);
+}
+
+void BM_IndependentSet(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(19);
+  const auto g = UndirectedGraph::random_connected(n, 2 * n, rng);
+  const auto is = make_independent_set(g);
+  measure(state, is.design, n);
+}
+
+void BM_Aggregation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(23);
+  const auto tree = RootedTree::random(n, rng);
+  const auto ad = make_aggregation(tree, 15);
+  measure(state, ad.design, n);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SpanningTree)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_Coloring)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_Matching)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_LeaderElection)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_DistributedReset)->Arg(15)->Arg(63)->Arg(255);
+BENCHMARK(BM_IndependentSet)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_Aggregation)->Arg(15)->Arg(63)->Arg(255);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// E9 — time-to-repair vs fault severity (Section 3's fault-as-action view).
+//
+// Series regenerated:
+//   * repair steps vs fraction of corrupted variables (diffusing, ring);
+//   * repair steps vs number of corrupted processes;
+//   * convergence under a sustained Bernoulli fault rate — repair wins the
+//     race for low rates, loses for high ones (converged% drops).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "engine/simulator.hpp"
+#include "faults/fault.hpp"
+#include "faults/injector.hpp"
+#include "protocols/diffusing.hpp"
+#include "protocols/token_ring.hpp"
+#include "sched/daemons.hpp"
+
+using namespace nonmask;
+
+namespace {
+
+// Corrupt a fraction p of variables of an S state, then measure repair.
+void repair_after_fraction(benchmark::State& state, const Design& d,
+                           State good) {
+  const double p = static_cast<double>(state.range(0)) / 100.0;
+  CorruptFraction model(p);
+  RandomDaemon daemon(3);
+  Rng rng(9);
+  double steps = 0, runs = 0;
+  for (auto _ : state) {
+    State start = good;
+    model.strike(d.program, start, rng);
+    RunOptions opts;
+    opts.max_steps = 10'000'000;
+    const auto r = converge(d, start, daemon, opts);
+    steps += static_cast<double>(r.steps);
+    runs += 1;
+  }
+  state.counters["corrupt%"] = 100.0 * p;
+  state.counters["repair-steps"] = steps / runs;
+}
+
+void BM_DiffusingRepairVsFraction(benchmark::State& state) {
+  const auto dd = make_diffusing(RootedTree::balanced(127, 2), true);
+  repair_after_fraction(state, dd.design,
+                        dd.design.program.initial_state());
+}
+
+void BM_RingRepairVsFraction(benchmark::State& state) {
+  const auto tr = make_dijkstra_ring(128, 129);
+  repair_after_fraction(state, tr.design, tr.design.program.initial_state());
+}
+
+void BM_DiffusingRepairVsProcesses(benchmark::State& state) {
+  const auto dd = make_diffusing(RootedTree::balanced(127, 2), true);
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  CorruptKProcesses model(k);
+  RandomDaemon daemon(5);
+  Rng rng(13);
+  double steps = 0, runs = 0;
+  for (auto _ : state) {
+    State start = dd.design.program.initial_state();
+    model.strike(dd.design.program, start, rng);
+    RunOptions opts;
+    opts.max_steps = 10'000'000;
+    const auto r = converge(dd.design, start, daemon, opts);
+    steps += static_cast<double>(r.steps);
+    runs += 1;
+  }
+  state.counters["processes"] = static_cast<double>(k);
+  state.counters["repair-steps"] = steps / runs;
+}
+
+// Sustained fault rate: one variable corrupted with probability p per step,
+// forever; can the protocol hold S a majority of the time?
+void BM_DiffusingUnderSustainedFaults(benchmark::State& state) {
+  const auto dd = make_diffusing(RootedTree::balanced(63, 2), true);
+  const Design& d = dd.design;
+  const double p = static_cast<double>(state.range(0)) / 10'000.0;
+  RandomDaemon daemon(7);
+  Simulator sim(d.program, daemon);
+  const auto S = d.S();
+  double in_s = 0, total = 0;
+  for (auto _ : state) {
+    auto inj = FaultInjector::bernoulli(
+        std::make_shared<CorruptKVariables>(1), p, SIZE_MAX, 21);
+    RunOptions opts;
+    opts.max_steps = 20'000;
+    opts.perturb = inj.hook(d.program);
+    opts.stop_when = {};  // run the full window
+    State s = d.program.initial_state();
+    // Sample S occupancy along the run.
+    std::size_t hits = 0, samples = 0;
+    opts.perturb = [&](std::size_t step, State& st) {
+      inj(step, d.program, st);
+      if (step % 10 == 0) {
+        ++samples;
+        if (S(st)) ++hits;
+      }
+    };
+    const auto r = sim.run(s, opts);
+    benchmark::DoNotOptimize(r.steps);
+    in_s += static_cast<double>(hits);
+    total += static_cast<double>(samples);
+  }
+  state.counters["fault-rate"] = p;
+  state.counters["S-occupancy%"] = 100.0 * in_s / total;
+}
+
+}  // namespace
+
+BENCHMARK(BM_DiffusingRepairVsFraction)
+    ->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(100);
+BENCHMARK(BM_RingRepairVsFraction)
+    ->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(100);
+BENCHMARK(BM_DiffusingRepairVsProcesses)->Arg(1)->Arg(2)->Arg(4)->Arg(16);
+BENCHMARK(BM_DiffusingUnderSustainedFaults)
+    ->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+BENCHMARK_MAIN();

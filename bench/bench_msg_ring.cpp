@@ -1,0 +1,104 @@
+// E10 — the message-passing token ring refinement under channel faults.
+//
+// Series regenerated:
+//   * convergence steps vs ring size (fair daemon — the refinement needs
+//     fairness, see tests/msg_test.cpp);
+//   * convergence steps and S-occupancy vs message-loss probability;
+//   * corruption vs loss: which fault class hurts more.
+#include <benchmark/benchmark.h>
+
+#include "engine/simulator.hpp"
+#include "msg/mp_diffusing.hpp"
+#include "msg/mp_token_ring.hpp"
+#include "sched/daemons.hpp"
+
+using namespace nonmask;
+
+namespace {
+
+void BM_ConvergeVsSize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto mp = make_mp_token_ring(n, 2 * n + 1);
+  RoundRobinDaemon daemon;
+  Rng rng(5);
+  double steps = 0, runs = 0, converged = 0;
+  for (auto _ : state) {
+    RunOptions opts;
+    opts.max_steps = 5'000'000;
+    const auto r =
+        converge(mp.design, mp.design.program.random_state(rng), daemon, opts);
+    steps += static_cast<double>(r.steps);
+    converged += r.converged ? 1 : 0;
+    runs += 1;
+  }
+  state.counters["N"] = n;
+  state.counters["steps/run"] = steps / runs;
+  state.counters["converged%"] = 100.0 * converged / runs;
+}
+
+void fault_race(benchmark::State& state, bool use_corruption) {
+  const int n = 16;
+  const double p = static_cast<double>(state.range(0)) / 1000.0;
+  const auto mp = make_mp_token_ring(n, 2 * n + 1);
+  const Design& d = mp.design;
+  RoundRobinDaemon daemon;
+  Simulator sim(d.program, daemon);
+  Rng fault_rng(23);
+  const auto S = d.S();
+  double hits = 0, samples = 0;
+  for (auto _ : state) {
+    RunOptions opts;
+    opts.max_steps = 40'000;
+    opts.perturb = [&](std::size_t step, State& s) {
+      if (fault_rng.chance(p)) {
+        const auto& pool =
+            use_corruption ? mp.corruption_faults : mp.loss_faults;
+        const auto& fa = d.program.action(
+            pool[fault_rng.below(pool.size())]);
+        if (fa.enabled(s)) fa.execute(s);
+      }
+      if (step % 16 == 0) {
+        samples += 1;
+        if (S(s)) hits += 1;
+      }
+    };
+    const auto r = sim.run(d.program.initial_state(), opts);
+    benchmark::DoNotOptimize(r.steps);
+  }
+  state.counters["fault-p"] = p;
+  state.counters["S-occupancy%"] = 100.0 * hits / samples;
+}
+
+void BM_LossRace(benchmark::State& state) { fault_race(state, false); }
+void BM_CorruptionRace(benchmark::State& state) { fault_race(state, true); }
+
+// The low-atomicity diffusing refinement: convergence cost vs tree size,
+// compared against the shared-memory wave (see bench_diffusing).
+void BM_MpDiffusingConverge(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng tree_rng(7);
+  const auto tree = RootedTree::random(n, tree_rng);
+  const auto md = make_mp_diffusing(tree);
+  RandomDaemon daemon(11);
+  Rng rng(13);
+  double steps = 0, runs = 0;
+  for (auto _ : state) {
+    RunOptions opts;
+    opts.max_steps = 10'000'000;
+    const auto r =
+        converge(md.design, md.design.program.random_state(rng), daemon, opts);
+    steps += static_cast<double>(r.steps);
+    runs += 1;
+  }
+  state.counters["N"] = n;
+  state.counters["steps/run"] = steps / runs;
+}
+
+}  // namespace
+
+BENCHMARK(BM_ConvergeVsSize)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_LossRace)->Arg(0)->Arg(10)->Arg(50)->Arg(200)->Arg(500);
+BENCHMARK(BM_CorruptionRace)->Arg(0)->Arg(10)->Arg(50)->Arg(200)->Arg(500);
+BENCHMARK(BM_MpDiffusingConverge)->Arg(15)->Arg(63)->Arg(255);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// E2 — the Section 4/6 running example {x != y, x <= z}.
+//
+// Regenerates the paper's qualitative claims as numbers:
+//   * kWriteYZ (out-tree, Theorem 1): converges; worst case <= 2 steps.
+//   * kWriteXBoth (shared target, no order): livelocks — steps hit the cap.
+//   * kDecreaseX (Theorem 2 order): converges; steps bounded by the domain.
+// Also times the exact checker on each variant.
+#include <benchmark/benchmark.h>
+
+#include "checker/convergence_check.hpp"
+#include "checker/state_space.hpp"
+#include "engine/simulator.hpp"
+#include "protocols/running_example.hpp"
+#include "sched/daemons.hpp"
+
+using namespace nonmask;
+
+namespace {
+
+void run_variant(benchmark::State& state, RunningExampleVariant variant) {
+  const Value hi = static_cast<Value>(state.range(0));
+  const Design d = make_running_example(variant, 0, hi);
+  RandomDaemon daemon(42);
+  Rng rng(7);
+  double total_steps = 0, runs = 0, converged = 0;
+  for (auto _ : state) {
+    State start = d.program.random_state(rng);
+    RunOptions opts;
+    opts.max_steps = 1000;
+    const auto r = converge(d, start, daemon, opts);
+    total_steps += static_cast<double>(r.steps);
+    converged += r.converged ? 1 : 0;
+    runs += 1;
+    benchmark::DoNotOptimize(r.final_state);
+  }
+  state.counters["steps/run"] = total_steps / runs;
+  state.counters["converged%"] = 100.0 * converged / runs;
+}
+
+void BM_WriteYZ(benchmark::State& state) {
+  run_variant(state, RunningExampleVariant::kWriteYZ);
+}
+void BM_WriteXBoth(benchmark::State& state) {
+  run_variant(state, RunningExampleVariant::kWriteXBoth);
+}
+void BM_DecreaseX(benchmark::State& state) {
+  run_variant(state, RunningExampleVariant::kDecreaseX);
+}
+
+void BM_ExactCheck(benchmark::State& state) {
+  const auto variant = static_cast<RunningExampleVariant>(state.range(0));
+  const Design d = make_running_example(variant, 0, 15);
+  for (auto _ : state) {
+    StateSpace space(d.program);
+    const auto report = check_convergence(space, d.S(), d.T());
+    benchmark::DoNotOptimize(report.verdict);
+    state.counters["region"] = static_cast<double>(report.region_states);
+    state.counters["converges"] =
+        report.verdict == ConvergenceVerdict::kConverges ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_WriteYZ)->Arg(7)->Arg(63);
+BENCHMARK(BM_WriteXBoth)->Arg(7)->Arg(63);
+BENCHMARK(BM_DecreaseX)->Arg(7)->Arg(63);
+BENCHMARK(BM_ExactCheck)->DenseRange(0, 2, 1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+// E5 — stabilizing token rings (Section 7.1).
+//
+// Series regenerated:
+//   * Dijkstra mod-K ring: convergence steps from random corruption vs N
+//     (K = N + 1), and the stabilization boundary in K for small N via the
+//     exact checker (stabilizes iff K large enough; K <= N - 2 livelocks);
+//   * token circulation throughput (steps per full ring revolution) in S;
+//   * the paper's bounded design: worst-case steps-to-S via the checker.
+#include <benchmark/benchmark.h>
+
+#include "checker/convergence_check.hpp"
+#include "checker/state_space.hpp"
+#include "engine/simulator.hpp"
+#include "protocols/token_ring.hpp"
+#include "protocols/token_ring_small.hpp"
+#include "sched/daemons.hpp"
+
+using namespace nonmask;
+
+namespace {
+
+void BM_DijkstraConverge(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto tr = make_dijkstra_ring(n, n + 1);
+  RandomDaemon daemon(3);
+  Rng rng(11);
+  double steps = 0, rounds = 0, runs = 0;
+  for (auto _ : state) {
+    RunOptions opts;
+    opts.max_steps = 50'000'000;
+    const auto r =
+        converge(tr.design, tr.design.program.random_state(rng), daemon, opts);
+    steps += static_cast<double>(r.steps);
+    rounds += static_cast<double>(r.rounds);
+    runs += 1;
+  }
+  state.counters["N"] = n;
+  state.counters["steps/run"] = steps / runs;
+  state.counters["rounds/run"] = rounds / runs;
+}
+
+// Stabilization boundary: exact verdict per (N, K). Reported as counter
+// stabilizes = 0/1; the series shows the K >= N cutoff shape.
+void BM_KBoundary(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int K = static_cast<int>(state.range(1));
+  const auto tr = make_dijkstra_ring(n, K);
+  double verdict = 0;
+  for (auto _ : state) {
+    StateSpace space(tr.design.program);
+    const auto report =
+        check_convergence(space, tr.design.S(), tr.design.T());
+    verdict = report.verdict == ConvergenceVerdict::kConverges ? 1 : 0;
+    benchmark::DoNotOptimize(report.region_states);
+  }
+  state.counters["N"] = n;
+  state.counters["K"] = K;
+  state.counters["stabilizes"] = verdict;
+}
+
+// Token circulation throughput in S: moves per full revolution.
+void BM_Circulation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto tr = make_dijkstra_ring(n, n + 1);
+  RoundRobinDaemon daemon;
+  Simulator sim(tr.design.program, daemon);
+  State s = tr.design.program.initial_state();
+  RunOptions opts;
+  opts.max_steps = 1;
+  double steps = 0, revolutions = 0;
+  for (auto _ : state) {
+    // One revolution: privilege returns to node 0.
+    bool left_zero = false;
+    while (true) {
+      s = sim.run(s, opts).final_state;
+      steps += 1;
+      const int at = tr.first_privileged(s);
+      if (at != 0) left_zero = true;
+      if (left_zero && at == 0) break;
+    }
+    revolutions += 1;
+  }
+  state.counters["N"] = n;
+  state.counters["steps/revolution"] = steps / revolutions;
+}
+
+// The paper's bounded design: exact worst-case convergence distance.
+void BM_BoundedWorstCase(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Value x_max = static_cast<Value>(state.range(1));
+  const auto tr = make_token_ring_bounded(n, x_max, true);
+  for (auto _ : state) {
+    StateSpace space(tr.design.program);
+    const auto report =
+        check_convergence(space, tr.design.S(), tr.design.T());
+    state.counters["worst-steps"] =
+        static_cast<double>(report.max_steps_to_S);
+    state.counters["states"] = static_cast<double>(space.size());
+    benchmark::DoNotOptimize(report.verdict);
+  }
+  state.counters["N"] = n;
+  state.counters["x_max"] = x_max;
+}
+
+// Dijkstra's constant-state solutions: simulated convergence vs n, and
+// exact worst-case distance on small n (compare with the K-state ring).
+void BM_SmallRingConverge(benchmark::State& state) {
+  const bool four = state.range(0) == 4;
+  const int n = static_cast<int>(state.range(1));
+  const auto sr =
+      four ? make_dijkstra_four_state(n) : make_dijkstra_three_state(n);
+  RandomDaemon daemon(9);
+  Rng rng(13);
+  double steps = 0, runs = 0;
+  for (auto _ : state) {
+    RunOptions opts;
+    opts.max_steps = 20'000'000;
+    const auto r =
+        converge(sr.design, sr.design.program.random_state(rng), daemon, opts);
+    steps += static_cast<double>(r.steps);
+    runs += 1;
+  }
+  state.SetLabel(four ? "four-state" : "three-state");
+  state.counters["N"] = n;
+  state.counters["steps/run"] = steps / runs;
+}
+
+void BM_SmallRingWorstCase(benchmark::State& state) {
+  const bool four = state.range(0) == 4;
+  const int n = static_cast<int>(state.range(1));
+  const auto sr =
+      four ? make_dijkstra_four_state(n) : make_dijkstra_three_state(n);
+  for (auto _ : state) {
+    StateSpace space(sr.design.program);
+    const auto report =
+        check_convergence(space, sr.design.S(), sr.design.T());
+    state.counters["worst-steps"] =
+        static_cast<double>(report.max_steps_to_S);
+    benchmark::DoNotOptimize(report.verdict);
+  }
+  state.SetLabel(four ? "four-state" : "three-state");
+  state.counters["N"] = n;
+}
+
+}  // namespace
+
+BENCHMARK(BM_DijkstraConverge)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+BENCHMARK(BM_SmallRingConverge)
+    ->ArgsProduct({{3, 4}, {8, 32, 128}});
+BENCHMARK(BM_SmallRingWorstCase)
+    ->ArgsProduct({{3, 4}, {4, 6, 8}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KBoundary)
+    ->ArgsProduct({{4, 5}, {2, 3, 4, 5, 6}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Circulation)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_BoundedWorstCase)
+    ->ArgsProduct({{3, 4}, {3, 5}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

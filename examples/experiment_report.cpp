@@ -1,0 +1,79 @@
+// Convergence-time distributions across protocols and daemons, via the
+// experiment harness: the kind of table EXPERIMENTS.md reports, generated
+// live.
+//
+// Usage:  experiment_report [trials]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "engine/experiment.hpp"
+#include "protocols/coloring.hpp"
+#include "protocols/diffusing.hpp"
+#include "protocols/independent_set.hpp"
+#include "protocols/leader_election.hpp"
+#include "protocols/matching.hpp"
+#include "protocols/spanning_tree.hpp"
+#include "protocols/token_ring.hpp"
+#include "sched/daemons.hpp"
+
+using namespace nonmask;
+
+namespace {
+
+void row(const char* name, const Design& d, std::size_t trials) {
+  ConvergenceExperiment config;
+  config.trials = trials;
+  config.seed = 1;
+  config.max_steps = 2'000'000;
+  const auto r = run_experiment(d, config);
+  std::cout << std::left << std::setw(26) << name << std::right
+            << std::setw(9) << static_cast<int>(100 * r.converged_fraction)
+            << "%" << std::setw(11) << r.steps.mean << std::setw(9)
+            << r.steps.p50 << std::setw(9) << r.steps.p95 << std::setw(9)
+            << r.steps.max << std::setw(10) << r.rounds.mean << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t trials =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 200;
+  std::cout << "convergence from uniform random corruption, random central "
+               "daemon, "
+            << trials << " trials\n\n"
+            << std::left << std::setw(26) << "protocol" << std::right
+            << std::setw(10) << "conv%" << std::setw(11) << "steps"
+            << std::setw(9) << "p50" << std::setw(9) << "p95" << std::setw(9)
+            << "max" << std::setw(10) << "rounds\n"
+            << std::string(84, '-') << "\n";
+
+  Rng rng(7);
+  row("diffusing (binary, 63)",
+      make_diffusing(RootedTree::balanced(63, 2), true).design, trials);
+  row("diffusing (chain, 63)",
+      make_diffusing(RootedTree::chain(63), true).design, trials);
+  row("dijkstra ring (64)", make_dijkstra_ring(64, 65).design, trials);
+  row("bounded ring (16)",
+      make_token_ring_bounded(16, 15, true).design, trials);
+  row("spanning tree (64)",
+      make_spanning_tree(UndirectedGraph::random_connected(64, 64, rng))
+          .design,
+      trials);
+  row("coloring (64)",
+      make_coloring(UndirectedGraph::random_connected(64, 128, rng)).design,
+      trials);
+  row("matching (64)",
+      make_matching(UndirectedGraph::random_connected(64, 96, rng)).design,
+      trials);
+  row("independent set (64)",
+      make_independent_set(UndirectedGraph::random_connected(64, 96, rng))
+          .design,
+      trials);
+  row("leader election (64)", make_leader_election(64).design, trials);
+
+  std::cout << "\nsteps = daemon selections until S; rounds = asynchronous "
+               "rounds.\n";
+  return 0;
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Developer check: configure, build (warnings as errors), run the full test
+# suite, and smoke-run every benchmark briefly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja -DNONMASK_WERROR=ON
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/bench_*; do
+  echo "== ${b} =="
+  "${b}" --benchmark_min_time=0.01
+done

@@ -1,0 +1,94 @@
+#include "cgraph/certify.hpp"
+
+#include <algorithm>
+
+#include "checker/preserves.hpp"
+
+namespace nonmask {
+
+std::vector<std::string> audit_certificate(const Design& design,
+                                           const ConstraintGraph& cg,
+                                           const TheoremReport& report,
+                                           const ValidationOptions& opts) {
+  std::vector<std::string> problems;
+  if (!report.applies) return problems;
+
+  // 1. Every recorded obligation must claim success.
+  for (const auto& ob : report.obligations) {
+    if (!ob.passed) {
+      problems.push_back("applies=true but obligation failed: " +
+                         ob.description);
+    }
+  }
+
+  // 2. Ranks: rank(j) = 1 + max{rank(k) | edge k->j, k != j} (empty -> 0).
+  if (!report.ranks.empty()) {
+    if (static_cast<int>(report.ranks.size()) != cg.graph.num_nodes()) {
+      problems.push_back("rank vector size mismatch");
+    } else {
+      for (int j = 0; j < cg.graph.num_nodes(); ++j) {
+        int best = 0;
+        for (int e : cg.graph.in_edges(j)) {
+          const int k = cg.graph.edge(e).from;
+          if (k == j) continue;
+          best = std::max(best, report.ranks[static_cast<std::size_t>(k)]);
+        }
+        if (report.ranks[static_cast<std::size_t>(j)] != 1 + best) {
+          problems.push_back("rank recurrence violated at node " +
+                             std::to_string(j));
+        }
+      }
+    }
+  }
+
+  // 3. Per-node orders: permutations of the node's in-edge actions whose
+  // pairwise preserves-obligations re-verify.
+  if (!report.node_orders.empty() &&
+      static_cast<int>(report.node_orders.size()) == cg.graph.num_nodes()) {
+    PreservesOptions po;
+    po.space = opts.space;
+    po.samples = opts.samples;
+    po.seed = opts.seed ^ 0xa0d17ULL;  // independent sampling stream
+    po.context = design.fault_span;
+    for (int j = 0; j < cg.graph.num_nodes(); ++j) {
+      std::vector<std::size_t> expected;
+      for (int e : cg.graph.in_edges(j)) {
+        expected.push_back(
+            static_cast<std::size_t>(cg.graph.edge(e).payload));
+      }
+      std::vector<std::size_t> got =
+          report.node_orders[static_cast<std::size_t>(j)];
+      auto sorted_expected = expected;
+      auto sorted_got = got;
+      std::sort(sorted_expected.begin(), sorted_expected.end());
+      std::sort(sorted_got.begin(), sorted_got.end());
+      if (sorted_expected != sorted_got) {
+        problems.push_back("order at node " + std::to_string(j) +
+                           " is not a permutation of its in-edge actions");
+        continue;
+      }
+      for (std::size_t b = 1; b < got.size(); ++b) {
+        for (std::size_t a = 0; a < b; ++a) {
+          const int cid = design.program.action(got[a]).constraint_id();
+          if (cid < 0 ||
+              static_cast<std::size_t>(cid) >= design.invariant.size()) {
+            problems.push_back("order references unbound action");
+            continue;
+          }
+          const auto& c = design.invariant.at(static_cast<std::size_t>(cid));
+          const auto pr = check_preserves(
+              design.program, design.program.action(got[b]), c.fn, po);
+          if (!pr.preserves) {
+            problems.push_back(
+                "order at node " + std::to_string(j) + ": action '" +
+                design.program.action(got[b]).name() +
+                "' does not preserve preceding constraint '" + c.name + "'");
+          }
+        }
+      }
+    }
+  }
+  return problems;
+}
+
+}  // namespace nonmask

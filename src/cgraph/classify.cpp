@@ -1,0 +1,27 @@
+#include "cgraph/classify.hpp"
+
+#include "graphlib/analysis.hpp"
+
+namespace nonmask {
+
+const char* to_string(GraphShape shape) noexcept {
+  switch (shape) {
+    case GraphShape::kOutTree: return "out-tree";
+    case GraphShape::kSelfLooping: return "self-looping";
+    case GraphShape::kCyclic: return "cyclic";
+  }
+  return "?";
+}
+
+GraphShape classify(const ConstraintGraph& cg) {
+  if (is_out_tree(cg.graph)) return GraphShape::kOutTree;
+  if (is_self_looping(cg.graph)) return GraphShape::kSelfLooping;
+  return GraphShape::kCyclic;
+}
+
+std::optional<std::vector<int>> constraint_graph_ranks(
+    const ConstraintGraph& cg) {
+  return node_ranks(cg.graph);
+}
+
+}  // namespace nonmask

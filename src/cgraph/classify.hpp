@@ -1,0 +1,29 @@
+// Constraint-graph shape classification, driving which theorem applies:
+//   out-tree      -> Theorem 1 (Section 5)
+//   self-looping  -> Theorem 2 (Section 6)
+//   cyclic        -> Theorem 3 via layering (Section 7)
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cgraph/constraint_graph.hpp"
+
+namespace nonmask {
+
+enum class GraphShape {
+  kOutTree,      ///< weakly connected, unique root, in-degree one elsewhere
+  kSelfLooping,  ///< no cycle of length > 1 (out-trees excluded)
+  kCyclic,       ///< has a cycle of length > 1
+};
+
+const char* to_string(GraphShape shape) noexcept;
+
+/// The strongest shape the graph satisfies.
+GraphShape classify(const ConstraintGraph& cg);
+
+/// Node ranks per the proofs of Theorems 1-2 (nullopt when cyclic).
+std::optional<std::vector<int>> constraint_graph_ranks(
+    const ConstraintGraph& cg);
+
+}  // namespace nonmask

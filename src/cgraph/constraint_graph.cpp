@@ -1,0 +1,195 @@
+#include "cgraph/constraint_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <unordered_set>
+
+namespace nonmask {
+
+namespace {
+
+/// Union-find over variable indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+/// The variables an action touches.
+std::vector<VarId> touched(const Action& a) {
+  std::vector<VarId> out = a.reads();
+  out.insert(out.end(), a.writes().begin(), a.writes().end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+ConstraintGraphResult finish_build(const Program& program,
+                                   const std::vector<std::size_t>& actions,
+                                   std::vector<int> var_node, int num_nodes) {
+  ConstraintGraphResult result;
+  ConstraintGraph& cg = result.graph;
+  cg.var_node = std::move(var_node);
+  cg.node_vars.assign(static_cast<std::size_t>(num_nodes), {});
+  for (std::uint32_t v = 0; v < program.num_variables(); ++v) {
+    const int node = cg.var_node[v];
+    if (node >= 0) cg.node_vars[static_cast<std::size_t>(node)].push_back(VarId(v));
+  }
+  cg.graph.resize(num_nodes);
+  cg.actions = actions;
+
+  for (std::size_t idx : actions) {
+    const Action& a = program.action(idx);
+    if (a.writes().empty()) {
+      result.error = "action '" + a.name() + "' writes no variables";
+      return result;
+    }
+    // Target node w: the unique node containing all writes.
+    const int w = cg.var_node[a.writes().front().index()];
+    for (VarId wr : a.writes()) {
+      if (cg.var_node[wr.index()] != w) {
+        result.error = "action '" + a.name() +
+                       "' writes variables in two different nodes";
+        return result;
+      }
+    }
+    // Source node v: the node of the reads outside w (or w for self-loops).
+    int v = w;
+    for (VarId rd : a.reads()) {
+      const int node = cg.var_node[rd.index()];
+      if (node == w) continue;
+      if (v != w && node != v) {
+        result.error = "action '" + a.name() +
+                       "' reads variables from more than two nodes";
+        return result;
+      }
+      v = node;
+    }
+    cg.graph.add_edge(v, w, static_cast<int>(idx));
+  }
+
+  // Set dot labels for diagnostics.
+  for (int n = 0; n < num_nodes; ++n) {
+    cg.graph.set_node_label(n, cg.describe_node(program, n));
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+std::string ConstraintGraph::describe_node(const Program& p, int node) const {
+  std::ostringstream out;
+  out << "{";
+  const auto& vars = node_vars.at(static_cast<std::size_t>(node));
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << p.variable(vars[i]).name;
+  }
+  out << "}";
+  return out.str();
+}
+
+ConstraintGraphResult build_constraint_graph(
+    const Program& program, const std::vector<std::size_t>& actions,
+    const std::vector<std::vector<VarId>>& partition) {
+  ConstraintGraphResult result;
+  std::vector<int> var_node(program.num_variables(), -1);
+  for (std::size_t n = 0; n < partition.size(); ++n) {
+    for (VarId v : partition[n]) {
+      if (v.index() >= program.num_variables()) {
+        result.error = "partition names an unknown variable";
+        return result;
+      }
+      if (var_node[v.index()] != -1) {
+        result.error = "variable '" + program.variable(v).name +
+                       "' appears in two partition groups";
+        return result;
+      }
+      var_node[v.index()] = static_cast<int>(n);
+    }
+  }
+  for (std::size_t idx : actions) {
+    for (VarId v : touched(program.action(idx))) {
+      if (var_node[v.index()] == -1) {
+        result.error = "variable '" + program.variable(v).name +
+                       "' used by action '" + program.action(idx).name() +
+                       "' is not covered by the partition";
+        return result;
+      }
+    }
+  }
+  return finish_build(program, actions, std::move(var_node),
+                      static_cast<int>(partition.size()));
+}
+
+ConstraintGraphResult infer_constraint_graph(
+    const Program& program, const std::vector<std::size_t>& actions) {
+  UnionFind uf(program.num_variables());
+
+  // Merge each action's write set.
+  for (std::size_t idx : actions) {
+    const Action& a = program.action(idx);
+    for (std::size_t i = 1; i < a.writes().size(); ++i) {
+      uf.unite(a.writes()[0].index(), a.writes()[i].index());
+    }
+  }
+  // Merge each action's residual read set (reads outside the write node)
+  // until fixpoint: later write-merges can change residuals.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t idx : actions) {
+      const Action& a = program.action(idx);
+      if (a.writes().empty()) continue;
+      const std::size_t wroot = uf.find(a.writes()[0].index());
+      std::size_t first_residual = static_cast<std::size_t>(-1);
+      for (VarId rd : a.reads()) {
+        const std::size_t r = uf.find(rd.index());
+        if (r == wroot) continue;
+        if (first_residual == static_cast<std::size_t>(-1)) {
+          first_residual = r;
+        } else if (r != first_residual) {
+          uf.unite(r, first_residual);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Number the nodes: only variables touched by some action get a node.
+  std::vector<bool> used(program.num_variables(), false);
+  for (std::size_t idx : actions) {
+    for (VarId v : touched(program.action(idx))) used[v.index()] = true;
+  }
+  std::vector<int> var_node(program.num_variables(), -1);
+  std::vector<int> root_node(program.num_variables(), -1);
+  int num_nodes = 0;
+  for (std::uint32_t v = 0; v < program.num_variables(); ++v) {
+    if (!used[v]) continue;
+    const std::size_t root = uf.find(v);
+    if (root_node[root] == -1) root_node[root] = num_nodes++;
+    var_node[v] = root_node[root];
+  }
+  return finish_build(program, actions, std::move(var_node), num_nodes);
+}
+
+ConstraintGraphResult infer_constraint_graph(const Program& program) {
+  return infer_constraint_graph(
+      program, program.actions_of_kind(ActionKind::kConvergence));
+}
+
+}  // namespace nonmask

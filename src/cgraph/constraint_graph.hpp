@@ -1,0 +1,66 @@
+// Constraint graphs (Section 4).
+//
+// A constraint graph of a set q of convergence actions is a directed graph
+// with one edge per action, where
+//   (i)  nodes are labeled with mutually exclusive variable sets, and
+//   (ii) the edge of action ac runs v -> w with writes(ac) ⊆ label(w) and
+//        reads(ac) ⊆ label(v) ∪ label(w).
+// Because constraints and convergence actions are in bijection, the edge of
+// an action is also "the edge of its constraint".
+//
+// Construction modes:
+//   - explicit: the designer declares the node partition (the paper's
+//     usage), and we verify conditions (i)/(ii);
+//   - inferred: union-find merges each action's write set into one node and
+//     each action's residual read set into one node, yielding the finest
+//     partition our rules can justify. Inference can be coarser than a
+//     hand-chosen partition but never unsound.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+#include "graphlib/digraph.hpp"
+
+namespace nonmask {
+
+struct ConstraintGraph {
+  /// node -> the variables labeling it.
+  std::vector<std::vector<VarId>> node_vars;
+  /// VarId index -> node (or -1 when the variable appears in no action).
+  std::vector<int> var_node;
+  /// The graph; edge payload = action index into the program.
+  Digraph graph;
+  /// The convergence action indices, in edge order (edge i <-> actions[i]).
+  std::vector<std::size_t> actions;
+
+  int node_of(VarId v) const { return var_node.at(v.index()); }
+
+  /// Pretty node label like "{x, y}".
+  std::string describe_node(const Program& p, int node) const;
+};
+
+struct ConstraintGraphResult {
+  bool ok = false;
+  ConstraintGraph graph;
+  std::string error;
+};
+
+/// Build a constraint graph for the given convergence actions with an
+/// explicit node partition (list of variable groups; groups must be
+/// disjoint and cover every variable read or written by the actions).
+ConstraintGraphResult build_constraint_graph(
+    const Program& program, const std::vector<std::size_t>& actions,
+    const std::vector<std::vector<VarId>>& partition);
+
+/// Infer a node partition from the actions' declared read/write sets and
+/// build the graph. Fails only when an action writes no variables.
+ConstraintGraphResult infer_constraint_graph(
+    const Program& program, const std::vector<std::size_t>& actions);
+
+/// Convenience: all convergence actions of the program.
+ConstraintGraphResult infer_constraint_graph(const Program& program);
+
+}  // namespace nonmask

@@ -1,0 +1,142 @@
+#include "cgraph/refine.hpp"
+
+#include <algorithm>
+
+#include "checker/preserves.hpp"
+#include "graphlib/analysis.hpp"
+#include "util/rng.hpp"
+
+namespace nonmask {
+
+namespace {
+
+/// Does `test` hold at every state (exhaustive over opts.space, else
+/// sampled)?
+template <typename TestFn>
+bool holds_universally(const Design& design, TestFn test,
+                       const ValidationOptions& opts) {
+  if (opts.space != nullptr) {
+    State s(design.program.num_variables());
+    for (std::uint64_t code = 0; code < opts.space->size(); ++code) {
+      opts.space->decode_into(code, s);
+      if (!test(s)) return false;
+    }
+    return true;
+  }
+  Rng rng(opts.seed);
+  for (std::uint64_t i = 0; i < opts.samples; ++i) {
+    const State s = design.program.random_state(rng);
+    if (!test(s)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RestrictedGraph restrict_constraint_graph(const Design& design,
+                                          const ConstraintGraph& cg,
+                                          const PredicateFn& R,
+                                          const ValidationOptions& opts) {
+  RestrictedGraph out;
+  out.graph.node_vars = cg.node_vars;
+  out.graph.var_node = cg.var_node;
+  out.graph.graph.resize(cg.graph.num_nodes());
+  for (int n = 0; n < cg.graph.num_nodes(); ++n) {
+    out.graph.graph.set_node_label(n, cg.graph.node_label(n));
+  }
+
+  const PredicateFn T = design.fault_span;
+  for (int e = 0; e < cg.graph.num_edges(); ++e) {
+    const auto& edge = cg.graph.edge(e);
+    const auto idx = static_cast<std::size_t>(edge.payload);
+    const int cid = design.program.action(idx).constraint_id();
+    bool always_holds = false;
+    if (cid >= 0 && static_cast<std::size_t>(cid) < design.invariant.size()) {
+      const PredicateFn c = design.invariant.at(
+          static_cast<std::size_t>(cid)).fn;
+      always_holds = holds_universally(
+          design,
+          [&R, &T, &c](const State& s) { return !(R(s) && T(s)) || c(s); },
+          opts);
+    }
+    if (always_holds) {
+      out.dropped.push_back(idx);
+    } else {
+      out.graph.graph.add_edge(edge.from, edge.to, edge.payload);
+      out.graph.actions.push_back(idx);
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<std::vector<std::size_t>>> suggest_layers(
+    const Design& design, const ValidationOptions& opts) {
+  const auto conv =
+      design.program.actions_of_kind(ActionKind::kConvergence);
+  const std::size_t k = conv.size();
+  if (k == 0) return std::nullopt;
+
+  PreservesOptions po;
+  po.space = opts.space;
+  po.samples = opts.samples;
+  po.seed = opts.seed;
+  po.context = design.fault_span;
+
+  // breaks[i][j]: action conv[i] can violate conv[j]'s constraint.
+  std::vector<std::vector<bool>> breaks(k, std::vector<bool>(k, false));
+  for (std::size_t i = 0; i < k; ++i) {
+    const Action& a = design.program.action(conv[i]);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (i == j) continue;
+      const int cid = design.program.action(conv[j]).constraint_id();
+      if (cid < 0 ||
+          static_cast<std::size_t>(cid) >= design.invariant.size()) {
+        return std::nullopt;  // unbound action: no layering derivable
+      }
+      const auto& c = design.invariant.at(static_cast<std::size_t>(cid));
+      breaks[i][j] =
+          !check_preserves(design.program, a, c.fn, po).preserves;
+    }
+  }
+
+  // SCC condensation of the breaks digraph (edge i -> j when i breaks j,
+  // i.e. layer(i) <= layer(j)); components in topological order are the
+  // layers.
+  Digraph g(static_cast<int>(k));
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (breaks[i][j]) g.add_edge(static_cast<int>(i), static_cast<int>(j));
+    }
+  }
+  const auto scc = tarjan_scc(g);
+
+  // Within one component, mutual breaking across *different* target nodes
+  // cannot be fixed by per-node linear orders: no layering exists here.
+  const auto cg = infer_constraint_graph(design.program, conv);
+  if (!cg.ok) return std::nullopt;
+  auto target_node = [&](std::size_t i) {
+    return cg.graph.node_of(design.program.action(conv[i]).writes().front());
+  };
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (i == j) continue;
+      if (scc.component[i] == scc.component[j] && breaks[i][j] &&
+          target_node(i) != target_node(j)) {
+        return std::nullopt;
+      }
+    }
+  }
+
+  // Tarjan emits components in reverse topological order of the
+  // condensation; reversing gives sources (breakers) first = lowest layers.
+  std::vector<std::vector<std::size_t>> layers(
+      static_cast<std::size_t>(scc.num_components));
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto comp = static_cast<std::size_t>(
+        scc.num_components - 1 - scc.component[i]);
+    layers[comp].push_back(conv[i]);
+  }
+  return layers;
+}
+
+}  // namespace nonmask

@@ -1,0 +1,96 @@
+// Mechanical validators for the paper's Theorems 1-3.
+//
+// Each theorem is a bundle of sufficient conditions ("antecedents") for the
+// convergence of a design's convergence actions. We discharge every
+// antecedent mechanically:
+//   - "action a preserves constraint c [whenever H holds]" obligations run
+//     through checker/preserves (exhaustive over a StateSpace, or sampled);
+//   - graph-shape antecedents run through cgraph/classify;
+//   - linear-order antecedents are solved by topological sorting of the
+//     "must-precede" relation (x must precede y whenever x does not
+//     preserve y's constraint).
+// A passing report carries the certificate (node ranks, per-node linear
+// orders, layer structure) that the paper's proofs would use.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cgraph/classify.hpp"
+#include "cgraph/constraint_graph.hpp"
+#include "checker/preserves.hpp"
+#include "core/candidate.hpp"
+
+namespace nonmask {
+
+struct Obligation {
+  std::string description;
+  bool passed = false;
+  bool exhaustive = false;
+  std::uint64_t checked = 0;
+  std::optional<State> counterexample;
+};
+
+struct TheoremReport {
+  std::string theorem;
+  bool applies = false;
+  std::string failure;  ///< first failing antecedent (empty when applies)
+  std::vector<Obligation> obligations;
+  GraphShape shape = GraphShape::kCyclic;  ///< observed shape (thms 1-2)
+
+  /// Certificates.
+  std::vector<int> ranks;  ///< constraint-graph node ranks (thms 1-2)
+  /// Per-node linear order of in-edge convergence actions (thm 2 / thm 3).
+  std::vector<std::vector<std::size_t>> node_orders;
+};
+
+struct ValidationOptions {
+  /// Exhaustive obligation checking when set; sampled otherwise.
+  const StateSpace* space = nullptr;
+  std::uint64_t samples = 20'000;
+  std::uint64_t seed = 0x5eedULL;
+  /// Also discharge the design obligations of the method itself: closure
+  /// actions preserve T, convergence actions preserve T.
+  bool check_fault_span_preserved = true;
+  /// Also discharge the convergence-action *form* obligations of Section 3
+  /// (¬c -> "establish c while preserving T"): each convergence action's
+  /// guard implies its constraint is violated, and executing the action
+  /// establishes the constraint. The paper's *combined* programs (e.g. the
+  /// diffusing propagate-or-correct action) deliberately break the first
+  /// half — the theorems are applied to the separated designs before
+  /// combining — so validating a combined program correctly fails here.
+  bool check_convergence_action_form = true;
+};
+
+/// Theorem 1 (Section 5): closure actions preserve each constraint; the
+/// constraint graph is an out-tree.
+TheoremReport validate_theorem1(const Design& design,
+                                const ConstraintGraph& cg,
+                                const ValidationOptions& opts = {});
+
+/// Theorem 2 (Section 6): closure actions preserve each constraint; the
+/// constraint graph is self-looping; in-edge actions at each node admit a
+/// linear order where each preserves its predecessors' constraints.
+TheoremReport validate_theorem2(const Design& design,
+                                const ConstraintGraph& cg,
+                                const ValidationOptions& opts = {});
+
+/// Theorem 3 (Section 7): convergence actions are partitioned into layers
+/// 0..M-1 (given as lists of action indices into design.program); each
+/// layer's antecedents are discharged under the hypothesis that all lower
+/// layers' constraints hold.
+TheoremReport validate_theorem3(
+    const Design& design, const std::vector<std::vector<std::size_t>>& layers,
+    const ValidationOptions& opts = {});
+
+/// Try Theorem 1, then Theorem 2, on the design's inferred constraint
+/// graph; returns the first report that applies, else the Theorem 2 report
+/// (whose failure explains what layering would have to fix).
+TheoremReport validate_design(const Design& design,
+                              const ValidationOptions& opts = {});
+
+/// Human-readable rendering of a report.
+std::string format_report(const TheoremReport& report);
+
+}  // namespace nonmask

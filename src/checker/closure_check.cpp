@@ -1,0 +1,41 @@
+#include "checker/closure_check.hpp"
+
+namespace nonmask {
+
+ClosureReport check_closed(const StateSpace& space,
+                           const PredicateFn& predicate,
+                           const std::vector<std::size_t>& actions) {
+  const Program& p = space.program();
+  ClosureReport report;
+  State s(p.num_variables());
+  for (std::uint64_t code = 0; code < space.size(); ++code) {
+    space.decode_into(code, s);
+    if (!predicate(s)) continue;
+    ++report.states_checked;
+    for (std::size_t idx : actions) {
+      const Action& a = p.action(idx);
+      if (!a.enabled(s)) continue;
+      ++report.transitions_checked;
+      State next = a.apply(s);
+      if (!predicate(next)) {
+        report.closed = false;
+        report.violation = ClosureViolation{s, idx, std::move(next)};
+        return report;
+      }
+    }
+  }
+  report.closed = true;
+  return report;
+}
+
+ClosureReport check_closed(const StateSpace& space,
+                           const PredicateFn& predicate) {
+  const Program& p = space.program();
+  std::vector<std::size_t> actions;
+  for (std::size_t i = 0; i < p.num_actions(); ++i) {
+    if (p.action(i).kind() != ActionKind::kFault) actions.push_back(i);
+  }
+  return check_closed(space, predicate, actions);
+}
+
+}  // namespace nonmask

@@ -1,0 +1,373 @@
+#include "checker/convergence_check.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "checker/closure_check.hpp"
+#include "core/candidate.hpp"
+
+namespace nonmask {
+
+const char* to_string(ConvergenceVerdict v) noexcept {
+  switch (v) {
+    case ConvergenceVerdict::kConverges: return "converges";
+    case ConvergenceVerdict::kViolated: return "violated";
+    case ConvergenceVerdict::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::uint8_t kFlagS = 1;
+constexpr std::uint8_t kFlagT = 2;
+
+/// Pass 1: evaluate S and T at every state; count them.
+std::vector<std::uint8_t> evaluate_flags(const StateSpace& space,
+                                         const PredicateFn& S,
+                                         const PredicateFn& T,
+                                         ConvergenceReport& report) {
+  const Program& p = space.program();
+  std::vector<std::uint8_t> flags(space.size(), 0);
+  State s(p.num_variables());
+  for (std::uint64_t code = 0; code < space.size(); ++code) {
+    space.decode_into(code, s);
+    std::uint8_t f = 0;
+    const bool in_T = T(s);
+    if (in_T) f |= kFlagT;
+    if (S(s)) {
+      f |= kFlagS;
+      if (in_T) ++report.states_in_S;
+    }
+    if (in_T) ++report.states_in_T;
+    flags[code] = f;
+  }
+  return flags;
+}
+
+std::vector<std::size_t> non_fault_actions(const Program& p) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < p.num_actions(); ++i) {
+    if (p.action(i).kind() != ActionKind::kFault) out.push_back(i);
+  }
+  return out;
+}
+
+/// Enumerate the distinct successor codes of `code`; returns false and sets
+/// report.deadlock when no action is enabled.
+bool successors_of(const StateSpace& space,
+                   const std::vector<std::size_t>& actions,
+                   std::uint64_t code, State& scratch,
+                   std::vector<std::uint64_t>& out) {
+  const Program& p = space.program();
+  out.clear();
+  space.decode_into(code, scratch);
+  bool any_enabled = false;
+  for (std::size_t idx : actions) {
+    const Action& a = p.action(idx);
+    if (!a.enabled(scratch)) continue;
+    any_enabled = true;
+    out.push_back(space.encode(a.apply(scratch)));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return any_enabled;
+}
+
+struct DfsFrame {
+  std::uint64_t code;
+  std::vector<std::uint64_t> succs;
+  std::size_t next = 0;
+};
+
+}  // namespace
+
+ConvergenceReport check_convergence(const StateSpace& space,
+                                    const PredicateFn& S,
+                                    const PredicateFn& T) {
+  const Program& p = space.program();
+  ConvergenceReport report;
+  const auto flags = evaluate_flags(space, S, T, report);
+  const auto actions = non_fault_actions(p);
+
+  // Colors over the ¬S region: 0 = unvisited, 1 = on DFS stack, 2 = done.
+  std::vector<std::uint8_t> color(space.size(), 0);
+  std::vector<std::uint32_t> dist(space.size(), 0);
+  // Position of each on-stack code within `path` (for cycle extraction).
+  std::vector<std::int64_t> stack_pos(space.size(), -1);
+
+  State scratch(p.num_variables());
+  std::vector<DfsFrame> frames;
+  std::vector<std::uint64_t> path;
+
+  for (std::uint64_t start = 0; start < space.size(); ++start) {
+    if ((flags[start] & kFlagT) == 0) continue;  // computations start in T
+    if ((flags[start] & kFlagS) != 0) continue;  // already in S
+    if (color[start] != 0) continue;
+
+    frames.clear();
+    path.clear();
+
+    auto push_node = [&](std::uint64_t code) -> bool {
+      DfsFrame frame;
+      frame.code = code;
+      const bool any = successors_of(space, actions, code, scratch,
+                                     frame.succs);
+      report.transitions += frame.succs.size();
+      ++report.region_states;
+      if (!any) {
+        report.verdict = ConvergenceVerdict::kViolated;
+        report.deadlock = space.decode(code);
+        return false;
+      }
+      color[code] = 1;
+      stack_pos[code] = static_cast<std::int64_t>(path.size());
+      path.push_back(code);
+      frames.push_back(std::move(frame));
+      return true;
+    };
+
+    if (!push_node(start)) return report;
+
+    while (!frames.empty()) {
+      DfsFrame& frame = frames.back();
+      if (frame.next < frame.succs.size()) {
+        const std::uint64_t succ = frame.succs[frame.next++];
+        if ((flags[succ] & kFlagS) != 0) {
+          dist[frame.code] = std::max(dist[frame.code], 1u);
+          continue;
+        }
+        if (color[succ] == 0) {
+          if (!push_node(succ)) return report;
+        } else if (color[succ] == 1) {
+          // Cycle: extract path[stack_pos[succ] ..] as the counterexample.
+          std::vector<State> cycle;
+          for (std::size_t i = static_cast<std::size_t>(stack_pos[succ]);
+               i < path.size(); ++i) {
+            cycle.push_back(space.decode(path[i]));
+          }
+          report.verdict = ConvergenceVerdict::kViolated;
+          report.cycle = std::move(cycle);
+          return report;
+        } else {
+          dist[frame.code] =
+              std::max(dist[frame.code], dist[succ] + 1);
+        }
+      } else {
+        color[frame.code] = 2;
+        stack_pos[frame.code] = -1;
+        path.pop_back();
+        const std::uint32_t d = dist[frame.code];
+        report.max_steps_to_S =
+            std::max<std::uint64_t>(report.max_steps_to_S, d);
+        const std::uint64_t done = frame.code;
+        frames.pop_back();
+        if (!frames.empty()) {
+          dist[frames.back().code] =
+              std::max(dist[frames.back().code], dist[done] + 1);
+        }
+      }
+    }
+  }
+
+  report.verdict = ConvergenceVerdict::kConverges;
+  return report;
+}
+
+ConvergenceReport check_convergence_weakly_fair(const StateSpace& space,
+                                                const PredicateFn& S,
+                                                const PredicateFn& T) {
+  const Program& p = space.program();
+  ConvergenceReport report;
+  const auto flags = evaluate_flags(space, S, T, report);
+  const auto actions = non_fault_actions(p);
+
+  // Iterative Tarjan over the implicit ¬S region reachable from T ∧ ¬S.
+  constexpr std::int32_t kUnvisited = -1;
+  std::vector<std::int32_t> index(space.size(), kUnvisited);
+  std::vector<std::int32_t> lowlink(space.size(), 0);
+  std::vector<std::uint8_t> on_stack(space.size(), 0);
+  std::vector<std::int32_t> component(space.size(), -1);
+  std::vector<std::uint64_t> tarjan_stack;
+  std::int32_t next_index = 0;
+  std::int32_t num_components = 0;
+  std::vector<std::vector<std::uint64_t>> members;  // per-component states
+
+  State scratch(p.num_variables());
+  std::vector<DfsFrame> frames;
+
+  auto in_region = [&](std::uint64_t code) {
+    return (flags[code] & kFlagS) == 0;
+  };
+
+  for (std::uint64_t start = 0; start < space.size(); ++start) {
+    if ((flags[start] & kFlagT) == 0 || !in_region(start)) continue;
+    if (index[start] != kUnvisited) continue;
+
+    frames.clear();
+    auto push_node = [&](std::uint64_t code) -> bool {
+      DfsFrame frame;
+      frame.code = code;
+      const bool any = successors_of(space, actions, code, scratch,
+                                     frame.succs);
+      report.transitions += frame.succs.size();
+      ++report.region_states;
+      if (!any) {
+        report.verdict = ConvergenceVerdict::kViolated;
+        report.deadlock = space.decode(code);
+        return false;
+      }
+      index[code] = next_index;
+      lowlink[code] = next_index;
+      ++next_index;
+      tarjan_stack.push_back(code);
+      on_stack[code] = 1;
+      frames.push_back(std::move(frame));
+      return true;
+    };
+
+    if (!push_node(start)) return report;
+
+    while (!frames.empty()) {
+      DfsFrame& frame = frames.back();
+      if (frame.next < frame.succs.size()) {
+        const std::uint64_t succ = frame.succs[frame.next++];
+        if (!in_region(succ)) continue;  // exits to S
+        if (index[succ] == kUnvisited) {
+          if (!push_node(succ)) return report;
+        } else if (on_stack[succ] != 0) {
+          lowlink[frame.code] = std::min(lowlink[frame.code], index[succ]);
+        }
+      } else {
+        const std::uint64_t v = frame.code;
+        if (lowlink[v] == index[v]) {
+          members.emplace_back();
+          while (true) {
+            const std::uint64_t w = tarjan_stack.back();
+            tarjan_stack.pop_back();
+            on_stack[w] = 0;
+            component[w] = num_components;
+            members.back().push_back(w);
+            if (w == v) break;
+          }
+          ++num_components;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().code] =
+              std::min(lowlink[frames.back().code], lowlink[v]);
+        }
+      }
+    }
+  }
+
+  // Analyze each SCC of the region.
+  bool all_escape = true;
+  std::vector<std::uint64_t> succs;
+  for (const auto& scc : members) {
+    // Does the SCC contain an internal transition (size > 1, or self-loop)?
+    bool nontrivial = scc.size() > 1;
+    if (!nontrivial) {
+      const std::uint64_t code = scc.front();
+      space.decode_into(code, scratch);
+      for (std::size_t idx : actions) {
+        const Action& a = p.action(idx);
+        if (a.enabled(scratch) && space.encode(a.apply(scratch)) == code) {
+          nontrivial = true;
+          break;
+        }
+      }
+    }
+    if (!nontrivial) continue;
+
+    // Fair-escape: some action enabled at every SCC state whose firing
+    // always exits the SCC.
+    bool escapable = false;
+    for (std::size_t idx : actions) {
+      const Action& a = p.action(idx);
+      bool candidate = true;
+      for (std::uint64_t code : scc) {
+        space.decode_into(code, scratch);
+        if (!a.enabled(scratch)) {
+          candidate = false;
+          break;
+        }
+        const std::uint64_t succ = space.encode(a.apply(scratch));
+        if (in_region(succ) && component[succ] == component[code]) {
+          candidate = false;
+          break;
+        }
+      }
+      if (candidate) {
+        escapable = true;
+        break;
+      }
+    }
+
+    if (!escapable) {
+      // Exact violation when every enabled action at every SCC state stays
+      // inside the SCC: even fair computations can loop forever.
+      bool closed_scc = true;
+      for (std::uint64_t code : scc) {
+        space.decode_into(code, scratch);
+        for (std::size_t idx : actions) {
+          const Action& a = p.action(idx);
+          if (!a.enabled(scratch)) continue;
+          const std::uint64_t succ = space.encode(a.apply(scratch));
+          if (!in_region(succ) || component[succ] != component[code]) {
+            closed_scc = false;
+            break;
+          }
+        }
+        if (!closed_scc) break;
+      }
+      if (closed_scc) {
+        std::vector<State> cycle;
+        for (std::uint64_t code : scc) cycle.push_back(space.decode(code));
+        report.verdict = ConvergenceVerdict::kViolated;
+        report.cycle = std::move(cycle);
+        return report;
+      }
+      all_escape = false;
+    }
+  }
+
+  report.verdict = all_escape ? ConvergenceVerdict::kConverges
+                              : ConvergenceVerdict::kUnknown;
+  return report;
+}
+
+ToleranceReport verify_tolerance(const StateSpace& space,
+                                 const Design& design) {
+  ToleranceReport report;
+  report.S_closed = check_closed(space, design.S()).closed;
+  report.T_closed = check_closed(space, design.T()).closed;
+  report.convergence = check_convergence(space, design.S(), design.T());
+  return report;
+}
+
+const char* to_string(ToleranceClass c) noexcept {
+  switch (c) {
+    case ToleranceClass::kMasking: return "masking";
+    case ToleranceClass::kNonmasking: return "nonmasking";
+    case ToleranceClass::kNotTolerant: return "not tolerant";
+  }
+  return "?";
+}
+
+ToleranceClass classify_tolerance(const StateSpace& space,
+                                  const Design& design) {
+  const auto report = verify_tolerance(space, design);
+  if (!report.tolerant()) return ToleranceClass::kNotTolerant;
+  // S = T?
+  const auto S = design.S();
+  const auto T = design.T();
+  State s(space.program().num_variables());
+  for (std::uint64_t code = 0; code < space.size(); ++code) {
+    space.decode_into(code, s);
+    if (S(s) != T(s)) return ToleranceClass::kNonmasking;
+  }
+  return ToleranceClass::kMasking;
+}
+
+}  // namespace nonmask

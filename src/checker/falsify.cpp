@@ -1,0 +1,74 @@
+#include "checker/falsify.hpp"
+
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace nonmask {
+
+FalsifyResult falsify_convergence(const Design& design,
+                                  const FalsifyOptions& opts) {
+  const Program& p = design.program;
+  const PredicateFn S = design.S();
+  const PredicateFn T = design.T();
+  FalsifyResult result;
+  Rng rng(opts.seed);
+
+  for (std::uint64_t walk = 0; walk < opts.walks; ++walk) {
+    ++result.walks_run;
+    State s = opts.make_start ? opts.make_start(p, rng) : p.random_state(rng);
+    if (!T(s)) continue;  // computations start inside the fault-span
+
+    // Visited states since the last S-state, in visit order, for cycle
+    // extraction. Keyed by hash; collisions resolved by comparing states.
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> index;
+    std::vector<State> path;
+
+    for (std::uint64_t step = 0; step < opts.max_walk_length; ++step) {
+      ++result.steps_taken;
+      if (S(s)) break;  // this walk converged; try another
+
+      // Revisit check: a repeated ¬S state closes a cycle outside S.
+      const std::uint64_t h = s.hash();
+      auto it = index.find(h);
+      if (it != index.end()) {
+        for (std::size_t pos : it->second) {
+          if (path[pos] == s) {
+            result.violated = true;
+            result.cycle.emplace(path.begin() + static_cast<long>(pos),
+                                 path.end());
+            return result;
+          }
+        }
+      }
+      index[h].push_back(path.size());
+      path.push_back(s);
+
+      const auto enabled = p.enabled_actions(s);
+      if (enabled.empty()) {
+        result.violated = true;
+        result.deadlock = s;
+        return result;
+      }
+
+      // Pick the next action: adversarially biased or uniform.
+      std::size_t choice = enabled[rng.below(enabled.size())];
+      if (rng.chance(opts.adversarial_bias) &&
+          design.invariant.size() != 0) {
+        std::size_t best_score = 0;
+        for (std::size_t idx : enabled) {
+          const std::size_t score =
+              design.invariant.violation_count(p.action(idx).apply(s));
+          if (score >= best_score) {
+            best_score = score;
+            choice = idx;
+          }
+        }
+      }
+      s = p.action(choice).apply(s);
+    }
+  }
+  return result;
+}
+
+}  // namespace nonmask

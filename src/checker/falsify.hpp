@@ -1,0 +1,53 @@
+// Monte-Carlo convergence falsification for large state spaces.
+//
+// The exhaustive checker is exact but bounded (~tens of millions of
+// states). Beyond that, random walks still yield *sound* violation
+// certificates: if a walk from a T-state revisits a state without having
+// passed through S, the walk contains a cycle lying entirely outside S —
+// an unfair daemon can traverse it forever, so convergence is violated.
+// Similarly, reaching a ¬S state with no enabled action certifies a
+// deadlock violation. Finding nothing proves nothing (the method is a
+// falsifier, not a verifier) — that is exactly the exhaustive checker's
+// complement.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/candidate.hpp"
+#include "core/predicate.hpp"
+#include "core/program.hpp"
+#include "util/rng.hpp"
+
+namespace nonmask {
+
+struct FalsifyOptions {
+  std::uint64_t walks = 200;
+  std::uint64_t max_walk_length = 10'000;
+  std::uint64_t seed = 0xfa15ULL;
+  /// Fraction of steps where the walk greedily maximizes constraint
+  /// violations (adversarial bias); the rest are uniform.
+  double adversarial_bias = 0.5;
+  /// Start-state generator (e.g. "apply this fault class to an S state");
+  /// defaults to uniformly random in-domain states. States outside T are
+  /// skipped.
+  std::function<State(const Program&, Rng&)> make_start;
+};
+
+struct FalsifyResult {
+  bool violated = false;
+  /// A cycle of ¬S states (first == last omitted), when found.
+  std::optional<std::vector<State>> cycle;
+  /// A ¬S state with no enabled action, when found.
+  std::optional<State> deadlock;
+  std::uint64_t walks_run = 0;
+  std::uint64_t steps_taken = 0;
+};
+
+/// Hunt for convergence violations of `design` (from random T-states).
+FalsifyResult falsify_convergence(const Design& design,
+                                  const FalsifyOptions& opts = {});
+
+}  // namespace nonmask

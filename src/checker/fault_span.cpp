@@ -1,0 +1,98 @@
+#include "checker/fault_span.hpp"
+
+#include <deque>
+
+#include "checker/convergence_check.hpp"
+#include "core/candidate.hpp"
+
+namespace nonmask {
+
+PredicateFn StateSet::as_predicate() const {
+  auto members = std::make_shared<std::vector<std::uint8_t>>(members_);
+  const StateSpace* space = space_;
+  return [members, space](const State& s) {
+    return (*members)[space->encode(s)] != 0;
+  };
+}
+
+StateSet compute_reachable(const StateSpace& space, const PredicateFn& start,
+                           const std::vector<std::size_t>& actions,
+                           const FaultSpanOptions& opts) {
+  const Program& p = space.program();
+  StateSet set(space);
+  const std::uint64_t cap =
+      opts.max_states == 0 ? space.size() : opts.max_states;
+
+  std::deque<std::uint64_t> frontier;
+  State s(p.num_variables());
+  for (std::uint64_t code = 0; code < space.size(); ++code) {
+    space.decode_into(code, s);
+    if (start(s)) {
+      set.insert_code(code);
+      frontier.push_back(code);
+    }
+  }
+
+  while (!frontier.empty() && set.size() < cap) {
+    const std::uint64_t code = frontier.front();
+    frontier.pop_front();
+    space.decode_into(code, s);
+    for (std::size_t idx : actions) {
+      const Action& a = p.action(idx);
+      const bool fire =
+          a.kind() == ActionKind::kFault && !opts.respect_fault_guards
+              ? true
+              : a.enabled(s);
+      if (!fire) continue;
+      const std::uint64_t succ = space.encode(a.apply(s));
+      if (!set.contains_code(succ)) {
+        set.insert_code(succ);
+        frontier.push_back(succ);
+      }
+    }
+  }
+  return set;
+}
+
+StateSet compute_fault_span(const StateSpace& space, const PredicateFn& S,
+                            const std::vector<std::size_t>& fault_actions,
+                            const FaultSpanOptions& opts) {
+  const Program& p = space.program();
+  std::vector<std::size_t> actions;
+  for (std::size_t i = 0; i < p.num_actions(); ++i) {
+    if (p.action(i).kind() != ActionKind::kFault) actions.push_back(i);
+  }
+  actions.insert(actions.end(), fault_actions.begin(), fault_actions.end());
+  return compute_reachable(space, S, actions, opts);
+}
+
+FaultClassReport verify_against_fault_class(
+    const StateSpace& space, const Design& design,
+    const std::vector<std::size_t>& fault_actions, bool weakly_fair) {
+  FaultClassReport report;
+  const PredicateFn S = design.S();
+  const PredicateFn T = design.fault_span;
+  const auto span = compute_fault_span(space, S, fault_actions);
+  report.induced_span_size = span.size();
+
+  report.span_within_declared_T = true;
+  State s(space.program().num_variables());
+  for (std::uint64_t code = 0; code < space.size(); ++code) {
+    if (!span.contains_code(code)) continue;
+    space.decode_into(code, s);
+    if (!T(s)) {
+      report.span_within_declared_T = false;
+      break;
+    }
+  }
+
+  const PredicateFn span_pred = span.as_predicate();
+  const auto conv = weakly_fair
+                        ? check_convergence_weakly_fair(space, S, span_pred)
+                        : check_convergence(space, S, span_pred);
+  report.converges_from_span =
+      conv.verdict == ConvergenceVerdict::kConverges;
+  return report;
+}
+
+}  // namespace nonmask

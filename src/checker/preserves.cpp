@@ -1,0 +1,51 @@
+#include "checker/preserves.hpp"
+
+#include "util/rng.hpp"
+
+namespace nonmask {
+
+namespace {
+
+bool check_one(const Action& action, const PredicateFn& predicate,
+               const PredicateFn& context, const State& s,
+               PreservesReport& report) {
+  if (context && !context(s)) return true;
+  if (!predicate(s) || !action.enabled(s)) return true;
+  ++report.checked;
+  if (!predicate(action.apply(s))) {
+    report.preserves = false;
+    report.counterexample = s;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PreservesReport check_preserves(const Program& program, const Action& action,
+                                const PredicateFn& predicate,
+                                const PreservesOptions& opts) {
+  PreservesReport report;
+  report.preserves = true;
+  if (opts.space != nullptr) {
+    report.exhaustive = true;
+    State s(program.num_variables());
+    for (std::uint64_t code = 0; code < opts.space->size(); ++code) {
+      opts.space->decode_into(code, s);
+      if (!check_one(action, predicate, opts.context, s, report)) {
+        return report;
+      }
+    }
+    return report;
+  }
+  Rng rng(opts.seed);
+  for (std::uint64_t i = 0; i < opts.samples; ++i) {
+    const State s = program.random_state(rng);
+    if (!check_one(action, predicate, opts.context, s, report)) {
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace nonmask

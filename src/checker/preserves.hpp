@@ -1,0 +1,44 @@
+// "Action a preserves predicate R" (Section 2): starting from any state
+// where a is enabled and R holds, executing a yields a state where R holds.
+//
+// This is the workhorse of the theorem validators (Sections 5-7): each
+// antecedent of Theorems 1-3 is a set of preserves-obligations. Obligations
+// are discharged exhaustively when a StateSpace is supplied and by seeded
+// random sampling otherwise; reports record which mode ran.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "checker/state_space.hpp"
+#include "core/action.hpp"
+#include "core/predicate.hpp"
+#include "core/program.hpp"
+
+namespace nonmask {
+
+struct PreservesOptions {
+  /// When non-null, check every state exhaustively; otherwise sample.
+  const StateSpace* space = nullptr;
+  /// Number of random states when sampling.
+  std::uint64_t samples = 100'000;
+  std::uint64_t seed = 0x5eedULL;
+  /// Additional hypothesis: only states where context holds are considered
+  /// (e.g. Theorem 3's "whenever all constraints in lower layers hold").
+  PredicateFn context;
+};
+
+struct PreservesReport {
+  bool preserves = false;
+  bool exhaustive = false;     ///< true when the full space was enumerated
+  std::uint64_t checked = 0;   ///< states satisfying the hypothesis
+  std::optional<State> counterexample;
+};
+
+/// Check that `action` preserves `predicate` in `program`, under the
+/// optional context hypothesis.
+PreservesReport check_preserves(const Program& program, const Action& action,
+                                const PredicateFn& predicate,
+                                const PreservesOptions& opts = {});
+
+}  // namespace nonmask

@@ -1,0 +1,63 @@
+#include "checker/stair.hpp"
+
+#include "checker/closure_check.hpp"
+
+namespace nonmask {
+
+StairReport check_stair(const StateSpace& space, const PredicateFn& T,
+                        const std::vector<StatePredicate>& steps) {
+  StairReport report;
+  if (steps.empty()) {
+    report.failure = "stair has no steps";
+    return report;
+  }
+
+  // Subset chain: step[i] implies step[i-1] (and step[0] implies T).
+  {
+    State s(space.program().num_variables());
+    for (std::uint64_t code = 0; code < space.size(); ++code) {
+      space.decode_into(code, s);
+      if (steps[0].fn(s) && !T(s)) {
+        report.failure = "step '" + steps[0].name + "' is not inside T";
+        return report;
+      }
+      for (std::size_t i = 1; i < steps.size(); ++i) {
+        if (steps[i].fn(s) && !steps[i - 1].fn(s)) {
+          report.failure = "step '" + steps[i].name +
+                           "' is not inside step '" + steps[i - 1].name + "'";
+          return report;
+        }
+      }
+    }
+  }
+
+  if (!check_closed(space, T).closed) {
+    report.failure = "T is not closed";
+    return report;
+  }
+
+  PredicateFn from = T;
+  for (const auto& step : steps) {
+    StairStepReport sr;
+    sr.name = step.name;
+    sr.closed = check_closed(space, step.fn).closed;
+    if (!sr.closed) {
+      report.failure = "step '" + step.name + "' is not closed";
+      report.steps.push_back(std::move(sr));
+      return report;
+    }
+    sr.convergence = check_convergence(space, step.fn, from);
+    if (sr.convergence.verdict != ConvergenceVerdict::kConverges) {
+      report.failure = "stage into '" + step.name + "' does not converge";
+      report.steps.push_back(std::move(sr));
+      return report;
+    }
+    report.total_worst_case += sr.convergence.max_steps_to_S;
+    from = step.fn;
+    report.steps.push_back(std::move(sr));
+  }
+  report.valid = true;
+  return report;
+}
+
+}  // namespace nonmask

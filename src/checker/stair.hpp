@@ -1,0 +1,40 @@
+// Convergence stairs (Section 7, third possibility; Gouda & Multari).
+//
+// When the constraint graph over all of T is cyclic, convergence may still
+// be provable in stages: a closed predicate R with S ⊆ R ⊆ T such that
+// every computation from T reaches R, and every computation from R reaches
+// S. This module checks an arbitrary-height stair T = R0 ⊇ R1 ⊇ ... ⊇ Rk=S
+// exactly: each step predicate must be closed, and each stage must
+// converge.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "checker/convergence_check.hpp"
+#include "checker/state_space.hpp"
+#include "core/predicate.hpp"
+
+namespace nonmask {
+
+struct StairStepReport {
+  std::string name;
+  bool closed = false;
+  ConvergenceReport convergence;  ///< from the previous step into this one
+};
+
+struct StairReport {
+  bool valid = false;         ///< all steps closed, all stages converge
+  std::string failure;        ///< first failing step (empty when valid)
+  std::vector<StairStepReport> steps;
+  /// Sum of the per-stage worst cases: an upper bound on total steps to S.
+  std::uint64_t total_worst_case = 0;
+};
+
+/// Check the stair T ⊇ steps[0] ⊇ steps[1] ⊇ ... (the last step plays the
+/// role of S). Also verifies the subset chain (each step implies the
+/// previous) and that T itself is closed.
+StairReport check_stair(const StateSpace& space, const PredicateFn& T,
+                        const std::vector<StatePredicate>& steps);
+
+}  // namespace nonmask

@@ -1,0 +1,49 @@
+#include "checker/state_space.hpp"
+
+namespace nonmask {
+
+StateSpace::StateSpace(const Program& program, std::uint64_t budget)
+    : program_(&program) {
+  const auto count = program.state_count();
+  if (!count || *count > budget) {
+    throw StateSpaceTooLarge(count.value_or(~std::uint64_t{0}), budget);
+  }
+  size_ = *count;
+  stride_.resize(program.num_variables());
+  std::uint64_t stride = 1;
+  for (std::uint32_t i = 0; i < program.num_variables(); ++i) {
+    stride_[i] = stride;
+    stride *= program.variable(VarId(i)).domain_size();
+  }
+}
+
+State StateSpace::decode(std::uint64_t code) const {
+  State s(program_->num_variables());
+  decode_into(code, s);
+  return s;
+}
+
+void StateSpace::decode_into(std::uint64_t code, State& s) const {
+  for (std::uint32_t i = 0; i < program_->num_variables(); ++i) {
+    const auto& spec = program_->variable(VarId(i));
+    const std::uint64_t digit = (code / stride_[i]) % spec.domain_size();
+    s.set(VarId(i), static_cast<Value>(spec.lo + static_cast<Value>(digit)));
+  }
+}
+
+std::uint64_t StateSpace::encode(const State& s) const {
+  std::uint64_t code = 0;
+  for (std::uint32_t i = 0; i < program_->num_variables(); ++i) {
+    const auto& spec = program_->variable(VarId(i));
+    code += stride_[i] *
+            static_cast<std::uint64_t>(s.get(VarId(i)) - spec.lo);
+  }
+  return code;
+}
+
+bool fits_in_budget(const Program& program, std::uint64_t budget) {
+  const auto count = program.state_count();
+  return count && *count <= budget;
+}
+
+}  // namespace nonmask

@@ -1,0 +1,103 @@
+#include "checker/synchronous.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace nonmask {
+
+namespace {
+
+/// The synchronous successor: every process fires its lowest-indexed
+/// enabled action; all reads see the pre-state; declared writes merge.
+/// Returns false when nothing is enabled.
+bool synchronous_step(const Program& p, const State& s, State& out) {
+  std::unordered_map<int, std::size_t> per_process;
+  std::vector<std::size_t> chosen;
+  for (std::size_t i = 0; i < p.num_actions(); ++i) {
+    const Action& a = p.action(i);
+    if (a.kind() == ActionKind::kFault || !a.enabled(s)) continue;
+    if (a.process() < 0) {
+      chosen.push_back(i);
+    } else if (per_process.find(a.process()) == per_process.end()) {
+      per_process.emplace(a.process(), i);
+    }
+  }
+  for (const auto& [proc, idx] : per_process) {
+    (void)proc;
+    chosen.push_back(idx);
+  }
+  if (chosen.empty()) return false;
+  out = s;
+  for (std::size_t idx : chosen) {
+    const Action& a = p.action(idx);
+    State local = a.apply(s);
+    for (VarId w : a.writes()) out.set(w, local.get(w));
+  }
+  return true;
+}
+
+}  // namespace
+
+SynchronousReport check_convergence_synchronous(const StateSpace& space,
+                                                const PredicateFn& S,
+                                                const PredicateFn& T) {
+  const Program& p = space.program();
+  SynchronousReport report;
+
+  // status: 0 unknown, 1 on current trajectory, 2 proven convergent.
+  std::vector<std::uint8_t> status(space.size(), 0);
+  std::vector<std::uint32_t> dist(space.size(), 0);
+  State s(p.num_variables());
+  State next(p.num_variables());
+
+  for (std::uint64_t start = 0; start < space.size(); ++start) {
+    space.decode_into(start, s);
+    if (!T(s) || S(s)) continue;
+    if (status[start] == 2) continue;
+
+    // Follow the unique trajectory until S, a known-convergent state, a
+    // deadlock, or a revisit (cycle).
+    std::vector<std::uint64_t> trajectory;
+    std::uint64_t code = start;
+    while (true) {
+      if (status[code] == 1) {
+        // Cycle within the current trajectory.
+        auto at = std::find(trajectory.begin(), trajectory.end(), code);
+        std::vector<State> cycle;
+        for (auto it = at; it != trajectory.end(); ++it) {
+          cycle.push_back(space.decode(*it));
+        }
+        report.cycle = std::move(cycle);
+        return report;
+      }
+      if (status[code] == 2) break;  // joins a convergent trajectory
+      space.decode_into(code, s);
+      if (S(s)) {
+        dist[code] = 0;
+        status[code] = 2;
+        break;
+      }
+      if (!synchronous_step(p, s, next)) {
+        report.deadlock = s;
+        return report;
+      }
+      status[code] = 1;
+      trajectory.push_back(code);
+      code = space.encode(next);
+    }
+
+    // Unwind: distances increase walking back from the convergence point.
+    std::uint32_t d = dist[code];
+    for (auto it = trajectory.rbegin(); it != trajectory.rend(); ++it) {
+      ++d;
+      dist[*it] = d;
+      status[*it] = 2;
+      report.max_steps_to_S =
+          std::max<std::uint64_t>(report.max_steps_to_S, d);
+    }
+  }
+  report.converges = true;
+  return report;
+}
+
+}  // namespace nonmask

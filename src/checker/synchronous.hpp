@@ -1,0 +1,35 @@
+// Exact convergence checking under the synchronous daemon.
+//
+// Synchronous execution fires, at every step, the lowest-indexed enabled
+// action of every process simultaneously (read-from-old-state, merged
+// writes — the engine's SynchronousDaemon semantics). The system is then a
+// *function* on states, so convergence is decidable by following each
+// state's unique trajectory with cycle detection — far cheaper than the
+// interleaving analysis, and a genuinely different question: protocols
+// proven stabilizing under the central daemon may livelock synchronously
+// (symmetry is never broken) and vice versa.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "checker/state_space.hpp"
+#include "core/predicate.hpp"
+
+namespace nonmask {
+
+struct SynchronousReport {
+  bool converges = false;
+  /// A synchronous livelock: the cycle of states an execution settles in.
+  std::optional<std::vector<State>> cycle;
+  /// A ¬S state with no enabled action.
+  std::optional<State> deadlock;
+  /// Worst number of synchronous steps to reach S (when converging).
+  std::uint64_t max_steps_to_S = 0;
+};
+
+SynchronousReport check_convergence_synchronous(const StateSpace& space,
+                                                const PredicateFn& S,
+                                                const PredicateFn& T);
+
+}  // namespace nonmask

@@ -1,0 +1,47 @@
+// Variant functions.
+//
+// Section 8: the standard proof of progress exhibits a variant function
+// into a well-founded order that never increases and eventually decreases
+// until S holds. When the ¬S region of the transition graph is acyclic, the
+// *longest path to S* is the canonical such function; we extract it
+// explicitly so tests can assert that the paper's constraint-graph ranks
+// really do bound convergence.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "checker/state_space.hpp"
+#include "core/predicate.hpp"
+
+namespace nonmask {
+
+class VariantFunction {
+ public:
+  VariantFunction(const StateSpace& space, std::vector<std::uint32_t> dist)
+      : space_(&space), dist_(std::move(dist)) {}
+
+  /// Value at a state: 0 on S states, otherwise the longest number of steps
+  /// an (unfair) computation can take before reaching S.
+  std::uint32_t operator()(const State& s) const {
+    return dist_[space_->encode(s)];
+  }
+
+  std::uint32_t max_value() const noexcept;
+
+  const std::vector<std::uint32_t>& raw() const noexcept { return dist_; }
+
+ private:
+  const StateSpace* space_;
+  std::vector<std::uint32_t> dist_;
+};
+
+/// Compute the longest-path-to-S variant over the whole space (all ¬S
+/// states, not only those reachable from T). Returns nullopt when the ¬S
+/// region contains a cycle or a ¬S deadlock (no variant function exists for
+/// the unfair daemon).
+std::optional<VariantFunction> compute_variant(const StateSpace& space,
+                                               const PredicateFn& S);
+
+}  // namespace nonmask

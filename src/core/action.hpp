@@ -1,0 +1,98 @@
+// Guarded-command actions.
+//
+// Section 2: each action has the form  <guard> -> <statement>. We additionally
+// record the action's *kind* (closure / convergence / fault, per the paper's
+// Section 3 design method) and its declared read and write variable sets,
+// which are the raw material of constraint graphs (Section 4). The engine can
+// verify, by executing on a copy, that a statement writes only its declared
+// variables.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/state.hpp"
+#include "core/variable.hpp"
+
+namespace nonmask {
+
+/// Guard: boolean expression over program variables.
+using GuardFn = std::function<bool(const State&)>;
+
+/// Statement: terminating update of zero or more program variables,
+/// performed in place.
+using StatementFn = std::function<void(State&)>;
+
+/// The role an action plays in the paper's design method.
+enum class ActionKind {
+  kClosure,      ///< performs the intended computation; preserves S and T
+  kConvergence,  ///< re-establishes a violated constraint; preserves T
+  kFault,        ///< models a fault as a state-changing action (Section 3)
+};
+
+const char* to_string(ActionKind kind) noexcept;
+
+/// A guarded action with declared read/write sets.
+class Action {
+ public:
+  Action() = default;
+  Action(std::string name, ActionKind kind, GuardFn guard,
+         StatementFn statement, std::vector<VarId> reads,
+         std::vector<VarId> writes, int process = -1)
+      : name_(std::move(name)),
+        kind_(kind),
+        guard_(std::move(guard)),
+        statement_(std::move(statement)),
+        reads_(std::move(reads)),
+        writes_(std::move(writes)),
+        process_(process) {}
+
+  const std::string& name() const noexcept { return name_; }
+  ActionKind kind() const noexcept { return kind_; }
+  int process() const noexcept { return process_; }
+
+  /// Index of the invariant constraint this convergence action establishes,
+  /// or -1 when not applicable. Set by ProgramBuilder / protocol designers.
+  int constraint_id() const noexcept { return constraint_id_; }
+  void set_constraint_id(int id) noexcept { constraint_id_ = id; }
+
+  const std::vector<VarId>& reads() const noexcept { return reads_; }
+  const std::vector<VarId>& writes() const noexcept { return writes_; }
+
+  bool enabled(const State& s) const { return guard_(s); }
+
+  /// The guard itself (copyable — used by predicates derived from guards,
+  /// e.g. "exactly one machine privileged").
+  const GuardFn& guard() const noexcept { return guard_; }
+
+  /// Execute the statement in place. Precondition: enabled(s) — not checked
+  /// here because fault actions are applied regardless of guards by the
+  /// injector, and the checker manages guards itself.
+  void execute(State& s) const { statement_(s); }
+
+  /// Execute on a copy and return the successor state.
+  State apply(const State& s) const {
+    State next = s;
+    statement_(next);
+    return next;
+  }
+
+  /// Verify the write-set contract at one state: executing the statement
+  /// must change no variable outside writes(). Returns the ids of variables
+  /// illegally modified (empty = contract honored at s).
+  std::vector<VarId> contract_violations(const State& s) const;
+
+ private:
+  std::string name_;
+  ActionKind kind_ = ActionKind::kClosure;
+  GuardFn guard_;
+  StatementFn statement_;
+  std::vector<VarId> reads_;
+  std::vector<VarId> writes_;
+  int process_ = -1;
+  int constraint_id_ = -1;
+};
+
+}  // namespace nonmask

@@ -1,0 +1,2 @@
+// ProgramBuilder is header-only; this translation unit anchors the library.
+#include "core/builder.hpp"

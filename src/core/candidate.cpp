@@ -1,0 +1,41 @@
+#include "core/candidate.hpp"
+
+namespace nonmask {
+
+PredicateFn CandidateTriple::S() const {
+  if (S_override) return S_override;
+  return p_and(invariant.as_predicate(), fault_span);
+}
+
+Design CandidateTriple::augmented(std::vector<Action> convergence_actions) const {
+  Design d;
+  d.name = program.name();
+  d.program = program;
+  d.invariant = invariant;
+  d.fault_span = fault_span;
+  d.S_override = S_override;
+  for (auto& a : convergence_actions) {
+    d.program.add_action(std::move(a));
+  }
+  return d;
+}
+
+PredicateFn Design::S() const {
+  if (S_override) return S_override;
+  return p_and(invariant.as_predicate(), fault_span);
+}
+
+CandidateTriple Design::candidate() const {
+  CandidateTriple t;
+  t.program = Program(program.name());
+  for (const auto& v : program.variables()) t.program.add_variable(v);
+  for (const auto& a : program.actions()) {
+    if (a.kind() == ActionKind::kClosure) t.program.add_action(a);
+  }
+  t.invariant = invariant;
+  t.fault_span = fault_span;
+  t.S_override = S_override;
+  return t;
+}
+
+}  // namespace nonmask

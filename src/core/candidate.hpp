@@ -1,0 +1,67 @@
+// Candidate triples and completed designs.
+//
+// Section 3's design problem: given a candidate triple (p, S, T) where p
+// consists solely of closure actions that preserve S and T, design
+// convergence actions {ca.1..ca.n} so the augmented program is T-tolerant
+// for S. CandidateTriple is the input; Design is the output — the augmented
+// program together with its invariant and fault-span, which the checker and
+// the theorem validators consume.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/predicate.hpp"
+#include "core/program.hpp"
+
+namespace nonmask {
+
+/// The candidate triple (p, S, T). `program` holds the closure actions
+/// (fault actions may also be attached for experimentation); `invariant`
+/// holds the constraints whose conjunction with `fault_span` equals S.
+struct CandidateTriple {
+  Program program;
+  Invariant invariant;
+  PredicateFn fault_span = true_predicate();
+
+  /// Optional explicit S. By default S = (conjunction of constraints) /\ T,
+  /// per Section 3 ("their conjunction together with T equals S"). Some
+  /// designs — the paper's own token ring (Section 7.1) — converge via
+  /// constraints *stronger* than S (x.j = x.(j+1) rather than the second
+  /// conjunct of S); such designs set S explicitly.
+  PredicateFn S_override;
+
+  /// S as a single predicate: S_override if set, else all constraints /\ T.
+  PredicateFn S() const;
+  /// T as a predicate.
+  PredicateFn T() const { return fault_span; }
+
+  /// Augment the candidate program with convergence actions, yielding a
+  /// complete design.
+  struct Design augmented(std::vector<Action> convergence_actions) const;
+};
+
+/// A completed design: the augmented program p ∪ q plus its invariant and
+/// fault-span. All protocols in src/protocols/ produce a Design.
+struct Design {
+  std::string name;
+  Program program;  ///< closure + convergence (+ optional fault) actions
+  Invariant invariant;
+  PredicateFn fault_span = true_predicate();
+  /// See CandidateTriple::S_override.
+  PredicateFn S_override;
+
+  PredicateFn S() const;
+  PredicateFn T() const { return fault_span; }
+
+  /// The candidate triple this design augments (closure actions only).
+  CandidateTriple candidate() const;
+
+  /// True iff the design claims self-stabilization (T == true). Purely
+  /// informational; set by protocol constructors.
+  bool stabilizing = true;
+};
+
+}  // namespace nonmask

@@ -1,0 +1,73 @@
+#include "core/describe.hpp"
+
+#include <sstream>
+
+namespace nonmask {
+
+namespace {
+
+std::string var_list(const Program& p, const std::vector<VarId>& vars) {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << p.variable(vars[i]).name;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace
+
+std::string describe_program(const Program& program) {
+  std::ostringstream out;
+  out << "program " << program.name() << "\n";
+  out << "  variables (" << program.num_variables() << "):\n";
+  for (std::uint32_t i = 0; i < program.num_variables(); ++i) {
+    const auto& v = program.variable(VarId(i));
+    out << "    " << v.name << " : [" << v.lo << ", " << v.hi << "]";
+    if (v.process != VariableSpec::kNoProcess) {
+      out << " @p" << v.process;
+    }
+    out << "\n";
+  }
+  const auto count = program.state_count();
+  if (count) {
+    out << "  state space: " << *count << " states\n";
+  } else {
+    out << "  state space: > 2^63 states\n";
+  }
+  out << "  actions (" << program.num_actions() << "):\n";
+  for (std::size_t i = 0; i < program.num_actions(); ++i) {
+    const auto& a = program.action(i);
+    out << "    [" << to_string(a.kind()) << "] " << a.name();
+    if (a.process() >= 0) out << " @p" << a.process();
+    out << "  reads " << var_list(program, a.reads()) << " writes "
+        << var_list(program, a.writes());
+    if (a.constraint_id() >= 0) {
+      out << "  establishes #" << a.constraint_id();
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string describe_design(const Design& design) {
+  std::ostringstream out;
+  out << describe_program(design.program);
+  out << "  constraints (" << design.invariant.size() << "):\n";
+  for (std::size_t i = 0; i < design.invariant.size(); ++i) {
+    const auto& c = design.invariant.at(i);
+    out << "    #" << i << " " << c.name << "  over "
+        << var_list(design.program, c.support) << "\n";
+  }
+  out << "  S: "
+      << (design.S_override ? "explicit predicate"
+                            : "conjunction of constraints /\\ T")
+      << "\n";
+  out << "  T: " << (design.stabilizing ? "true (stabilizing)" : "restricted")
+      << "\n";
+  return out.str();
+}
+
+}  // namespace nonmask

@@ -1,0 +1,21 @@
+// Human-readable introspection of programs and designs: variable and
+// action tables with derived read/write sets, constraint listings, and
+// design summaries. Complements Digraph::to_dot (constraint graphs) and
+// format_report (theorem verdicts) for the tooling surface.
+#pragma once
+
+#include <string>
+
+#include "core/candidate.hpp"
+#include "core/program.hpp"
+
+namespace nonmask {
+
+/// Variables (name, domain, process) and actions (kind, process,
+/// reads/writes, constraint binding), one per line.
+std::string describe_program(const Program& program);
+
+/// describe_program plus the invariant's constraints and S/T notes.
+std::string describe_design(const Design& design);
+
+}  // namespace nonmask

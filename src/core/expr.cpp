@@ -1,0 +1,215 @@
+#include "core/expr.hpp"
+
+#include <algorithm>
+
+namespace nonmask::dsl {
+
+namespace {
+
+std::vector<VarId> merge(const std::vector<VarId>& a,
+                         const std::vector<VarId>& b) {
+  std::vector<VarId> out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+template <typename Op>
+Expr binary_expr(Expr a, Expr b, Op op) {
+  auto reads = merge(a.reads(), b.reads());
+  return Expr(
+      [fa = a.fn(), fb = b.fn(), op](const State& s) {
+        return op(fa(s), fb(s));
+      },
+      std::move(reads));
+}
+
+template <typename Op>
+Guard compare(Expr a, Expr b, Op op) {
+  auto reads = merge(a.reads(), b.reads());
+  return Guard(
+      [fa = a.fn(), fb = b.fn(), op](const State& s) {
+        return op(fa(s), fb(s));
+      },
+      std::move(reads));
+}
+
+}  // namespace
+
+Expr v(VarId id) {
+  return Expr([id](const State& s) { return s.get(id); }, {id});
+}
+
+Expr lit(Value value) {
+  return Expr([value](const State&) { return value; }, {});
+}
+
+Expr operator+(Expr a, Expr b) {
+  return binary_expr(std::move(a), std::move(b),
+                     [](Value x, Value y) { return x + y; });
+}
+Expr operator-(Expr a, Expr b) {
+  return binary_expr(std::move(a), std::move(b),
+                     [](Value x, Value y) { return x - y; });
+}
+Expr operator*(Expr a, Expr b) {
+  return binary_expr(std::move(a), std::move(b),
+                     [](Value x, Value y) { return x * y; });
+}
+Expr operator%(Expr a, Expr b) {
+  return binary_expr(std::move(a), std::move(b), [](Value x, Value y) {
+    const Value m = x % y;
+    return (m < 0) == (y < 0) || m == 0 ? m : m + y;
+  });
+}
+Expr min(Expr a, Expr b) {
+  return binary_expr(std::move(a), std::move(b),
+                     [](Value x, Value y) { return std::min(x, y); });
+}
+Expr max(Expr a, Expr b) {
+  return binary_expr(std::move(a), std::move(b),
+                     [](Value x, Value y) { return std::max(x, y); });
+}
+
+Expr ite(Guard cond, Expr then_e, Expr else_e) {
+  auto reads = merge(cond.reads(), merge(then_e.reads(), else_e.reads()));
+  return Expr(
+      [fc = cond.fn(), ft = then_e.fn(), fe = else_e.fn()](const State& s) {
+        return fc(s) ? ft(s) : fe(s);
+      },
+      std::move(reads));
+}
+
+Guard operator==(Expr a, Expr b) {
+  return compare(std::move(a), std::move(b),
+                 [](Value x, Value y) { return x == y; });
+}
+Guard operator!=(Expr a, Expr b) {
+  return compare(std::move(a), std::move(b),
+                 [](Value x, Value y) { return x != y; });
+}
+Guard operator<(Expr a, Expr b) {
+  return compare(std::move(a), std::move(b),
+                 [](Value x, Value y) { return x < y; });
+}
+Guard operator<=(Expr a, Expr b) {
+  return compare(std::move(a), std::move(b),
+                 [](Value x, Value y) { return x <= y; });
+}
+Guard operator>(Expr a, Expr b) {
+  return compare(std::move(a), std::move(b),
+                 [](Value x, Value y) { return x > y; });
+}
+Guard operator>=(Expr a, Expr b) {
+  return compare(std::move(a), std::move(b),
+                 [](Value x, Value y) { return x >= y; });
+}
+
+Guard operator&&(Guard a, Guard b) {
+  auto reads = merge(a.reads(), b.reads());
+  return Guard(
+      [fa = a.fn(), fb = b.fn()](const State& s) { return fa(s) && fb(s); },
+      std::move(reads));
+}
+Guard operator||(Guard a, Guard b) {
+  auto reads = merge(a.reads(), b.reads());
+  return Guard(
+      [fa = a.fn(), fb = b.fn()](const State& s) { return fa(s) || fb(s); },
+      std::move(reads));
+}
+Guard operator!(Guard a) {
+  auto reads = a.reads();
+  return Guard([fa = a.fn()](const State& s) { return !fa(s); },
+               std::move(reads));
+}
+
+Guard all_of(std::vector<Guard> gs) {
+  std::vector<VarId> reads;
+  std::vector<GuardFn> fns;
+  for (auto& g : gs) {
+    reads = merge(reads, g.reads());
+    fns.push_back(g.fn());
+  }
+  return Guard(
+      [fns = std::move(fns)](const State& s) {
+        for (const auto& f : fns) {
+          if (!f(s)) return false;
+        }
+        return true;
+      },
+      std::move(reads));
+}
+
+Guard any_of(std::vector<Guard> gs) {
+  std::vector<VarId> reads;
+  std::vector<GuardFn> fns;
+  for (auto& g : gs) {
+    reads = merge(reads, g.reads());
+    fns.push_back(g.fn());
+  }
+  return Guard(
+      [fns = std::move(fns)](const State& s) {
+        for (const auto& f : fns) {
+          if (f(s)) return true;
+        }
+        return false;
+      },
+      std::move(reads));
+}
+
+Stmt assign(VarId target, Expr value) {
+  auto reads = value.reads();
+  return Stmt(
+      [target, fv = value.fn()](State& s) { s.set(target, fv(s)); },
+      std::move(reads), {target});
+}
+
+Stmt multi(std::vector<Stmt> assignments) {
+  std::vector<VarId> reads, writes;
+  for (const auto& st : assignments) {
+    reads = merge(reads, st.reads());
+    writes = merge(writes, st.writes());
+  }
+  // Simultaneous semantics: evaluate each assignment against the
+  // pre-state, then merge declared writes.
+  std::vector<StatementFn> fns;
+  std::vector<std::vector<VarId>> write_sets;
+  for (const auto& st : assignments) {
+    fns.push_back(st.fn());
+    write_sets.push_back(st.writes());
+  }
+  return Stmt(
+      [fns = std::move(fns), write_sets = std::move(write_sets)](State& s) {
+        const State pre = s;
+        for (std::size_t i = 0; i < fns.size(); ++i) {
+          State local = pre;
+          fns[i](local);
+          for (VarId w : write_sets[i]) s.set(w, local.get(w));
+        }
+      },
+      std::move(reads), std::move(writes));
+}
+
+std::size_t add_action(ProgramBuilder& b, std::string name, ActionKind kind,
+                       const Guard& guard, const Stmt& stmt,
+                       int constraint_id, int process) {
+  const std::vector<VarId> reads = merge(guard.reads(), stmt.reads());
+  switch (kind) {
+    case ActionKind::kClosure:
+      b.closure(std::move(name), guard.fn(), stmt.fn(), reads, stmt.writes(),
+                process);
+      break;
+    case ActionKind::kConvergence:
+      b.convergence(std::move(name), guard.fn(), stmt.fn(), reads,
+                    stmt.writes(), constraint_id, process);
+      break;
+    case ActionKind::kFault:
+      b.fault(std::move(name), guard.fn(), stmt.fn(), reads, stmt.writes(),
+              process);
+      break;
+  }
+  return b.peek().num_actions() - 1;
+}
+
+}  // namespace nonmask::dsl

@@ -1,0 +1,141 @@
+// A small expression DSL over program variables.
+//
+// Protocol actions written with raw lambdas must repeat variable captures
+// and can silently disagree with their declared read/write sets. The DSL
+// builds guards and statements from composable expression objects that
+// *track the variables they touch*, so read/write sets are derived rather
+// than hand-maintained:
+//
+//   using namespace nonmask::dsl;
+//   auto x = v(x_id), y = v(y_id);         // variable references
+//   Guard g = (x + 1 == y) || (x > lit(3));
+//   b.closure("step", g.fn(), assign(y, x + 1).fn(), g.reads(),
+//             assign(y, x + 1).writes(), ...);
+//
+// or, one level higher, ProgramBuilder-compatible helpers:
+//
+//   add_action(b, "step", ActionKind::kClosure, g, assign(y, x + 1));
+//
+// The DSL is deliberately small: integer expressions, comparisons, boolean
+// connectives, and multi-assignment statements — exactly the shapes the
+// paper's guarded commands use.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/builder.hpp"
+#include "core/predicate.hpp"
+
+namespace nonmask::dsl {
+
+/// An integer expression: evaluate over a state; knows its read set.
+class Expr {
+ public:
+  using EvalFn = std::function<Value(const State&)>;
+
+  Expr(EvalFn fn, std::vector<VarId> reads)
+      : fn_(std::move(fn)), reads_(std::move(reads)) {}
+
+  Value eval(const State& s) const { return fn_(s); }
+  const std::vector<VarId>& reads() const noexcept { return reads_; }
+  const EvalFn& fn() const noexcept { return fn_; }
+
+ private:
+  EvalFn fn_;
+  std::vector<VarId> reads_;
+};
+
+/// A boolean expression: a guard; knows its read set.
+class Guard {
+ public:
+  Guard(GuardFn fn, std::vector<VarId> reads)
+      : fn_(std::move(fn)), reads_(std::move(reads)) {}
+
+  bool eval(const State& s) const { return fn_(s); }
+  const GuardFn& fn() const noexcept { return fn_; }
+  const std::vector<VarId>& reads() const noexcept { return reads_; }
+
+ private:
+  GuardFn fn_;
+  std::vector<VarId> reads_;
+};
+
+/// A statement: one or more assignments executed simultaneously
+/// (right-hand sides all read the pre-state); knows reads and writes.
+class Stmt {
+ public:
+  Stmt(StatementFn fn, std::vector<VarId> reads, std::vector<VarId> writes)
+      : fn_(std::move(fn)),
+        reads_(std::move(reads)),
+        writes_(std::move(writes)) {}
+
+  const StatementFn& fn() const noexcept { return fn_; }
+  const std::vector<VarId>& reads() const noexcept { return reads_; }
+  const std::vector<VarId>& writes() const noexcept { return writes_; }
+
+  /// Sequential composition with simultaneous-assignment semantics is not
+  /// offered on purpose; combine assignments via multi(), as the paper's
+  /// statements do ("c.j, sn.j := ...").
+
+ private:
+  StatementFn fn_;
+  std::vector<VarId> reads_;
+  std::vector<VarId> writes_;
+};
+
+// --- constructors -----------------------------------------------------------
+
+/// Reference a variable.
+Expr v(VarId id);
+/// An integer literal.
+Expr lit(Value value);
+
+// --- integer operators -------------------------------------------------------
+
+Expr operator+(Expr a, Expr b);
+Expr operator-(Expr a, Expr b);
+Expr operator*(Expr a, Expr b);
+/// Euclidean-style modulo (result in [0, b) for b > 0).
+Expr operator%(Expr a, Expr b);
+Expr min(Expr a, Expr b);
+Expr max(Expr a, Expr b);
+/// Conditional expression: cond ? then_e : else_e (state-dependent).
+Expr ite(Guard cond, Expr then_e, Expr else_e);
+
+// --- comparisons -------------------------------------------------------------
+
+Guard operator==(Expr a, Expr b);
+Guard operator!=(Expr a, Expr b);
+Guard operator<(Expr a, Expr b);
+Guard operator<=(Expr a, Expr b);
+Guard operator>(Expr a, Expr b);
+Guard operator>=(Expr a, Expr b);
+
+// --- boolean connectives -----------------------------------------------------
+
+Guard operator&&(Guard a, Guard b);
+Guard operator||(Guard a, Guard b);
+Guard operator!(Guard a);
+/// Conjunction over a list (true for the empty list).
+Guard all_of(std::vector<Guard> gs);
+/// Disjunction over a list (false for the empty list).
+Guard any_of(std::vector<Guard> gs);
+
+// --- statements --------------------------------------------------------------
+
+/// target := value.
+Stmt assign(VarId target, Expr value);
+/// Simultaneous multi-assignment: all right-hand sides read the pre-state.
+Stmt multi(std::vector<Stmt> assignments);
+
+// --- builder integration -----------------------------------------------------
+
+/// Add an action whose read/write sets are derived from the DSL objects.
+/// Returns the action index.
+std::size_t add_action(ProgramBuilder& b, std::string name, ActionKind kind,
+                       const Guard& guard, const Stmt& stmt,
+                       int constraint_id = -1, int process = -1);
+
+}  // namespace nonmask::dsl

@@ -1,0 +1,65 @@
+#include "core/predicate.hpp"
+
+namespace nonmask {
+
+PredicateFn true_predicate() {
+  return [](const State&) { return true; };
+}
+
+PredicateFn false_predicate() {
+  return [](const State&) { return false; };
+}
+
+PredicateFn p_and(PredicateFn a, PredicateFn b) {
+  return [a = std::move(a), b = std::move(b)](const State& s) {
+    return a(s) && b(s);
+  };
+}
+
+PredicateFn p_or(PredicateFn a, PredicateFn b) {
+  return [a = std::move(a), b = std::move(b)](const State& s) {
+    return a(s) || b(s);
+  };
+}
+
+PredicateFn p_not(PredicateFn a) {
+  return [a = std::move(a)](const State& s) { return !a(s); };
+}
+
+PredicateFn p_all(std::vector<PredicateFn> ps) {
+  return [ps = std::move(ps)](const State& s) {
+    for (const auto& p : ps) {
+      if (!p(s)) return false;
+    }
+    return true;
+  };
+}
+
+std::vector<std::size_t> Invariant::violated(const State& s) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    if (!constraints_[i].fn(s)) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t Invariant::violation_count(const State& s) const {
+  std::size_t n = 0;
+  for (const auto& c : constraints_) {
+    if (!c.fn(s)) ++n;
+  }
+  return n;
+}
+
+PredicateFn Invariant::as_predicate() const {
+  // Capture by value: the returned predicate must outlive the Invariant.
+  auto constraints = constraints_;
+  return [constraints = std::move(constraints)](const State& s) {
+    for (const auto& c : constraints) {
+      if (!c.fn(s)) return false;
+    }
+    return true;
+  };
+}
+
+}  // namespace nonmask

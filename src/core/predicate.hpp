@@ -1,0 +1,96 @@
+// State predicates, constraints, and invariants.
+//
+// Section 3 of the paper: the invariant S is partitioned into a set of
+// *constraints* that can each be independently checked and established by
+// some program action; the conjunction of the constraints together with the
+// fault-span T equals S. A Constraint here is a named predicate plus the
+// set of variables it reads (its "support"), which feeds constraint-graph
+// construction and reporting.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/state.hpp"
+#include "core/variable.hpp"
+
+namespace nonmask {
+
+/// A boolean expression over program variables.
+using PredicateFn = std::function<bool(const State&)>;
+
+/// The constant-true predicate (the fault-span of a stabilizing program).
+PredicateFn true_predicate();
+
+/// The constant-false predicate.
+PredicateFn false_predicate();
+
+/// Conjunction / disjunction / negation combinators.
+PredicateFn p_and(PredicateFn a, PredicateFn b);
+PredicateFn p_or(PredicateFn a, PredicateFn b);
+PredicateFn p_not(PredicateFn a);
+PredicateFn p_all(std::vector<PredicateFn> ps);
+
+/// A named state predicate.
+struct StatePredicate {
+  std::string name;
+  PredicateFn fn;
+
+  bool holds(const State& s) const { return fn(s); }
+};
+
+/// One constraint of the invariant: a named predicate plus the variables it
+/// reads. The support set is used when inferring constraint graphs and when
+/// reporting which constraints a fault violated.
+struct Constraint {
+  std::string name;
+  PredicateFn fn;
+  std::vector<VarId> support;
+
+  bool holds(const State& s) const { return fn(s); }
+};
+
+/// The invariant S, represented as the conjunction of its constraints.
+/// (Per the paper, S == conjunction of constraints /\ T; the fault-span T
+/// is carried separately by the CandidateTriple.)
+class Invariant {
+ public:
+  Invariant() = default;
+  explicit Invariant(std::vector<Constraint> constraints)
+      : constraints_(std::move(constraints)) {}
+
+  std::size_t add(Constraint c) {
+    constraints_.push_back(std::move(c));
+    return constraints_.size() - 1;
+  }
+
+  const std::vector<Constraint>& constraints() const noexcept {
+    return constraints_;
+  }
+  std::size_t size() const noexcept { return constraints_.size(); }
+  const Constraint& at(std::size_t i) const { return constraints_.at(i); }
+
+  /// True iff every constraint holds at s.
+  bool holds(const State& s) const {
+    for (const auto& c : constraints_) {
+      if (!c.fn(s)) return false;
+    }
+    return true;
+  }
+
+  /// Indices of the constraints violated at s.
+  std::vector<std::size_t> violated(const State& s) const;
+
+  /// Number of violated constraints at s (a natural coarse variant metric).
+  std::size_t violation_count(const State& s) const;
+
+  /// The invariant as a single predicate.
+  PredicateFn as_predicate() const;
+
+ private:
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace nonmask

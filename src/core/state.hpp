@@ -1,0 +1,61 @@
+// Program states.
+//
+// A state assigns a value to every variable of a program (Section 2). We
+// pack values into a flat vector indexed by VarId, giving value semantics,
+// O(1) reads/writes, cheap copies, and a fast hash for explicit-state model
+// checking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/variable.hpp"
+
+namespace nonmask {
+
+class State {
+ public:
+  State() = default;
+  explicit State(std::size_t num_vars) : values_(num_vars, 0) {}
+  explicit State(std::vector<Value> values) : values_(std::move(values)) {}
+
+  std::size_t size() const noexcept { return values_.size(); }
+
+  Value get(VarId id) const { return values_[id.index()]; }
+  void set(VarId id, Value v) { values_[id.index()] = v; }
+
+  Value operator[](VarId id) const { return values_[id.index()]; }
+  Value& operator[](VarId id) { return values_[id.index()]; }
+
+  const std::vector<Value>& values() const noexcept { return values_; }
+  std::vector<Value>& values() noexcept { return values_; }
+
+  friend bool operator==(const State& a, const State& b) noexcept {
+    return a.values_ == b.values_;
+  }
+  friend bool operator!=(const State& a, const State& b) noexcept {
+    return !(a == b);
+  }
+
+  /// FNV-1a hash over the packed values.
+  std::uint64_t hash() const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (Value v : values_) {
+      h ^= static_cast<std::uint32_t>(v);
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct StateHash {
+  std::size_t operator()(const State& s) const noexcept {
+    return static_cast<std::size_t>(s.hash());
+  }
+};
+
+}  // namespace nonmask

@@ -1,0 +1,88 @@
+// Program variables with finite integer domains.
+//
+// The paper's model (Section 2): a program is a finite set of variables,
+// each with a predefined nonempty domain. We represent every domain as a
+// contiguous integer interval [lo, hi]; booleans are {0,1} and enumerations
+// (e.g. the colors green/red of Section 5.1) are small integer codes. This
+// uniform representation is what makes exhaustive model checking, state
+// hashing, and fault injection possible with one mechanism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace nonmask {
+
+/// Strongly typed index of a variable within a Program.
+class VarId {
+ public:
+  constexpr VarId() noexcept : index_(kInvalid) {}
+  explicit constexpr VarId(std::uint32_t index) noexcept : index_(index) {}
+
+  constexpr std::uint32_t index() const noexcept { return index_; }
+  constexpr bool valid() const noexcept { return index_ != kInvalid; }
+
+  friend constexpr bool operator==(VarId a, VarId b) noexcept {
+    return a.index_ == b.index_;
+  }
+  friend constexpr bool operator!=(VarId a, VarId b) noexcept {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(VarId a, VarId b) noexcept {
+    return a.index_ < b.index_;
+  }
+
+ private:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t index_;
+};
+
+/// Value type of every variable.
+using Value = std::int32_t;
+
+/// Declaration of one variable: its name, its inclusive domain [lo, hi],
+/// and the process it belongs to (kNoProcess for shared/global variables).
+struct VariableSpec {
+  static constexpr int kNoProcess = -1;
+
+  std::string name;
+  Value lo = 0;
+  Value hi = 0;
+  int process = kNoProcess;
+
+  VariableSpec() = default;
+  VariableSpec(std::string name_, Value lo_, Value hi_,
+               int process_ = kNoProcess)
+      : name(std::move(name_)), lo(lo_), hi(hi_), process(process_) {
+    if (hi < lo) {
+      throw std::invalid_argument("VariableSpec '" + name +
+                                  "': empty domain (hi < lo)");
+    }
+  }
+
+  /// Number of values in the domain.
+  std::uint64_t domain_size() const noexcept {
+    return static_cast<std::uint64_t>(static_cast<std::int64_t>(hi) -
+                                      static_cast<std::int64_t>(lo) + 1);
+  }
+
+  bool contains(Value v) const noexcept { return lo <= v && v <= hi; }
+
+  /// Clamp an arbitrary value into the domain.
+  Value clamp(Value v) const noexcept {
+    return v < lo ? lo : (v > hi ? hi : v);
+  }
+};
+
+}  // namespace nonmask
+
+namespace std {
+template <>
+struct hash<nonmask::VarId> {
+  size_t operator()(nonmask::VarId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.index());
+  }
+};
+}  // namespace std

@@ -1,0 +1,49 @@
+#include "engine/experiment.hpp"
+
+#include <stdexcept>
+
+#include "sched/daemons.hpp"
+
+namespace nonmask {
+
+ConvergenceResults run_experiment(const Design& design,
+                                  const ConvergenceExperiment& config) {
+  ConvergenceResults results;
+  std::vector<double> steps, rounds, moves;
+  Rng master(config.seed);
+
+  std::size_t converged = 0;
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    const std::uint64_t trial_seed = master();
+    DaemonPtr daemon = config.make_daemon
+                           ? config.make_daemon(trial_seed)
+                           : DaemonPtr(new RandomDaemon(trial_seed));
+    Rng start_rng(master());
+    State start = config.make_start
+                      ? config.make_start(design.program, start_rng)
+                      : design.program.random_state(start_rng);
+
+    RunOptions opts;
+    opts.max_steps = config.max_steps;
+    if (config.make_perturb) {
+      opts.perturb = config.make_perturb(design.program);
+    }
+    const RunResult r = converge(design, std::move(start), *daemon, opts);
+    if (r.converged) {
+      ++converged;
+      steps.push_back(static_cast<double>(r.steps));
+      rounds.push_back(static_cast<double>(r.rounds));
+      moves.push_back(static_cast<double>(r.moves));
+    }
+  }
+  results.converged_fraction =
+      config.trials == 0
+          ? 0.0
+          : static_cast<double>(converged) / static_cast<double>(config.trials);
+  results.steps = summarize(std::move(steps));
+  results.rounds = summarize(std::move(rounds));
+  results.moves = summarize(std::move(moves));
+  return results;
+}
+
+}  // namespace nonmask

@@ -1,0 +1,42 @@
+// Convergence experiments: run many seeded trials of a design under a
+// daemon and summarize steps/rounds/moves distributions. This is the
+// measurement API behind the benches and EXPERIMENTS.md; exposing it lets
+// downstream users reproduce the same statistics for their own designs.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "core/candidate.hpp"
+#include "engine/metrics.hpp"
+#include "engine/simulator.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace nonmask {
+
+struct ConvergenceExperiment {
+  /// Fresh daemon per trial (so per-trial streams are independent).
+  std::function<DaemonPtr(std::uint64_t trial_seed)> make_daemon;
+  /// Start-state generator; defaults to a uniformly random in-domain state.
+  std::function<State(const Program&, Rng&)> make_start;
+  std::size_t trials = 100;
+  std::uint64_t seed = 1;
+  std::size_t max_steps = 1'000'000;
+  /// Optional per-trial perturbation hook factory (fault injection).
+  std::function<std::function<void(std::size_t, State&)>(const Program&)>
+      make_perturb;
+};
+
+struct ConvergenceResults {
+  double converged_fraction = 0.0;
+  SampleStats steps;   ///< over converged trials only
+  SampleStats rounds;  ///< over converged trials only
+  SampleStats moves;   ///< over converged trials only
+};
+
+/// Run the experiment against `design` (stop predicate: the design's S).
+ConvergenceResults run_experiment(const Design& design,
+                                  const ConvergenceExperiment& config);
+
+}  // namespace nonmask

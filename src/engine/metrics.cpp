@@ -1,0 +1,35 @@
+#include "engine/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nonmask {
+
+namespace {
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+SampleStats summarize(std::vector<double> samples) {
+  SampleStats stats;
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  stats.count = samples.size();
+  stats.min = samples.front();
+  stats.max = samples.back();
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  stats.mean = sum / static_cast<double>(samples.size());
+  stats.p50 = percentile(samples, 0.50);
+  stats.p95 = percentile(samples, 0.95);
+  stats.p99 = percentile(samples, 0.99);
+  return stats;
+}
+
+}  // namespace nonmask

@@ -1,0 +1,23 @@
+// Small statistics helpers for benches and experiments: mean, max,
+// percentiles over convergence-time samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nonmask {
+
+struct SampleStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Summary statistics of a sample vector (empty input -> zeroed stats).
+SampleStats summarize(std::vector<double> samples);
+
+}  // namespace nonmask

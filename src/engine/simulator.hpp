@@ -1,0 +1,84 @@
+// The simulation engine.
+//
+// Executes a program under a daemon per the paper's computation model
+// (Section 2): a maximal sequence of steps, each firing enabled actions
+// chosen by the daemon. Simultaneous firings (distributed / synchronous
+// daemons) use read-from-old-state semantics with declared-write merging.
+//
+// The engine measures both *steps* (daemon selections), *moves* (individual
+// action firings), and *asynchronous rounds* — the standard
+// self-stabilization time unit: a round ends once every action that was
+// enabled at the start of the round has either fired or been disabled.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+
+#include "core/candidate.hpp"
+#include "core/predicate.hpp"
+#include "core/program.hpp"
+#include "engine/trace.hpp"
+#include "sched/scheduler.hpp"
+
+namespace nonmask {
+
+struct RunOptions {
+  /// Upper bound on daemon selections before the run is declared divergent.
+  std::size_t max_steps = 1'000'000;
+
+  /// Stop as soon as this predicate holds (typically the design's S). When
+  /// empty, the run continues until deadlock or max_steps.
+  PredicateFn stop_when;
+
+  /// Record fired-action indices per step.
+  bool record_trace = false;
+  /// Record a state snapshot per step (implies record_trace bookkeeping).
+  bool record_snapshots = false;
+  /// Record the invariant-violation count per step (requires `invariant`).
+  const Invariant* track_violations = nullptr;
+
+  /// Verify every fired action's write-set contract (debug; slows runs).
+  bool check_contracts = false;
+
+  /// Called before each daemon selection; may mutate the state (used by
+  /// fault injectors). Receives the current step index.
+  std::function<void(std::size_t, State&)> perturb;
+};
+
+struct RunResult {
+  bool converged = false;   ///< stop_when held at some visited state
+  bool deadlocked = false;  ///< no action enabled before stop_when held
+  bool exhausted = false;   ///< hit max_steps
+  std::size_t steps = 0;    ///< daemon selections
+  std::size_t moves = 0;    ///< individual action firings
+  std::size_t rounds = 0;   ///< completed asynchronous rounds
+  State final_state;
+  Trace trace;
+};
+
+class Simulator {
+ public:
+  /// Both program and daemon are borrowed; they must outlive the Simulator.
+  Simulator(const Program& program, Daemon& daemon)
+      : program_(&program), daemon_(&daemon) {}
+
+  /// Run from `start` until stop_when / deadlock / max_steps.
+  ///
+  /// The daemon's internal state (RNG stream, round-robin cursor, fairness
+  /// bookkeeping) carries over between runs, so single-step loops remain
+  /// properly randomized / fair; call daemon.reset() explicitly to replay
+  /// a run.
+  RunResult run(State start, const RunOptions& opts = {});
+
+ private:
+  const Program* program_;
+  Daemon* daemon_;
+};
+
+/// Convenience: run `design.program` from `start` under `daemon` until the
+/// design's S holds; returns the result with convergence metrics.
+RunResult converge(const Design& design, State start, Daemon& daemon,
+                   RunOptions opts = {});
+
+}  // namespace nonmask

@@ -1,0 +1,43 @@
+#include "engine/trace.hpp"
+
+#include <sstream>
+
+namespace nonmask {
+
+void Trace::clear() {
+  steps_.clear();
+  snapshots_.clear();
+  violations_.clear();
+}
+
+void Trace::record_step(std::vector<std::size_t> fired) {
+  steps_.push_back(StepRecord{std::move(fired)});
+}
+
+void Trace::record_snapshot(const State& s) { snapshots_.push_back(s); }
+
+void Trace::record_violations(std::size_t count) {
+  violations_.push_back(count);
+}
+
+std::string Trace::format(const Program& p, std::size_t max_lines) const {
+  std::ostringstream out;
+  const std::size_t n = std::min(steps_.size(), max_lines);
+  for (std::size_t i = 0; i < n; ++i) {
+    out << i << ": ";
+    for (std::size_t k = 0; k < steps_[i].fired.size(); ++k) {
+      if (k != 0) out << " + ";
+      out << p.action(steps_[i].fired[k]).name();
+    }
+    if (i + 1 < snapshots_.size()) {
+      out << "  ->  " << p.format_state(snapshots_[i + 1]);
+    }
+    out << '\n';
+  }
+  if (steps_.size() > n) {
+    out << "... (" << (steps_.size() - n) << " more steps)\n";
+  }
+  return out.str();
+}
+
+}  // namespace nonmask

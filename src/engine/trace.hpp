@@ -1,0 +1,43 @@
+// Execution traces: which actions fired at each step, with optional state
+// snapshots and an invariant-violation timeline. Used by the examples for
+// live wave/privilege displays and by tests for diagnosing counterexamples.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+#include "core/state.hpp"
+
+namespace nonmask {
+
+struct StepRecord {
+  std::vector<std::size_t> fired;  ///< action indices fired this step
+};
+
+class Trace {
+ public:
+  void clear();
+  void record_step(std::vector<std::size_t> fired);
+  void record_snapshot(const State& s);
+  void record_violations(std::size_t count);
+
+  std::size_t num_steps() const noexcept { return steps_.size(); }
+  const std::vector<StepRecord>& steps() const noexcept { return steps_; }
+  const std::vector<State>& snapshots() const noexcept { return snapshots_; }
+  const std::vector<std::size_t>& violation_timeline() const noexcept {
+    return violations_;
+  }
+
+  /// Human-readable rendering: one line per step with the fired action
+  /// names and (when snapshots were recorded) the resulting state.
+  std::string format(const Program& p, std::size_t max_lines = 100) const;
+
+ private:
+  std::vector<StepRecord> steps_;
+  std::vector<State> snapshots_;
+  std::vector<std::size_t> violations_;
+};
+
+}  // namespace nonmask

@@ -1,0 +1,72 @@
+#include "faults/fault.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace nonmask {
+
+namespace {
+void corrupt_one(const Program& p, State& s, VarId id, Rng& rng) {
+  const auto& spec = p.variable(id);
+  s.set(id, static_cast<Value>(rng.range(spec.lo, spec.hi)));
+}
+}  // namespace
+
+void CorruptKVariables::strike(const Program& p, State& s, Rng& rng) {
+  const std::size_t n = p.num_variables();
+  const std::size_t k = std::min(k_, n);
+  std::unordered_set<std::uint32_t> picked;
+  while (picked.size() < k) {
+    picked.insert(static_cast<std::uint32_t>(rng.below(n)));
+  }
+  for (std::uint32_t i : picked) corrupt_one(p, s, VarId(i), rng);
+}
+
+void CorruptKProcesses::strike(const Program& p, State& s, Rng& rng) {
+  std::unordered_set<int> processes;
+  for (const auto& v : p.variables()) {
+    if (v.process != VariableSpec::kNoProcess) processes.insert(v.process);
+  }
+  if (processes.empty()) {
+    // No process structure: fall back to corrupting k variables.
+    CorruptKVariables(k_).strike(p, s, rng);
+    return;
+  }
+  std::vector<int> all(processes.begin(), processes.end());
+  const std::size_t k = std::min(k_, all.size());
+  // Partial Fisher-Yates over the process list.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + rng.below(all.size() - i);
+    std::swap(all[i], all[j]);
+  }
+  std::unordered_set<int> victims(all.begin(),
+                                  all.begin() + static_cast<long>(k));
+  for (std::uint32_t i = 0; i < p.num_variables(); ++i) {
+    if (victims.count(p.variable(VarId(i)).process) != 0) {
+      corrupt_one(p, s, VarId(i), rng);
+    }
+  }
+}
+
+void CorruptFraction::strike(const Program& p, State& s, Rng& rng) {
+  for (std::uint32_t i = 0; i < p.num_variables(); ++i) {
+    if (rng.chance(p_)) corrupt_one(p, s, VarId(i), rng);
+  }
+}
+
+TargetedCorruption::TargetedCorruption(std::vector<VarId> targets,
+                                       std::vector<Value> values)
+    : targets_(std::move(targets)), values_(std::move(values)) {
+  if (targets_.size() != values_.size()) {
+    throw std::invalid_argument("TargetedCorruption: size mismatch");
+  }
+}
+
+void TargetedCorruption::strike(const Program& p, State& s, Rng& rng) {
+  (void)rng;
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    s.set(targets_[i], p.variable(targets_[i]).clamp(values_[i]));
+  }
+}
+
+}  // namespace nonmask

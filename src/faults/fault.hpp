@@ -1,0 +1,76 @@
+// Fault models.
+//
+// Section 3 of the paper adopts the view that "all classes of faults can be
+// represented as actions that change the program state". A FaultModel is a
+// state transformer applied by an injector during simulation; every model
+// keeps values inside variable domains (the fault-span of a stabilizing
+// program is `true` over the domain product).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/program.hpp"
+#include "core/state.hpp"
+#include "util/rng.hpp"
+
+namespace nonmask {
+
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+  virtual const char* name() const noexcept = 0;
+  /// Apply one fault occurrence to s.
+  virtual void strike(const Program& p, State& s, Rng& rng) = 0;
+};
+
+using FaultModelPtr = std::shared_ptr<FaultModel>;
+
+/// Corrupt exactly k distinct variables, each to a uniformly random
+/// in-domain value.
+class CorruptKVariables final : public FaultModel {
+ public:
+  explicit CorruptKVariables(std::size_t k) : k_(k) {}
+  const char* name() const noexcept override { return "corrupt-k-variables"; }
+  void strike(const Program& p, State& s, Rng& rng) override;
+
+ private:
+  std::size_t k_;
+};
+
+/// Corrupt every variable belonging to each of k distinct processes
+/// (the paper's "arbitrarily corrupt the state of any number of nodes").
+class CorruptKProcesses final : public FaultModel {
+ public:
+  explicit CorruptKProcesses(std::size_t k) : k_(k) {}
+  const char* name() const noexcept override { return "corrupt-k-processes"; }
+  void strike(const Program& p, State& s, Rng& rng) override;
+
+ private:
+  std::size_t k_;
+};
+
+/// Each variable is independently corrupted with probability p.
+class CorruptFraction final : public FaultModel {
+ public:
+  explicit CorruptFraction(double p) : p_(p) {}
+  const char* name() const noexcept override { return "corrupt-fraction"; }
+  void strike(const Program& p, State& s, Rng& rng) override;
+
+ private:
+  double p_;
+};
+
+/// Set specific variables to specific values (clamped into domain).
+class TargetedCorruption final : public FaultModel {
+ public:
+  TargetedCorruption(std::vector<VarId> targets, std::vector<Value> values);
+  const char* name() const noexcept override { return "targeted"; }
+  void strike(const Program& p, State& s, Rng& rng) override;
+
+ private:
+  std::vector<VarId> targets_;
+  std::vector<Value> values_;
+};
+
+}  // namespace nonmask

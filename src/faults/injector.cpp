@@ -1,0 +1,51 @@
+#include "faults/injector.hpp"
+
+namespace nonmask {
+
+FaultInjector FaultInjector::one_shot(FaultModelPtr model, std::size_t at_step,
+                                      std::uint64_t seed) {
+  FaultInjector inj(Mode::kOneShot, std::move(model), seed);
+  inj.at_step_ = at_step;
+  inj.max_faults_ = 1;
+  return inj;
+}
+
+FaultInjector FaultInjector::periodic(FaultModelPtr model, std::size_t period,
+                                      std::size_t max_faults,
+                                      std::uint64_t seed) {
+  FaultInjector inj(Mode::kPeriodic, std::move(model), seed);
+  inj.period_ = period == 0 ? 1 : period;
+  inj.max_faults_ = max_faults;
+  return inj;
+}
+
+FaultInjector FaultInjector::bernoulli(FaultModelPtr model, double p,
+                                       std::size_t max_faults,
+                                       std::uint64_t seed) {
+  FaultInjector inj(Mode::kBernoulli, std::move(model), seed);
+  inj.probability_ = p;
+  inj.max_faults_ = max_faults;
+  return inj;
+}
+
+void FaultInjector::operator()(std::size_t step, const Program& p, State& s) {
+  if (injected_ >= max_faults_) return;
+  bool strike = false;
+  switch (mode_) {
+    case Mode::kOneShot:
+      strike = step == at_step_;
+      break;
+    case Mode::kPeriodic:
+      strike = step % period_ == 0 && step > 0;
+      break;
+    case Mode::kBernoulli:
+      strike = rng_.chance(probability_);
+      break;
+  }
+  if (strike) {
+    model_->strike(p, s, rng_);
+    ++injected_;
+  }
+}
+
+}  // namespace nonmask

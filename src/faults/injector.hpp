@@ -1,0 +1,58 @@
+// Fault injectors: decide *when* a fault model strikes during a run.
+// An injector plugs into RunOptions::perturb. Deterministic given its seed.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+
+#include "engine/simulator.hpp"
+#include "faults/fault.hpp"
+
+namespace nonmask {
+
+class FaultInjector {
+ public:
+  /// Strike once at `at_step`.
+  static FaultInjector one_shot(FaultModelPtr model, std::size_t at_step,
+                                std::uint64_t seed);
+  /// Strike every `period` steps, at most `max_faults` times.
+  static FaultInjector periodic(FaultModelPtr model, std::size_t period,
+                                std::size_t max_faults, std::uint64_t seed);
+  /// Strike each step with probability `p`, at most `max_faults` times.
+  static FaultInjector bernoulli(FaultModelPtr model, double p,
+                                 std::size_t max_faults, std::uint64_t seed);
+
+  /// Apply to a state; called by the engine before each daemon selection.
+  void operator()(std::size_t step, const Program& p, State& s);
+
+  std::size_t faults_injected() const noexcept { return injected_; }
+  void reset() noexcept {
+    injected_ = 0;
+    rng_ = Rng(seed_);
+  }
+
+  /// Bind to a program, yielding a RunOptions::perturb hook. The injector
+  /// and program must outlive the returned function.
+  std::function<void(std::size_t, State&)> hook(const Program& p) {
+    return [this, &p](std::size_t step, State& s) { (*this)(step, p, s); };
+  }
+
+ private:
+  enum class Mode { kOneShot, kPeriodic, kBernoulli };
+
+  FaultInjector(Mode mode, FaultModelPtr model, std::uint64_t seed)
+      : mode_(mode), model_(std::move(model)), seed_(seed), rng_(seed) {}
+
+  Mode mode_;
+  FaultModelPtr model_;
+  std::uint64_t seed_;
+  Rng rng_;
+  std::size_t at_step_ = 0;
+  std::size_t period_ = 1;
+  double probability_ = 0.0;
+  std::size_t max_faults_ = std::numeric_limits<std::size_t>::max();
+  std::size_t injected_ = 0;
+};
+
+}  // namespace nonmask

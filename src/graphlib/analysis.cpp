@@ -1,0 +1,197 @@
+#include "graphlib/analysis.hpp"
+
+#include <algorithm>
+
+namespace nonmask {
+
+std::vector<int> SccResult::sizes() const {
+  std::vector<int> out(static_cast<std::size_t>(num_components), 0);
+  for (int c : component) ++out[static_cast<std::size_t>(c)];
+  return out;
+}
+
+namespace {
+
+// Iterative Tarjan to avoid stack overflow on large graphs.
+struct TarjanFrame {
+  int node;
+  std::size_t edge_pos;
+};
+
+}  // namespace
+
+SccResult tarjan_scc(const Digraph& g) {
+  const int n = g.num_nodes();
+  SccResult result;
+  result.component.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  std::vector<TarjanFrame> frames;
+  int next_index = 0;
+
+  for (int start = 0; start < n; ++start) {
+    if (index[static_cast<std::size_t>(start)] != -1) continue;
+    frames.push_back({start, 0});
+    index[static_cast<std::size_t>(start)] = next_index;
+    lowlink[static_cast<std::size_t>(start)] = next_index;
+    ++next_index;
+    stack.push_back(start);
+    on_stack[static_cast<std::size_t>(start)] = true;
+
+    while (!frames.empty()) {
+      auto& frame = frames.back();
+      const int v = frame.node;
+      const auto& out_edges = g.out_edges(v);
+      if (frame.edge_pos < out_edges.size()) {
+        const int w = g.edge(out_edges[frame.edge_pos]).to;
+        ++frame.edge_pos;
+        if (index[static_cast<std::size_t>(w)] == -1) {
+          index[static_cast<std::size_t>(w)] = next_index;
+          lowlink[static_cast<std::size_t>(w)] = next_index;
+          ++next_index;
+          stack.push_back(w);
+          on_stack[static_cast<std::size_t>(w)] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[static_cast<std::size_t>(w)]) {
+          lowlink[static_cast<std::size_t>(v)] =
+              std::min(lowlink[static_cast<std::size_t>(v)],
+                       index[static_cast<std::size_t>(w)]);
+        }
+      } else {
+        if (lowlink[static_cast<std::size_t>(v)] ==
+            index[static_cast<std::size_t>(v)]) {
+          while (true) {
+            const int w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<std::size_t>(w)] = false;
+            result.component[static_cast<std::size_t>(w)] =
+                result.num_components;
+            if (w == v) break;
+          }
+          ++result.num_components;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          const int parent = frames.back().node;
+          lowlink[static_cast<std::size_t>(parent)] =
+              std::min(lowlink[static_cast<std::size_t>(parent)],
+                       lowlink[static_cast<std::size_t>(v)]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_acyclic(const Digraph& g) {
+  for (const auto& e : g.edges()) {
+    if (e.from == e.to) return false;
+  }
+  const auto scc = tarjan_scc(g);
+  return scc.num_components == g.num_nodes();
+}
+
+bool is_self_looping(const Digraph& g) {
+  // Every SCC must be a singleton; self-loops do not merge components.
+  const auto scc = tarjan_scc(g);
+  return scc.num_components == g.num_nodes();
+}
+
+bool is_weakly_connected(const Digraph& g) {
+  const int n = g.num_nodes();
+  if (n <= 1) return true;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::vector<int> queue{0};
+  seen[0] = true;
+  std::size_t head = 0;
+  int visited = 1;
+  while (head < queue.size()) {
+    const int v = queue[head++];
+    auto visit = [&](int w) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        ++visited;
+        queue.push_back(w);
+      }
+    };
+    for (int e : g.out_edges(v)) visit(g.edge(e).to);
+    for (int e : g.in_edges(v)) visit(g.edge(e).from);
+  }
+  return visited == n;
+}
+
+bool is_out_tree(const Digraph& g) {
+  const int n = g.num_nodes();
+  if (n == 0) return false;
+  int roots = 0;
+  for (int v = 0; v < n; ++v) {
+    for (int e : g.in_edges(v)) {
+      if (g.edge(e).from == v) return false;  // self-loop
+    }
+    const int d = g.in_degree(v);
+    if (d == 0) {
+      ++roots;
+    } else if (d != 1) {
+      return false;
+    }
+  }
+  if (roots != 1) return false;
+  if (g.num_edges() != n - 1) return false;
+  return is_weakly_connected(g);
+}
+
+std::optional<int> out_tree_root(const Digraph& g) {
+  if (!is_out_tree(g)) return std::nullopt;
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    if (g.in_degree(v) == 0) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<int>> topo_order_ignoring_self_loops(
+    const Digraph& g) {
+  const int n = g.num_nodes();
+  std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+  for (const auto& e : g.edges()) {
+    if (e.from != e.to) ++indeg[static_cast<std::size_t>(e.to)];
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<int> ready;
+  for (int v = 0; v < n; ++v) {
+    if (indeg[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+  }
+  while (!ready.empty()) {
+    const int v = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (int e : g.out_edges(v)) {
+      const int w = g.edge(e).to;
+      if (w == v) continue;
+      if (--indeg[static_cast<std::size_t>(w)] == 0) ready.push_back(w);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) return std::nullopt;
+  return order;
+}
+
+std::optional<std::vector<int>> node_ranks(const Digraph& g) {
+  const auto order = topo_order_ignoring_self_loops(g);
+  if (!order) return std::nullopt;
+  std::vector<int> rank(static_cast<std::size_t>(g.num_nodes()), 1);
+  for (int v : *order) {
+    int best = 0;
+    for (int e : g.in_edges(v)) {
+      const int k = g.edge(e).from;
+      if (k == v) continue;
+      best = std::max(best, rank[static_cast<std::size_t>(k)]);
+    }
+    rank[static_cast<std::size_t>(v)] = 1 + best;
+  }
+  return rank;
+}
+
+}  // namespace nonmask

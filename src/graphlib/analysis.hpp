@@ -1,0 +1,53 @@
+// Structural graph analysis used by the constraint-graph theorems:
+// strongly connected components (Tarjan), acyclicity, out-tree and
+// self-looping classification, node ranks, and weak connectivity.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graphlib/digraph.hpp"
+
+namespace nonmask {
+
+/// Result of Tarjan's SCC algorithm.
+struct SccResult {
+  int num_components = 0;
+  std::vector<int> component;  ///< node -> component id (reverse topo order)
+
+  /// Sizes of each component.
+  std::vector<int> sizes() const;
+};
+
+SccResult tarjan_scc(const Digraph& g);
+
+/// True iff g has no directed cycle (self-loops count as cycles).
+bool is_acyclic(const Digraph& g);
+
+/// True iff g has no directed cycle of length > 1; self-loops are allowed.
+/// This is the paper's "self-looping" constraint-graph condition (Section 6).
+bool is_self_looping(const Digraph& g);
+
+/// True iff the underlying undirected graph of g is connected.
+/// Vacuously true for the empty graph.
+bool is_weakly_connected(const Digraph& g);
+
+/// True iff g is an out-tree (Section 5): weakly connected, exactly one node
+/// of in-degree zero (the root), every other node of in-degree one, and
+/// every node reachable from the root. Self-loops disqualify.
+bool is_out_tree(const Digraph& g);
+/// The root of the out-tree, when is_out_tree(g).
+std::optional<int> out_tree_root(const Digraph& g);
+
+/// Node ranks per the proof of Theorem 1/2:
+///   rank(j) = 1 + max{ rank(k) | edge k -> j, k != j }  (max over {} = 0).
+/// Defined whenever g is self-looping (cycles of length > 1 make ranks
+/// undefined -> nullopt).
+std::optional<std::vector<int>> node_ranks(const Digraph& g);
+
+/// A topological order of the nodes ignoring self-loops; nullopt when a
+/// proper cycle exists.
+std::optional<std::vector<int>> topo_order_ignoring_self_loops(
+    const Digraph& g);
+
+}  // namespace nonmask

@@ -1,0 +1,61 @@
+#include "graphlib/digraph.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace nonmask {
+
+void Digraph::resize(int num_nodes) {
+  if (num_nodes < 0) throw std::invalid_argument("Digraph: negative size");
+  out_.resize(static_cast<std::size_t>(num_nodes));
+  in_.resize(static_cast<std::size_t>(num_nodes));
+  labels_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+int Digraph::add_edge(int from, int to, int payload) {
+  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes()) {
+    throw std::out_of_range("Digraph::add_edge: node out of range");
+  }
+  const int index = static_cast<int>(edges_.size());
+  edges_.push_back(Edge{from, to, payload});
+  out_[static_cast<std::size_t>(from)].push_back(index);
+  in_[static_cast<std::size_t>(to)].push_back(index);
+  return index;
+}
+
+int Digraph::in_degree_proper(int node) const {
+  int d = 0;
+  for (int e : in_.at(node)) {
+    if (edges_[static_cast<std::size_t>(e)].from != node) ++d;
+  }
+  return d;
+}
+
+void Digraph::set_node_label(int node, std::string label) {
+  labels_.at(static_cast<std::size_t>(node)) = std::move(label);
+}
+
+const std::string& Digraph::node_label(int node) const {
+  return labels_.at(static_cast<std::size_t>(node));
+}
+
+std::string Digraph::to_dot(const std::string& graph_name) const {
+  std::ostringstream out;
+  out << "digraph " << graph_name << " {\n";
+  for (int v = 0; v < num_nodes(); ++v) {
+    out << "  n" << v;
+    if (!labels_[static_cast<std::size_t>(v)].empty()) {
+      out << " [label=\"" << labels_[static_cast<std::size_t>(v)] << "\"]";
+    }
+    out << ";\n";
+  }
+  for (const auto& e : edges_) {
+    out << "  n" << e.from << " -> n" << e.to;
+    if (e.payload >= 0) out << " [label=\"a" << e.payload << "\"]";
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace nonmask

@@ -1,0 +1,63 @@
+// A small directed multigraph.
+//
+// Used both for constraint graphs (Section 4: one edge per convergence
+// action; parallel edges and self-loops are meaningful) and for general
+// graph analysis. Nodes are dense integers 0..n-1; edges carry an integer
+// payload (for constraint graphs, the action index).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nonmask {
+
+class Digraph {
+ public:
+  struct Edge {
+    int from = 0;
+    int to = 0;
+    int payload = -1;  ///< caller-defined tag (e.g. action index)
+  };
+
+  Digraph() = default;
+  explicit Digraph(int num_nodes) { resize(num_nodes); }
+
+  void resize(int num_nodes);
+  int num_nodes() const noexcept { return static_cast<int>(out_.size()); }
+  int num_edges() const noexcept { return static_cast<int>(edges_.size()); }
+
+  /// Add an edge and return its index.
+  int add_edge(int from, int to, int payload = -1);
+
+  const Edge& edge(int index) const { return edges_.at(index); }
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Edge indices leaving / entering a node.
+  const std::vector<int>& out_edges(int node) const { return out_.at(node); }
+  const std::vector<int>& in_edges(int node) const { return in_.at(node); }
+
+  int out_degree(int node) const {
+    return static_cast<int>(out_.at(node).size());
+  }
+  int in_degree(int node) const { return static_cast<int>(in_.at(node).size()); }
+
+  /// In-degree counting only edges from other nodes (self-loops excluded).
+  int in_degree_proper(int node) const;
+
+  /// Optional node labels for diagnostics (e.g. the variable-set label of a
+  /// constraint-graph node). Empty when not set.
+  void set_node_label(int node, std::string label);
+  const std::string& node_label(int node) const;
+
+  /// Graphviz dot rendering (for the examples / docs).
+  std::string to_dot(const std::string& graph_name = "g") const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> out_;
+  std::vector<std::vector<int>> in_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace nonmask

@@ -1,0 +1,180 @@
+#include "graphlib/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nonmask {
+
+RootedTree::RootedTree(std::vector<int> parent) : parent_(std::move(parent)) {
+  const int n = static_cast<int>(parent_.size());
+  if (n == 0) throw std::invalid_argument("RootedTree: empty");
+  int root = -1;
+  for (int j = 0; j < n; ++j) {
+    const int p = parent_[static_cast<std::size_t>(j)];
+    if (p < 0 || p >= n) throw std::invalid_argument("RootedTree: bad parent");
+    if (p == j) {
+      if (root != -1) throw std::invalid_argument("RootedTree: two roots");
+      root = j;
+    }
+  }
+  if (root == -1) throw std::invalid_argument("RootedTree: no root");
+  root_ = root;
+  finalize();
+}
+
+void RootedTree::finalize() {
+  const int n = size();
+  children_.assign(static_cast<std::size_t>(n), {});
+  for (int j = 0; j < n; ++j) {
+    if (j != root_) {
+      children_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(j)])]
+          .push_back(j);
+    }
+  }
+  depth_.assign(static_cast<std::size_t>(n), -1);
+  bfs_.clear();
+  bfs_.reserve(static_cast<std::size_t>(n));
+  bfs_.push_back(root_);
+  depth_[static_cast<std::size_t>(root_)] = 0;
+  height_ = 0;
+  for (std::size_t head = 0; head < bfs_.size(); ++head) {
+    const int v = bfs_[head];
+    for (int c : children_[static_cast<std::size_t>(v)]) {
+      depth_[static_cast<std::size_t>(c)] =
+          depth_[static_cast<std::size_t>(v)] + 1;
+      height_ = std::max(height_, depth_[static_cast<std::size_t>(c)]);
+      bfs_.push_back(c);
+    }
+  }
+  if (static_cast<int>(bfs_.size()) != n) {
+    throw std::invalid_argument("RootedTree: parent array contains a cycle");
+  }
+}
+
+RootedTree RootedTree::chain(int n) {
+  if (n <= 0) throw std::invalid_argument("chain: n must be positive");
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  parent[0] = 0;
+  for (int j = 1; j < n; ++j) parent[static_cast<std::size_t>(j)] = j - 1;
+  return RootedTree(std::move(parent));
+}
+
+RootedTree RootedTree::star(int n) {
+  if (n <= 0) throw std::invalid_argument("star: n must be positive");
+  std::vector<int> parent(static_cast<std::size_t>(n), 0);
+  return RootedTree(std::move(parent));
+}
+
+RootedTree RootedTree::balanced(int n, int arity) {
+  if (n <= 0) throw std::invalid_argument("balanced: n must be positive");
+  if (arity <= 0) throw std::invalid_argument("balanced: arity must be > 0");
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  parent[0] = 0;
+  for (int j = 1; j < n; ++j) {
+    parent[static_cast<std::size_t>(j)] = (j - 1) / arity;
+  }
+  return RootedTree(std::move(parent));
+}
+
+RootedTree RootedTree::random(int n, Rng& rng) {
+  if (n <= 0) throw std::invalid_argument("random: n must be positive");
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  parent[0] = 0;
+  for (int j = 1; j < n; ++j) {
+    parent[static_cast<std::size_t>(j)] =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(j)));
+  }
+  return RootedTree(std::move(parent));
+}
+
+void UndirectedGraph::add_edge(int u, int v) {
+  if (u < 0 || v < 0 || u >= size() || v >= size() || u == v) {
+    throw std::invalid_argument("UndirectedGraph::add_edge: bad endpoints");
+  }
+  adjacency_[static_cast<std::size_t>(u)].push_back(v);
+  adjacency_[static_cast<std::size_t>(v)].push_back(u);
+  edges_.emplace_back(u, v);
+}
+
+int UndirectedGraph::max_degree() const noexcept {
+  int best = 0;
+  for (const auto& adj : adjacency_) {
+    best = std::max(best, static_cast<int>(adj.size()));
+  }
+  return best;
+}
+
+UndirectedGraph UndirectedGraph::cycle(int n) {
+  if (n < 3) throw std::invalid_argument("cycle: n must be >= 3");
+  UndirectedGraph g(n);
+  for (int v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  return g;
+}
+
+UndirectedGraph UndirectedGraph::path(int n) {
+  if (n <= 0) throw std::invalid_argument("path: n must be positive");
+  UndirectedGraph g(n);
+  for (int v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+UndirectedGraph UndirectedGraph::complete(int n) {
+  if (n <= 0) throw std::invalid_argument("complete: n must be positive");
+  UndirectedGraph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+UndirectedGraph UndirectedGraph::grid(int rows, int cols) {
+  if (rows <= 0 || cols <= 0) {
+    throw std::invalid_argument("grid: dimensions must be positive");
+  }
+  UndirectedGraph g(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+UndirectedGraph UndirectedGraph::random_gnp(int n, double p, Rng& rng) {
+  if (n <= 0) throw std::invalid_argument("random_gnp: n must be positive");
+  UndirectedGraph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.chance(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+UndirectedGraph UndirectedGraph::random_connected(int n, int extra_edges,
+                                                  Rng& rng) {
+  if (n <= 0) throw std::invalid_argument("random_connected: n must be > 0");
+  UndirectedGraph g(n);
+  for (int j = 1; j < n; ++j) {
+    const int p = static_cast<int>(rng.below(static_cast<std::uint64_t>(j)));
+    g.add_edge(p, j);
+  }
+  int added = 0;
+  int attempts = 0;
+  while (added < extra_edges && attempts < 20 * (extra_edges + 1)) {
+    ++attempts;
+    if (n < 2) break;
+    const int u = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    const int v = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    const auto& adj = g.neighbors(u);
+    if (std::find(adj.begin(), adj.end(), v) != adj.end()) continue;
+    g.add_edge(u, v);
+    ++added;
+  }
+  return g;
+}
+
+}  // namespace nonmask

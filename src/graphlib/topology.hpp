@@ -1,0 +1,100 @@
+// Network topologies for the protocols: rooted trees (diffusing
+// computations, spanning trees), rings (token passing), and general
+// undirected graphs (coloring, matching). All generators are deterministic
+// given the seed.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nonmask {
+
+/// A rooted tree over nodes 0..n-1, stored as a parent array. The root j
+/// has parent[j] == j, matching the paper's convention "if j is the root
+/// then P.j is j".
+class RootedTree {
+ public:
+  RootedTree() = default;
+  /// Construct from a parent array; validates that it encodes one tree.
+  explicit RootedTree(std::vector<int> parent);
+
+  int size() const noexcept { return static_cast<int>(parent_.size()); }
+  int root() const noexcept { return root_; }
+  int parent(int j) const { return parent_.at(static_cast<std::size_t>(j)); }
+  const std::vector<int>& parents() const noexcept { return parent_; }
+  const std::vector<int>& children(int j) const {
+    return children_.at(static_cast<std::size_t>(j));
+  }
+  bool is_root(int j) const { return parent(j) == j; }
+  bool is_leaf(int j) const { return children(j).empty(); }
+
+  /// Depth of node j (root has depth 0).
+  int depth(int j) const { return depth_.at(static_cast<std::size_t>(j)); }
+  /// Height of the tree (max depth).
+  int height() const noexcept { return height_; }
+
+  /// Nodes in BFS order from the root.
+  const std::vector<int>& bfs_order() const noexcept { return bfs_; }
+
+  // --- generators ---------------------------------------------------------
+
+  /// Path 0 -> 1 -> ... -> n-1 rooted at 0.
+  static RootedTree chain(int n);
+  /// Root 0 with n-1 leaf children.
+  static RootedTree star(int n);
+  /// Balanced k-ary tree with n nodes (node j's parent is (j-1)/k).
+  static RootedTree balanced(int n, int arity);
+  /// Uniform random recursive tree: parent of j drawn from {0..j-1}.
+  static RootedTree random(int n, Rng& rng);
+
+ private:
+  void finalize();
+
+  std::vector<int> parent_;
+  std::vector<std::vector<int>> children_;
+  std::vector<int> depth_;
+  std::vector<int> bfs_;
+  int root_ = 0;
+  int height_ = 0;
+};
+
+/// A simple undirected graph over nodes 0..n-1.
+class UndirectedGraph {
+ public:
+  UndirectedGraph() = default;
+  explicit UndirectedGraph(int n) : adjacency_(static_cast<std::size_t>(n)) {}
+
+  int size() const noexcept { return static_cast<int>(adjacency_.size()); }
+  int num_edges() const noexcept { return static_cast<int>(edges_.size()); }
+  void add_edge(int u, int v);
+  const std::vector<int>& neighbors(int v) const {
+    return adjacency_.at(static_cast<std::size_t>(v));
+  }
+  const std::vector<std::pair<int, int>>& edges() const noexcept {
+    return edges_;
+  }
+  int degree(int v) const {
+    return static_cast<int>(adjacency_.at(static_cast<std::size_t>(v)).size());
+  }
+  int max_degree() const noexcept;
+
+  // --- generators ---------------------------------------------------------
+
+  static UndirectedGraph cycle(int n);
+  static UndirectedGraph path(int n);
+  static UndirectedGraph complete(int n);
+  static UndirectedGraph grid(int rows, int cols);
+  /// Erdos-Renyi G(n, p); guaranteed simple (no multi-edges/self-loops).
+  static UndirectedGraph random_gnp(int n, double p, Rng& rng);
+  /// A connected random graph: random recursive tree + extra random edges.
+  static UndirectedGraph random_connected(int n, int extra_edges, Rng& rng);
+
+ private:
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<std::pair<int, int>> edges_;
+};
+
+}  // namespace nonmask

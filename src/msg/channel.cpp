@@ -1,0 +1,2 @@
+// Channel is header-only; this translation unit anchors the library.
+#include "msg/channel.hpp"

@@ -1,0 +1,62 @@
+// Bounded channels as program variables.
+//
+// The paper's programs are shared-memory guarded commands; Section 7.1
+// leaves "refinement into message passing" as an exercise and Section 8
+// points to low-atomicity refinements. We model a capacity-1 channel as one
+// variable whose domain is {empty} ∪ payload-domain, so the *same* engine,
+// daemons, fault injectors and exact checker apply unchanged to
+// message-passing protocols. Channel faults (loss, corruption) are ordinary
+// fault actions on the channel variable.
+#pragma once
+
+#include <string>
+
+#include "core/builder.hpp"
+#include "core/program.hpp"
+
+namespace nonmask {
+
+/// A capacity-1 unidirectional channel carrying values in [0, payload_max].
+/// Encoding: -1 = empty, v >= 0 = message v in flight.
+struct Channel {
+  VarId slot;
+  Value payload_max = 0;
+
+  static constexpr Value kEmpty = -1;
+
+  bool empty(const State& s) const { return s.get(slot) == kEmpty; }
+  Value payload(const State& s) const { return s.get(slot); }
+
+  /// Declare the channel variable on a builder.
+  static Channel declare(ProgramBuilder& b, const std::string& name,
+                         Value payload_max, int process = -1) {
+    Channel ch;
+    ch.payload_max = payload_max;
+    ch.slot = b.var(name, kEmpty, payload_max, process);
+    return ch;
+  }
+
+  /// Add a message-loss fault action: drop any in-flight message.
+  void add_loss_fault(ProgramBuilder& b, const std::string& name) const {
+    const VarId slot_ = slot;
+    b.fault(
+        name, [slot_](const State& s) { return s.get(slot_) != kEmpty; },
+        [slot_](State& s) { s.set(slot_, kEmpty); }, {slot_}, {slot_});
+  }
+
+  /// Add a message-corruption fault action: replace any in-flight message
+  /// by an arbitrary payload (here: payload+1 wrapping, which suffices to
+  /// reach every corrupt value across repeated strikes).
+  void add_corruption_fault(ProgramBuilder& b, const std::string& name) const {
+    const VarId slot_ = slot;
+    const Value max = payload_max;
+    b.fault(
+        name, [slot_](const State& s) { return s.get(slot_) != kEmpty; },
+        [slot_, max](State& s) {
+          s.set(slot_, (s.get(slot_) + 1) % (max + 1));
+        },
+        {slot_}, {slot_});
+  }
+};
+
+}  // namespace nonmask

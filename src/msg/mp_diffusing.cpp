@@ -1,0 +1,160 @@
+#include "msg/mp_diffusing.hpp"
+
+#include <string>
+
+#include "core/builder.hpp"
+
+namespace nonmask {
+
+MpDiffusingDesign make_mp_diffusing(const RootedTree& tree) {
+  const int n = tree.size();
+  ProgramBuilder b("mp-diffusing-computation");
+
+  MpDiffusingDesign md;
+  for (int j = 0; j < n; ++j) {
+    md.color.push_back(b.var("c." + std::to_string(j), kGreen, kRed, j));
+    md.session.push_back(b.boolean("sn." + std::to_string(j), j));
+  }
+  md.seen.resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    for (int k : tree.children(j)) {
+      md.seen[static_cast<std::size_t>(j)].emplace_back(
+          k, b.boolean("seen." + std::to_string(j) + "." + std::to_string(k),
+                       j));
+    }
+  }
+  const auto& c = md.color;
+  const auto& sn = md.session;
+
+  Invariant inv;
+  std::vector<int> constraint_of(static_cast<std::size_t>(n), -1);
+  // Tree constraints R.j (as in the unrefined protocol).
+  for (int j = 0; j < n; ++j) {
+    if (tree.is_root(j)) continue;
+    const int p = tree.parent(j);
+    const VarId cj = c[static_cast<std::size_t>(j)];
+    const VarId cp = c[static_cast<std::size_t>(p)];
+    const VarId snj = sn[static_cast<std::size_t>(j)];
+    const VarId snp = sn[static_cast<std::size_t>(p)];
+    auto R = [cj, cp, snj, snp](const State& s) {
+      return (s.get(cj) == s.get(cp) && s.get(snj) == s.get(snp)) ||
+             (s.get(cj) == kGreen && s.get(cp) == kRed);
+    };
+    constraint_of[static_cast<std::size_t>(j)] = static_cast<int>(inv.add(
+        Constraint{"R." + std::to_string(j), R, {cj, cp, snj, snp}}));
+  }
+  // Bit constraints B.j.k, with one unsee convergence action each.
+  for (int j = 0; j < n; ++j) {
+    const VarId cj = c[static_cast<std::size_t>(j)];
+    const VarId snj = sn[static_cast<std::size_t>(j)];
+    for (const auto& [k, bit] : md.seen[static_cast<std::size_t>(j)]) {
+      const VarId ck = c[static_cast<std::size_t>(k)];
+      const VarId snk = sn[static_cast<std::size_t>(k)];
+      auto B = [bit, cj, ck, snj, snk](const State& s) {
+        return s.get(bit) == 0 ||
+               (s.get(cj) == kRed && s.get(ck) == kGreen &&
+                s.get(snk) == s.get(snj));
+      };
+      const auto cid = inv.add(Constraint{
+          "B." + std::to_string(j) + "." + std::to_string(k), B,
+          {bit, cj, ck, snj, snk}});
+      b.convergence(
+          "unsee@" + std::to_string(j) + "." + std::to_string(k),
+          [B](const State& s) { return !B(s); },
+          [bit](State& s) { s.set(bit, 0); }, {bit, cj, ck, snj, snk},
+          {bit}, static_cast<int>(cid), j);
+    }
+  }
+
+  // initiate@root.
+  {
+    const int r = tree.root();
+    const VarId cr = c[static_cast<std::size_t>(r)];
+    const VarId snr = sn[static_cast<std::size_t>(r)];
+    b.closure(
+        "initiate@" + std::to_string(r),
+        [cr](const State& s) { return s.get(cr) == kGreen; },
+        [cr, snr](State& s) {
+          s.set(cr, kRed);
+          s.set(snr, 1 - s.get(snr));
+        },
+        {cr, snr}, {cr, snr}, r);
+  }
+
+  // propagate-or-correct@j (combined, as in the paper's final program).
+  for (int j = 0; j < n; ++j) {
+    if (tree.is_root(j)) continue;
+    const int p = tree.parent(j);
+    const VarId cj = c[static_cast<std::size_t>(j)];
+    const VarId cp = c[static_cast<std::size_t>(p)];
+    const VarId snj = sn[static_cast<std::size_t>(j)];
+    const VarId snp = sn[static_cast<std::size_t>(p)];
+    b.convergence(
+        "propagate-or-correct@" + std::to_string(j),
+        [cj, cp, snj, snp](const State& s) {
+          return s.get(snj) != s.get(snp) ||
+                 (s.get(cj) == kRed && s.get(cp) == kGreen);
+        },
+        [cj, cp, snj, snp](State& s) {
+          s.set(cj, s.get(cp));
+          s.set(snj, s.get(snp));
+        },
+        {cj, cp, snj, snp}, {cj, snj},
+        constraint_of[static_cast<std::size_t>(j)], j);
+  }
+
+  // collect@j.k: observe one child's completion.
+  for (int j = 0; j < n; ++j) {
+    const VarId cj = c[static_cast<std::size_t>(j)];
+    const VarId snj = sn[static_cast<std::size_t>(j)];
+    for (const auto& [k, bit] : md.seen[static_cast<std::size_t>(j)]) {
+      const VarId ck = c[static_cast<std::size_t>(k)];
+      const VarId snk = sn[static_cast<std::size_t>(k)];
+      b.closure(
+          "collect@" + std::to_string(j) + "." + std::to_string(k),
+          [bit, cj, ck, snj, snk](const State& s) {
+            return s.get(cj) == kRed && s.get(bit) == 0 &&
+                   s.get(ck) == kGreen && s.get(snk) == s.get(snj);
+          },
+          [bit](State& s) { s.set(bit, 1); }, {bit, cj, ck, snj, snk},
+          {bit}, j);
+    }
+  }
+
+  // reflect@j: consume the bits; reads own state only.
+  for (int j = 0; j < n; ++j) {
+    const VarId cj = c[static_cast<std::size_t>(j)];
+    std::vector<VarId> bits;
+    for (const auto& [k, bit] : md.seen[static_cast<std::size_t>(j)]) {
+      (void)k;
+      bits.push_back(bit);
+    }
+    std::vector<VarId> reads{cj};
+    reads.insert(reads.end(), bits.begin(), bits.end());
+    std::vector<VarId> writes{cj};
+    writes.insert(writes.end(), bits.begin(), bits.end());
+    b.closure(
+        "reflect@" + std::to_string(j),
+        [cj, bits](const State& s) {
+          if (s.get(cj) != kRed) return false;
+          for (VarId bit : bits) {
+            if (s.get(bit) == 0) return false;
+          }
+          return true;
+        },
+        [cj, bits](State& s) {
+          s.set(cj, kGreen);
+          for (VarId bit : bits) s.set(bit, 0);
+        },
+        reads, writes, j);
+  }
+
+  md.design.name = b.peek().name();
+  md.design.program = b.build();
+  md.design.invariant = std::move(inv);
+  md.design.fault_span = true_predicate();
+  md.design.stabilizing = true;
+  return md;
+}
+
+}  // namespace nonmask

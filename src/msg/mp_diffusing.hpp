@@ -1,0 +1,35 @@
+// Low-atomicity refinement of the diffusing computation (Section 8 points
+// to this refinement; the companion paper [6] develops it — this is our
+// reconstruction).
+//
+// The unrefined reflect action atomically reads a node and *all* its
+// children. Here every action reads its own node plus at most one
+// neighbor: each parent j keeps a bit seen.j.k per child k, set by a
+// collect action (reads child k only), cleared by an unsee convergence
+// action when it contradicts the child's state, and consumed by reflect
+// (reads own state only).
+//
+// The invariant adds, to each tree constraint R.j, the bit constraints
+//   seen.j.k = 1  =>  c.j = red /\ c.k = green /\ sn.k == sn.j,
+// and the exact checker verifies closure and convergence on small trees.
+#pragma once
+
+#include <vector>
+
+#include "core/candidate.hpp"
+#include "graphlib/topology.hpp"
+#include "protocols/diffusing.hpp"
+
+namespace nonmask {
+
+struct MpDiffusingDesign {
+  Design design;
+  std::vector<VarId> color;
+  std::vector<VarId> session;
+  /// seen[j] lists (child, bit-variable) pairs for node j's children.
+  std::vector<std::vector<std::pair<int, VarId>>> seen;
+};
+
+MpDiffusingDesign make_mp_diffusing(const RootedTree& tree);
+
+}  // namespace nonmask

@@ -1,0 +1,110 @@
+#include "msg/mp_token_ring.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace nonmask {
+
+MpTokenRingDesign make_mp_token_ring(int num_nodes, int K) {
+  if (num_nodes < 2) throw std::invalid_argument("mp ring: n < 2");
+  if (K < 2) throw std::invalid_argument("mp ring: K < 2");
+
+  ProgramBuilder b("mp-token-ring");
+  MpTokenRingDesign mp;
+  mp.K = K;
+  for (int j = 0; j < num_nodes; ++j) {
+    mp.x.push_back(b.var("x." + std::to_string(j), 0, K - 1, j));
+  }
+  for (int j = 0; j < num_nodes; ++j) {
+    mp.channel.push_back(Channel::declare(
+        b, "ch." + std::to_string(j), static_cast<Value>(K - 1), j));
+  }
+  const auto& x = mp.x;
+  const auto& ch = mp.channel;
+  const int last = num_nodes - 1;
+
+  // send@j: re-send the local value whenever the outgoing channel is empty.
+  for (int j = 0; j < num_nodes; ++j) {
+    const VarId xj = x[static_cast<std::size_t>(j)];
+    const VarId slot = ch[static_cast<std::size_t>(j)].slot;
+    b.closure(
+        "send@" + std::to_string(j),
+        [slot](const State& s) { return s.get(slot) == Channel::kEmpty; },
+        [slot, xj](State& s) { s.set(slot, s.get(xj)); }, {slot, xj}, {slot},
+        j);
+  }
+
+  // recv@0 from ch.last: advance on match, always consume.
+  {
+    const VarId x0 = x[0];
+    const VarId slot = ch[static_cast<std::size_t>(last)].slot;
+    b.closure(
+        "recv@0",
+        [slot](const State& s) { return s.get(slot) != Channel::kEmpty; },
+        [slot, x0, K](State& s) {
+          if (s.get(slot) == s.get(x0)) s.set(x0, (s.get(x0) + 1) % K);
+          s.set(slot, Channel::kEmpty);
+        },
+        {slot, x0}, {slot, x0}, 0);
+  }
+  // recv@j from ch.(j-1): adopt on mismatch, always consume.
+  for (int j = 1; j < num_nodes; ++j) {
+    const VarId xj = x[static_cast<std::size_t>(j)];
+    const VarId slot = ch[static_cast<std::size_t>(j - 1)].slot;
+    b.closure(
+        "recv@" + std::to_string(j),
+        [slot](const State& s) { return s.get(slot) != Channel::kEmpty; },
+        [slot, xj](State& s) {
+          if (s.get(slot) != s.get(xj)) s.set(xj, s.get(slot));
+          s.set(slot, Channel::kEmpty);
+        },
+        {slot, xj}, {slot, xj}, j);
+  }
+
+  // Channel faults.
+  for (int j = 0; j < num_nodes; ++j) {
+    ch[static_cast<std::size_t>(j)].add_loss_fault(
+        b, "lose@ch." + std::to_string(j));
+    mp.loss_faults.push_back(b.peek().num_actions() - 1);
+    ch[static_cast<std::size_t>(j)].add_corruption_fault(
+        b, "corrupt@ch." + std::to_string(j));
+    mp.corruption_faults.push_back(b.peek().num_actions() - 1);
+  }
+
+  mp.design.name = b.peek().name();
+  mp.design.program = b.build();
+  mp.design.fault_span = true_predicate();
+  mp.design.stabilizing = true;
+
+  // S: exactly one privilege over the *extended* ring of 2n positions
+  // w = (x.0, ch.0, x.1, ch.1, ..., x.(n-1), ch.(n-1)), where an empty
+  // channel inherits its sender's value. A stale in-flight message is a
+  // latent second token, so x-values alone cannot characterize legitimacy;
+  // this extended sequence makes S closed under send/recv (verified by the
+  // exact checker in the tests).
+  {
+    auto xs = mp.x;
+    std::vector<VarId> slots;
+    for (const auto& c : mp.channel) slots.push_back(c.slot);
+    const int n = num_nodes;
+    mp.design.S_override = [xs, slots, n](const State& s) {
+      std::vector<Value> w(static_cast<std::size_t>(2 * n));
+      for (int j = 0; j < n; ++j) {
+        const Value xv = s.get(xs[static_cast<std::size_t>(j)]);
+        const Value cv = s.get(slots[static_cast<std::size_t>(j)]);
+        w[static_cast<std::size_t>(2 * j)] = xv;
+        w[static_cast<std::size_t>(2 * j + 1)] =
+            cv == Channel::kEmpty ? xv : cv;
+      }
+      int count = 0;
+      if (w.back() == w.front()) ++count;  // privilege at position 0
+      for (std::size_t i = 1; i < w.size(); ++i) {
+        if (w[i] != w[i - 1]) ++count;
+      }
+      return count == 1;
+    };
+  }
+  return mp;
+}
+
+}  // namespace nonmask

@@ -1,0 +1,44 @@
+// Message-passing refinement of the token ring (the exercise the paper
+// leaves to the reader in Section 7.1).
+//
+// Each node j keeps x.j in [0, K-1] and owns a capacity-1 channel ch.j to
+// its successor. Nodes perpetually re-send their current x into an empty
+// outgoing channel (the keep-alive abstraction of a timeout); receivers
+// consume and adopt per Dijkstra's rules:
+//   send@j:  ch.j empty                 -> ch.j := x.j
+//   recv@0:  ch.N full                  -> if payload = x.0 then advance;
+//                                          consume
+//   recv@j:  ch.(j-1) full, j > 0       -> if payload != x.j then adopt;
+//                                          consume
+//
+// Convergence requires (weak) fairness: an unfair daemon can spin a single
+// send/consume pair forever — the exact checker exhibits that cycle, and
+// bench_msg_ring measures convergence under fair daemons with message loss
+// and corruption faults. This connects directly to the paper's Section 8
+// discussion of when fairness is dispensable: for this refinement it is not.
+#pragma once
+
+#include <vector>
+
+#include "core/candidate.hpp"
+#include "msg/channel.hpp"
+
+namespace nonmask {
+
+struct MpTokenRingDesign {
+  Design design;
+  std::vector<VarId> x;
+  std::vector<Channel> channel;  ///< channel[j]: j -> (j+1) mod n
+  int K = 0;
+
+  /// Loss / corruption fault action indices (one per channel, in order).
+  std::vector<std::size_t> loss_faults;
+  std::vector<std::size_t> corruption_faults;
+};
+
+/// num_nodes >= 2, K >= 2. S: exactly one privilege, where in-flight
+/// messages count as the value of the sending side (a node is privileged
+/// by the same x-comparisons as the shared-memory ring).
+MpTokenRingDesign make_mp_token_ring(int num_nodes, int K);
+
+}  // namespace nonmask

@@ -1,0 +1,57 @@
+#include "protocols/aggregation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "core/expr.hpp"
+
+namespace nonmask {
+
+using namespace nonmask::dsl;
+
+Value AggregationDesign::expected(const RootedTree& tree, const State& s,
+                                  int j) const {
+  Value best = s.get(input[static_cast<std::size_t>(j)]);
+  for (int k : tree.children(j)) {
+    best = std::max(best, expected(tree, s, k));
+  }
+  return best;
+}
+
+AggregationDesign make_aggregation(const RootedTree& tree, Value max_value) {
+  if (max_value < 1) throw std::invalid_argument("aggregation: max_value < 1");
+  const int n = tree.size();
+  ProgramBuilder b("tree-aggregation");
+
+  AggregationDesign ad;
+  for (int j = 0; j < n; ++j) {
+    ad.input.push_back(b.var("in." + std::to_string(j), 0, max_value, j));
+    ad.aggregate.push_back(
+        b.var("agg." + std::to_string(j), 0, max_value, j));
+  }
+
+  Invariant inv;
+  for (int j = 0; j < n; ++j) {
+    // rhs = max(in.j, agg.k for children k), built with the DSL.
+    Expr rhs = v(ad.input[static_cast<std::size_t>(j)]);
+    for (int k : tree.children(j)) {
+      rhs = max(std::move(rhs), v(ad.aggregate[static_cast<std::size_t>(k)]));
+    }
+    const Guard ok = v(ad.aggregate[static_cast<std::size_t>(j)]) == rhs;
+    const auto cid = inv.add(Constraint{
+        "agg." + std::to_string(j) + " = max(subtree)", ok.fn(), ok.reads()});
+    add_action(b, "recompute@" + std::to_string(j), ActionKind::kConvergence,
+               !ok, assign(ad.aggregate[static_cast<std::size_t>(j)], rhs),
+               static_cast<int>(cid), j);
+  }
+
+  ad.design.name = b.peek().name();
+  ad.design.program = b.build();
+  ad.design.invariant = std::move(inv);
+  ad.design.fault_span = true_predicate();
+  ad.design.stabilizing = true;
+  return ad;
+}
+
+}  // namespace nonmask

@@ -1,0 +1,92 @@
+#include "protocols/atomic_action.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/builder.hpp"
+
+namespace nonmask {
+
+AtomicActionDesign make_atomic_action(int num_participants,
+                                      Value work_modulus) {
+  if (num_participants < 1) {
+    throw std::invalid_argument("atomic action: no participants");
+  }
+  if (work_modulus < 2) {
+    throw std::invalid_argument("atomic action: work_modulus < 2");
+  }
+
+  ProgramBuilder b("atomic-action");
+  AtomicActionDesign aa;
+  aa.decision = b.boolean("d");
+  aa.work = b.var("work", 0, work_modulus - 1);
+  for (int j = 0; j < num_participants; ++j) {
+    aa.flags.push_back(b.var("f." + std::to_string(j), 0, 2, j));
+  }
+  const VarId d = aa.decision;
+  const VarId work = aa.work;
+  const auto& flags = aa.flags;
+
+  Invariant inv;
+  for (int j = 0; j < num_participants; ++j) {
+    const VarId fj = flags[static_cast<std::size_t>(j)];
+    const auto cid = inv.add(Constraint{
+        "f." + std::to_string(j) + " = d",
+        [fj, d](const State& s) { return s.get(fj) == s.get(d); },
+        {fj, d}});
+    // Convergence: re-apply the decision. Enabled only inside T (f.j != 2):
+    // value 2 is outside the tolerated fault class.
+    b.convergence(
+        "apply@" + std::to_string(j),
+        [fj, d](const State& s) {
+          return s.get(fj) != s.get(d) && s.get(fj) != 2;
+        },
+        [fj, d](State& s) { s.set(fj, s.get(d)); }, {fj, d}, {fj},
+        static_cast<int>(cid), j);
+    // Tolerated fault: flip an applied value between 0 and 1.
+    b.fault(
+        "flip@" + std::to_string(j), true_predicate(),
+        [fj](State& s) {
+          if (s.get(fj) != 2) s.set(fj, 1 - s.get(fj));
+        },
+        {fj}, {fj}, j);
+    aa.fault_actions.push_back(b.peek().num_actions() - 1);
+  }
+
+  // Closure: once the atomic action has fully applied, do observable work.
+  {
+    auto all_applied = [flags, d](const State& s) {
+      for (VarId f : flags) {
+        if (s.get(f) != s.get(d)) return false;
+      }
+      return true;
+    };
+    std::vector<VarId> reads = flags;
+    reads.push_back(d);
+    reads.push_back(work);
+    b.closure(
+        "work", all_applied,
+        [work, work_modulus](State& s) {
+          s.set(work, (s.get(work) + 1) % work_modulus);
+        },
+        reads, {work});
+  }
+
+  aa.design.name = b.peek().name();
+  aa.design.program = b.build();
+  aa.design.invariant = std::move(inv);
+  // Fault-span: no participant carries the un-tolerated value 2.
+  {
+    auto fs = aa.flags;
+    aa.design.fault_span = [fs](const State& s) {
+      for (VarId f : fs) {
+        if (s.get(f) == 2) return false;
+      }
+      return true;
+    };
+  }
+  aa.design.stabilizing = false;  // T != true
+  return aa;
+}
+
+}  // namespace nonmask

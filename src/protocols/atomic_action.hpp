@@ -1,0 +1,40 @@
+// Nonmasking atomic actions (the third system named in the paper's
+// abstract; the full version's worked example is not in the extended
+// abstract, so this is our reconstruction — see DESIGN.md).
+//
+// It is also the library's showcase of a *non-trivial fault-span*
+// (S ⊊ T ⊊ true). A coordinator holds a decision d; each participant j
+// holds an applied-value f.j in {0, 1, 2}. The atomic action is "all
+// participants apply d": S = (forall j :: f.j = d).
+//
+// The tolerated fault class flips f.j between 0 and 1 (transient
+// application glitches); the fault-span is T = (forall j :: f.j != 2).
+// Value 2 models un-tolerated damage: from f.j = 2 no action recovers, so
+// the design is T-tolerant for S but *not* true-tolerant — the checker
+// demonstrates both, making the paper's relative notion of tolerance
+// concrete.
+//
+// The convergence actions (f.j != d, f.j != 2 -> f.j := d) form a star
+// out-tree rooted at {d}: Theorem 1 applies.
+#pragma once
+
+#include <vector>
+
+#include "core/candidate.hpp"
+
+namespace nonmask {
+
+struct AtomicActionDesign {
+  Design design;
+  VarId decision;            ///< d
+  VarId work;                ///< closure-side progress counter
+  std::vector<VarId> flags;  ///< f.j
+  /// Indices of the per-participant flip fault actions.
+  std::vector<std::size_t> fault_actions;
+};
+
+/// num_participants >= 1; work_modulus >= 2 sizes the closure counter.
+AtomicActionDesign make_atomic_action(int num_participants,
+                                      Value work_modulus = 4);
+
+}  // namespace nonmask

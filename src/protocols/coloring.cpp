@@ -1,0 +1,86 @@
+#include "protocols/coloring.hpp"
+
+#include <string>
+
+#include "core/builder.hpp"
+
+namespace nonmask {
+
+bool ColoringDesign::proper(const UndirectedGraph& g, const State& s) const {
+  for (const auto& [u, v] : g.edges()) {
+    if (s.get(color[static_cast<std::size_t>(u)]) ==
+        s.get(color[static_cast<std::size_t>(v)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ColoringDesign make_coloring(const UndirectedGraph& g) {
+  const int n = g.size();
+  const Value palette_max = static_cast<Value>(g.max_degree());
+
+  ProgramBuilder b("stabilizing-coloring");
+  ColoringDesign cd;
+  for (int j = 0; j < n; ++j) {
+    cd.color.push_back(b.var("color." + std::to_string(j), 0, palette_max, j));
+  }
+  const auto& color = cd.color;
+
+  Invariant inv;
+  for (int j = 0; j < n; ++j) {
+    std::vector<VarId> lower, all_nbrs;
+    for (int k : g.neighbors(j)) {
+      all_nbrs.push_back(color[static_cast<std::size_t>(k)]);
+      if (k < j) lower.push_back(color[static_cast<std::size_t>(k)]);
+    }
+    if (lower.empty()) continue;  // no obligation, no action
+
+    const VarId cj = color[static_cast<std::size_t>(j)];
+    auto ok = [cj, lower](const State& s) {
+      for (VarId k : lower) {
+        if (s.get(k) == s.get(cj)) return false;
+      }
+      return true;
+    };
+    std::vector<VarId> support = lower;
+    support.push_back(cj);
+    const auto cid = inv.add(Constraint{
+        "no-conflict-below@" + std::to_string(j), ok, support});
+
+    std::vector<VarId> reads = all_nbrs;
+    reads.push_back(cj);
+    const std::size_t action_index = b.peek().num_actions();
+    b.convergence(
+        "recolor@" + std::to_string(j),
+        [ok](const State& s) { return !ok(s); },
+        [cj, all_nbrs, palette_max](State& s) {
+          // Smallest color unused by any neighbor; degree <= palette_max
+          // guarantees one exists.
+          for (Value c = 0; c <= palette_max; ++c) {
+            bool used = false;
+            for (VarId k : all_nbrs) {
+              if (s.get(k) == c) {
+                used = true;
+                break;
+              }
+            }
+            if (!used) {
+              s.set(cj, c);
+              return;
+            }
+          }
+        },
+        reads, {cj}, static_cast<int>(cid), j);
+    cd.layers.push_back({action_index});
+  }
+
+  cd.design.name = b.peek().name();
+  cd.design.program = b.build();
+  cd.design.invariant = std::move(inv);
+  cd.design.fault_span = true_predicate();
+  cd.design.stabilizing = true;
+  return cd;
+}
+
+}  // namespace nonmask

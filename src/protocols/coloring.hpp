@@ -1,0 +1,33 @@
+// Stabilizing graph coloring (extension protocol) — the library's cleanest
+// Theorem 3 showcase.
+//
+// Node j holds color.j in [0, max_degree]. A node is in conflict when it
+// shares a color with a *lower-id* neighbor; its convergence action
+// recolors to the smallest color unused by any neighbor. Constraint
+//   c.j = (forall lower-id neighbors k :: color.k != color.j)
+// and the per-id layering {0}, {1}, ..., {n-1} discharge Theorem 3
+// mechanically: a higher-id action writes only its own color, which no
+// lower layer's constraint reads.
+#pragma once
+
+#include <vector>
+
+#include "core/candidate.hpp"
+#include "graphlib/topology.hpp"
+
+namespace nonmask {
+
+struct ColoringDesign {
+  Design design;
+  std::vector<VarId> color;
+  /// Theorem-3 layers: layer j = the single convergence action of node j
+  /// (nodes with no lower-id neighbors contribute no action).
+  std::vector<std::vector<std::size_t>> layers;
+
+  /// True iff s is a proper coloring of g.
+  bool proper(const UndirectedGraph& g, const State& s) const;
+};
+
+ColoringDesign make_coloring(const UndirectedGraph& g);
+
+}  // namespace nonmask

@@ -1,0 +1,152 @@
+#include "protocols/diffusing.hpp"
+
+#include <string>
+
+#include "core/builder.hpp"
+
+namespace nonmask {
+
+std::vector<std::vector<VarId>> DiffusingDesign::partition() const {
+  std::vector<std::vector<VarId>> groups;
+  groups.reserve(color.size());
+  for (std::size_t j = 0; j < color.size(); ++j) {
+    groups.push_back({color[j], session[j]});
+  }
+  return groups;
+}
+
+DiffusingDesign make_diffusing(const RootedTree& tree, bool combined) {
+  const int n = tree.size();
+  ProgramBuilder b(combined ? "diffusing-computation"
+                            : "diffusing-computation-separated");
+
+  DiffusingDesign dd;
+  dd.color.reserve(static_cast<std::size_t>(n));
+  dd.session.reserve(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    dd.color.push_back(
+        b.var("c." + std::to_string(j), kGreen, kRed, j));
+    dd.session.push_back(b.boolean("sn." + std::to_string(j), j));
+  }
+  const auto& c = dd.color;
+  const auto& sn = dd.session;
+
+  // Constraint R.j for each non-root j; record constraint index per node.
+  Invariant inv;
+  std::vector<int> constraint_of(static_cast<std::size_t>(n), -1);
+  for (int j = 0; j < n; ++j) {
+    if (tree.is_root(j)) continue;
+    const int p = tree.parent(j);
+    const VarId cj = c[static_cast<std::size_t>(j)];
+    const VarId cp = c[static_cast<std::size_t>(p)];
+    const VarId snj = sn[static_cast<std::size_t>(j)];
+    const VarId snp = sn[static_cast<std::size_t>(p)];
+    auto R = [cj, cp, snj, snp](const State& s) {
+      return (s.get(cj) == s.get(cp) && s.get(snj) == s.get(snp)) ||
+             (s.get(cj) == kGreen && s.get(cp) == kRed);
+    };
+    constraint_of[static_cast<std::size_t>(j)] = static_cast<int>(inv.add(
+        Constraint{"R." + std::to_string(j), R, {cj, cp, snj, snp}}));
+  }
+
+  // Closure action 1: the root initiates a new diffusing computation.
+  {
+    const int r = tree.root();
+    const VarId cr = c[static_cast<std::size_t>(r)];
+    const VarId snr = sn[static_cast<std::size_t>(r)];
+    b.closure(
+        "initiate@" + std::to_string(r),
+        [cr](const State& s) { return s.get(cr) == kGreen; },
+        [cr, snr](State& s) {
+          s.set(cr, kRed);
+          s.set(snr, 1 - s.get(snr));
+        },
+        {cr, snr}, {cr, snr}, r);
+  }
+
+  // Per non-root j: propagation (closure) and correction (convergence), or
+  // the paper's combined action.
+  for (int j = 0; j < n; ++j) {
+    if (tree.is_root(j)) continue;
+    const int p = tree.parent(j);
+    const VarId cj = c[static_cast<std::size_t>(j)];
+    const VarId cp = c[static_cast<std::size_t>(p)];
+    const VarId snj = sn[static_cast<std::size_t>(j)];
+    const VarId snp = sn[static_cast<std::size_t>(p)];
+
+    auto copy_parent = [cj, cp, snj, snp](State& s) {
+      s.set(cj, s.get(cp));
+      s.set(snj, s.get(snp));
+    };
+    const std::vector<VarId> reads{cj, cp, snj, snp};
+    const std::vector<VarId> writes{cj, snj};
+
+    if (combined) {
+      // sn.j != sn.P.j \/ (c.j = red /\ c.P.j = green) -> copy from parent
+      b.convergence(
+          "propagate-or-correct@" + std::to_string(j),
+          [cj, cp, snj, snp](const State& s) {
+            return s.get(snj) != s.get(snp) ||
+                   (s.get(cj) == kRed && s.get(cp) == kGreen);
+          },
+          copy_parent, reads, writes,
+          constraint_of[static_cast<std::size_t>(j)], j);
+    } else {
+      // Closure: c.j = green /\ c.P.j = red /\ sn.j != sn.P.j -> copy.
+      b.closure(
+          "propagate@" + std::to_string(j),
+          [cj, cp, snj, snp](const State& s) {
+            return s.get(cj) == kGreen && s.get(cp) == kRed &&
+                   s.get(snj) != s.get(snp);
+          },
+          copy_parent, reads, writes, j);
+      // Convergence: ¬R.j -> copy (the paper's preferred statement).
+      b.convergence(
+          "correct@" + std::to_string(j),
+          [cj, cp, snj, snp](const State& s) {
+            const bool R =
+                (s.get(cj) == s.get(cp) && s.get(snj) == s.get(snp)) ||
+                (s.get(cj) == kGreen && s.get(cp) == kRed);
+            return !R;
+          },
+          copy_parent, reads, writes,
+          constraint_of[static_cast<std::size_t>(j)], j);
+    }
+  }
+
+  // Closure action 3: reflection, once every child has completed.
+  for (int j = 0; j < n; ++j) {
+    const VarId cj = c[static_cast<std::size_t>(j)];
+    const VarId snj = sn[static_cast<std::size_t>(j)];
+    std::vector<VarId> reads{cj, snj};
+    std::vector<VarId> child_c, child_sn;
+    for (int k : tree.children(j)) {
+      child_c.push_back(c[static_cast<std::size_t>(k)]);
+      child_sn.push_back(sn[static_cast<std::size_t>(k)]);
+      reads.push_back(child_c.back());
+      reads.push_back(child_sn.back());
+    }
+    b.closure(
+        "reflect@" + std::to_string(j),
+        [cj, snj, child_c, child_sn](const State& s) {
+          if (s.get(cj) != kRed) return false;
+          for (std::size_t i = 0; i < child_c.size(); ++i) {
+            if (s.get(child_c[i]) != kGreen ||
+                s.get(child_sn[i]) != s.get(snj)) {
+              return false;
+            }
+          }
+          return true;
+        },
+        [cj](State& s) { s.set(cj, kGreen); }, reads, {cj}, j);
+  }
+
+  dd.design.name = b.peek().name();
+  dd.design.program = b.build();
+  dd.design.invariant = std::move(inv);
+  dd.design.fault_span = true_predicate();
+  dd.design.stabilizing = true;
+  return dd;
+}
+
+}  // namespace nonmask

@@ -1,0 +1,42 @@
+// Stabilizing diffusing computation (Section 5.1).
+//
+// A rooted tree of processes; waves of red (propagation) and green
+// (reflection) sweep root->leaves->root forever. Per-node state: a color
+// c.j in {green, red} and a boolean session number sn.j. The invariant is
+//   S = (forall j :: R.j),
+//   R.j = (c.j == c.P.j  /\  sn.j == sn.P.j)  \/  (c.j == green /\ c.P.j == red)
+// (R.root is trivially true).
+//
+// Two design forms are produced:
+//   - separated (combined == false): the design as validated by Theorem 1 —
+//     closure actions {initiate, propagate, reflect} plus one convergence
+//     action per non-root constraint, with guard exactly ¬R.j;
+//   - combined (combined == true): the paper's final program, in which the
+//     propagate closure action and the convergence action merge into
+//       sn.j != sn.P.j \/ (c.j == red /\ c.P.j == green)
+//           -> c.j, sn.j := c.P.j, sn.P.j.
+#pragma once
+
+#include <vector>
+
+#include "core/candidate.hpp"
+#include "graphlib/topology.hpp"
+
+namespace nonmask {
+
+inline constexpr Value kGreen = 0;
+inline constexpr Value kRed = 1;
+
+struct DiffusingDesign {
+  Design design;
+  std::vector<VarId> color;    ///< c.j per node
+  std::vector<VarId> session;  ///< sn.j per node
+
+  /// The explicit constraint-graph partition the paper uses: one node per
+  /// process, labeled {c.j, sn.j}.
+  std::vector<std::vector<VarId>> partition() const;
+};
+
+DiffusingDesign make_diffusing(const RootedTree& tree, bool combined = true);
+
+}  // namespace nonmask

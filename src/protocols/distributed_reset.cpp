@@ -1,0 +1,163 @@
+#include "protocols/distributed_reset.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/builder.hpp"
+
+namespace nonmask {
+
+DistributedResetDesign make_distributed_reset(const RootedTree& tree,
+                                              Value app_values,
+                                              bool combined) {
+  if (app_values < 2) {
+    throw std::invalid_argument("distributed reset: app_values < 2");
+  }
+  const int n = tree.size();
+  ProgramBuilder b(combined ? "distributed-reset"
+                            : "distributed-reset-separated");
+
+  DistributedResetDesign dr;
+  for (int j = 0; j < n; ++j) {
+    dr.color.push_back(b.var("c." + std::to_string(j), kGreen, kRed, j));
+    dr.session.push_back(b.boolean("sn." + std::to_string(j), j));
+    dr.app.push_back(b.var("app." + std::to_string(j), 0, app_values - 1, j));
+  }
+  const auto& c = dr.color;
+  const auto& sn = dr.session;
+  const auto& app = dr.app;
+
+  // The diffusing computation's constraints R.j, unchanged: the reset
+  // layer adds no constraints (app values are unconstrained in S).
+  Invariant inv;
+  std::vector<int> constraint_of(static_cast<std::size_t>(n), -1);
+  for (int j = 0; j < n; ++j) {
+    if (tree.is_root(j)) continue;
+    const int p = tree.parent(j);
+    const VarId cj = c[static_cast<std::size_t>(j)];
+    const VarId cp = c[static_cast<std::size_t>(p)];
+    const VarId snj = sn[static_cast<std::size_t>(j)];
+    const VarId snp = sn[static_cast<std::size_t>(p)];
+    auto R = [cj, cp, snj, snp](const State& s) {
+      return (s.get(cj) == s.get(cp) && s.get(snj) == s.get(snp)) ||
+             (s.get(cj) == kGreen && s.get(cp) == kRed);
+    };
+    constraint_of[static_cast<std::size_t>(j)] = static_cast<int>(inv.add(
+        Constraint{"R." + std::to_string(j), R, {cj, cp, snj, snp}}));
+  }
+
+  // Application work: a green node computes freely.
+  for (int j = 0; j < n; ++j) {
+    const VarId cj = c[static_cast<std::size_t>(j)];
+    const VarId aj = app[static_cast<std::size_t>(j)];
+    b.closure(
+        "work@" + std::to_string(j),
+        [cj](const State& s) { return s.get(cj) == kGreen; },
+        [aj, app_values](State& s) {
+          s.set(aj, (s.get(aj) + 1) % app_values);
+        },
+        {cj, aj}, {aj}, j);
+  }
+
+  // Root initiates a reset wave: turn red, flip session, reset app.
+  {
+    const int r = tree.root();
+    const VarId cr = c[static_cast<std::size_t>(r)];
+    const VarId snr = sn[static_cast<std::size_t>(r)];
+    const VarId ar = app[static_cast<std::size_t>(r)];
+    b.closure(
+        "initiate-reset@" + std::to_string(r),
+        [cr](const State& s) { return s.get(cr) == kGreen; },
+        [cr, snr, ar](State& s) {
+          s.set(cr, kRed);
+          s.set(snr, 1 - s.get(snr));
+          s.set(ar, 0);
+        },
+        {cr, snr, ar}, {cr, snr, ar}, r);
+  }
+
+  // Per non-root node: wave propagation / correction. When the copied
+  // color is red (the reset front arriving), reset app.j.
+  for (int j = 0; j < n; ++j) {
+    if (tree.is_root(j)) continue;
+    const int p = tree.parent(j);
+    const VarId cj = c[static_cast<std::size_t>(j)];
+    const VarId cp = c[static_cast<std::size_t>(p)];
+    const VarId snj = sn[static_cast<std::size_t>(j)];
+    const VarId snp = sn[static_cast<std::size_t>(p)];
+    const VarId aj = app[static_cast<std::size_t>(j)];
+
+    auto copy_and_reset = [cj, cp, snj, snp, aj](State& s) {
+      s.set(cj, s.get(cp));
+      s.set(snj, s.get(snp));
+      if (s.get(cp) == kRed) s.set(aj, 0);
+    };
+    const std::vector<VarId> reads{cj, cp, snj, snp};
+    const std::vector<VarId> writes{cj, snj, aj};
+
+    if (combined) {
+      b.convergence(
+          "propagate-or-correct@" + std::to_string(j),
+          [cj, cp, snj, snp](const State& s) {
+            return s.get(snj) != s.get(snp) ||
+                   (s.get(cj) == kRed && s.get(cp) == kGreen);
+          },
+          copy_and_reset, reads, writes,
+          constraint_of[static_cast<std::size_t>(j)], j);
+    } else {
+      b.closure(
+          "propagate@" + std::to_string(j),
+          [cj, cp, snj, snp](const State& s) {
+            return s.get(cj) == kGreen && s.get(cp) == kRed &&
+                   s.get(snj) != s.get(snp);
+          },
+          copy_and_reset, reads, writes, j);
+      b.convergence(
+          "correct@" + std::to_string(j),
+          [cj, cp, snj, snp](const State& s) {
+            const bool R =
+                (s.get(cj) == s.get(cp) && s.get(snj) == s.get(snp)) ||
+                (s.get(cj) == kGreen && s.get(cp) == kRed);
+            return !R;
+          },
+          copy_and_reset, reads, writes,
+          constraint_of[static_cast<std::size_t>(j)], j);
+    }
+  }
+
+  // Reflection, as in the diffusing computation.
+  for (int j = 0; j < n; ++j) {
+    const VarId cj = c[static_cast<std::size_t>(j)];
+    const VarId snj = sn[static_cast<std::size_t>(j)];
+    std::vector<VarId> reads{cj, snj};
+    std::vector<VarId> child_c, child_sn;
+    for (int k : tree.children(j)) {
+      child_c.push_back(c[static_cast<std::size_t>(k)]);
+      child_sn.push_back(sn[static_cast<std::size_t>(k)]);
+      reads.push_back(child_c.back());
+      reads.push_back(child_sn.back());
+    }
+    b.closure(
+        "complete@" + std::to_string(j),
+        [cj, snj, child_c, child_sn](const State& s) {
+          if (s.get(cj) != kRed) return false;
+          for (std::size_t i = 0; i < child_c.size(); ++i) {
+            if (s.get(child_c[i]) != kGreen ||
+                s.get(child_sn[i]) != s.get(snj)) {
+              return false;
+            }
+          }
+          return true;
+        },
+        [cj](State& s) { s.set(cj, kGreen); }, reads, {cj}, j);
+  }
+
+  dr.design.name = b.peek().name();
+  dr.design.program = b.build();
+  dr.design.invariant = std::move(inv);
+  dr.design.fault_span = true_predicate();
+  dr.design.stabilizing = true;
+  return dr;
+}
+
+}  // namespace nonmask

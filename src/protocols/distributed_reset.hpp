@@ -1,0 +1,42 @@
+// Distributed reset (the application behind Section 5.1: the paper's
+// diffusing computation is "a simplified version of a program in [12]" —
+// Arora & Gouda's distributed reset).
+//
+// Each node carries an application variable app.j that ordinary *work*
+// closure actions keep changing while the node is green. The diffusing
+// wave doubles as a reset wave: when the red front reaches node j, app.j
+// is reset to 0; work resumes only after the node turns green again. The
+// stabilization machinery (constraints R.j, correction action, Theorem 1
+// out-tree) is exactly the diffusing computation's — the application layer
+// rides on it without touching the convergence argument, which is the
+// paper's composition story in practice.
+#pragma once
+
+#include <vector>
+
+#include "core/candidate.hpp"
+#include "graphlib/topology.hpp"
+#include "protocols/diffusing.hpp"
+
+namespace nonmask {
+
+struct DistributedResetDesign {
+  Design design;
+  std::vector<VarId> color;
+  std::vector<VarId> session;
+  std::vector<VarId> app;
+
+  /// True iff node j is currently reset (red with app == 0).
+  bool reset_at(const State& s, int j) const {
+    return s.get(color[static_cast<std::size_t>(j)]) == kRed &&
+           s.get(app[static_cast<std::size_t>(j)]) == 0;
+  }
+};
+
+/// app domain is [0, app_values - 1]; combined selects the paper's merged
+/// propagate-or-correct action (true) or the separated Theorem-1 form.
+DistributedResetDesign make_distributed_reset(const RootedTree& tree,
+                                              Value app_values = 4,
+                                              bool combined = true);
+
+}  // namespace nonmask

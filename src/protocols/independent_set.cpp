@@ -1,0 +1,95 @@
+#include "protocols/independent_set.hpp"
+
+#include <string>
+
+#include "core/builder.hpp"
+
+namespace nonmask {
+
+bool IndependentSetDesign::independent(const UndirectedGraph& g,
+                                       const State& s) const {
+  for (const auto& [u, v] : g.edges()) {
+    if (s.get(in[static_cast<std::size_t>(u)]) == 1 &&
+        s.get(in[static_cast<std::size_t>(v)]) == 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IndependentSetDesign::maximal_independent(const UndirectedGraph& g,
+                                               const State& s) const {
+  if (!independent(g, s)) return false;
+  for (int j = 0; j < g.size(); ++j) {
+    if (s.get(in[static_cast<std::size_t>(j)]) == 1) continue;
+    bool blocked = false;
+    for (int k : g.neighbors(j)) {
+      if (s.get(in[static_cast<std::size_t>(k)]) == 1) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) return false;  // j could join: not maximal
+  }
+  return true;
+}
+
+IndependentSetDesign make_independent_set(const UndirectedGraph& g) {
+  const int n = g.size();
+  ProgramBuilder b("maximal-independent-set");
+  IndependentSetDesign is;
+  for (int j = 0; j < n; ++j) {
+    is.in.push_back(b.boolean("in." + std::to_string(j), j));
+  }
+  const auto& in = is.in;
+
+  for (int j = 0; j < n; ++j) {
+    const VarId ij = in[static_cast<std::size_t>(j)];
+    std::vector<VarId> nbrs, lower;
+    for (int k : g.neighbors(j)) {
+      nbrs.push_back(in[static_cast<std::size_t>(k)]);
+      if (k < j) lower.push_back(in[static_cast<std::size_t>(k)]);
+    }
+    std::vector<VarId> reads = nbrs;
+    reads.push_back(ij);
+
+    b.closure(
+        "join@" + std::to_string(j),
+        [ij, nbrs](const State& s) {
+          if (s.get(ij) == 1) return false;
+          for (VarId k : nbrs) {
+            if (s.get(k) == 1) return false;
+          }
+          return true;
+        },
+        [ij](State& s) { s.set(ij, 1); }, reads, {ij}, j);
+    if (!lower.empty()) {
+      b.closure(
+          "leave@" + std::to_string(j),
+          [ij, lower](const State& s) {
+            if (s.get(ij) == 0) return false;
+            for (VarId k : lower) {
+              if (s.get(k) == 1) return true;
+            }
+            return false;
+          },
+          [ij](State& s) { s.set(ij, 0); }, reads, {ij}, j);
+    }
+  }
+
+  is.design.name = b.peek().name();
+  is.design.program = b.build();
+  is.design.fault_span = true_predicate();
+  is.design.stabilizing = true;
+  {
+    IndependentSetDesign probe;
+    probe.in = is.in;
+    const UndirectedGraph graph = g;
+    is.design.S_override = [probe, graph](const State& s) {
+      return probe.maximal_independent(graph, s);
+    };
+  }
+  return is;
+}
+
+}  // namespace nonmask

@@ -1,0 +1,30 @@
+// Stabilizing maximal independent set (extension protocol).
+//
+// Node j holds a bit in.j. Rules (id-priority breaks symmetry, as in the
+// coloring protocol):
+//   join:  in.j = 0 and no neighbor is in         -> in.j := 1
+//   leave: in.j = 1 and a *lower-id* neighbor is in -> in.j := 0
+// S = "the in-bits form a maximal independent set" (no two adjacent
+// members, no non-member addable). Converges under any central daemon:
+// node 0's membership stabilizes first, then inductively up the ids —
+// the same hierarchy Theorem 3 formalizes.
+#pragma once
+
+#include <vector>
+
+#include "core/candidate.hpp"
+#include "graphlib/topology.hpp"
+
+namespace nonmask {
+
+struct IndependentSetDesign {
+  Design design;
+  std::vector<VarId> in;
+
+  bool independent(const UndirectedGraph& g, const State& s) const;
+  bool maximal_independent(const UndirectedGraph& g, const State& s) const;
+};
+
+IndependentSetDesign make_independent_set(const UndirectedGraph& g);
+
+}  // namespace nonmask

@@ -1,0 +1,57 @@
+#include "protocols/leader_election.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "core/builder.hpp"
+
+namespace nonmask {
+
+LeaderElectionDesign make_leader_election(int num_nodes) {
+  if (num_nodes < 2) throw std::invalid_argument("leader election: n < 2");
+  ProgramBuilder b("ring-leader-election");
+  LeaderElectionDesign le;
+  for (int j = 0; j < num_nodes; ++j) {
+    le.ldr.push_back(b.var("ldr." + std::to_string(j), 0,
+                           static_cast<Value>(num_nodes - 1), j));
+  }
+  const auto& ldr = le.ldr;
+
+  Invariant inv;
+  for (int j = 0; j < num_nodes; ++j) {
+    const VarId lj = ldr[static_cast<std::size_t>(j)];
+    if (j == 0) {
+      const auto cid = inv.add(Constraint{
+          "ldr.0 = 0", [lj](const State& s) { return s.get(lj) == 0; }, {lj}});
+      b.convergence(
+          "claim@0", [lj](const State& s) { return s.get(lj) != 0; },
+          [lj](State& s) { s.set(lj, 0); }, {lj}, {lj},
+          static_cast<int>(cid), 0);
+      continue;
+    }
+    const VarId lp = ldr[static_cast<std::size_t>(j - 1)];
+    const Value id = static_cast<Value>(j);
+    auto ok = [lj, lp, id](const State& s) {
+      return s.get(lj) == std::min(id, s.get(lp));
+    };
+    const auto cid = inv.add(Constraint{
+        "ldr." + std::to_string(j) + " = min(id, ldr." +
+            std::to_string(j - 1) + ")",
+        ok, {lj, lp}});
+    b.convergence(
+        "adopt@" + std::to_string(j),
+        [ok](const State& s) { return !ok(s); },
+        [lj, lp, id](State& s) { s.set(lj, std::min(id, s.get(lp))); },
+        {lj, lp}, {lj}, static_cast<int>(cid), j);
+  }
+
+  le.design.name = b.peek().name();
+  le.design.program = b.build();
+  le.design.invariant = std::move(inv);
+  le.design.fault_span = true_predicate();
+  le.design.stabilizing = true;
+  return le;
+}
+
+}  // namespace nonmask

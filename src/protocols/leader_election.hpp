@@ -1,0 +1,26 @@
+// Stabilizing leader election on a unidirectional ring (extension
+// protocol). Node ids are 0..n-1, so the minimum id (0) is always a real
+// node and min-propagation suffices:
+//   node 0:    ldr.0 != 0            -> ldr.0 := 0
+//   node j>0:  ldr.j != min(j, ldr.(j-1)) -> ldr.j := min(j, ldr.(j-1))
+// The unique fixpoint is ldr.j = 0 everywhere. Because the ring is
+// unidirectional and node 0 reads no predecessor, the inferred constraint
+// graph is a chain with a self-loop at {ldr.0} — not an out-tree (the
+// self-loop disqualifies Theorem 1) but self-looping, so Theorem 2
+// validates the design mechanically.
+#pragma once
+
+#include <vector>
+
+#include "core/candidate.hpp"
+
+namespace nonmask {
+
+struct LeaderElectionDesign {
+  Design design;
+  std::vector<VarId> ldr;
+};
+
+LeaderElectionDesign make_leader_election(int num_nodes);
+
+}  // namespace nonmask

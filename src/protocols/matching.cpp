@@ -1,0 +1,156 @@
+#include "protocols/matching.hpp"
+
+#include <string>
+
+#include "core/builder.hpp"
+
+namespace nonmask {
+
+namespace {
+
+/// The node pointer p.j targets: adjacency index -> node id, or -1.
+int target_of(const UndirectedGraph& g, Value pj, int j) {
+  if (pj < 0) return -1;
+  const auto& nbrs = g.neighbors(j);
+  if (static_cast<std::size_t>(pj) >= nbrs.size()) return -1;
+  return nbrs[static_cast<std::size_t>(pj)];
+}
+
+}  // namespace
+
+int MatchingDesign::partner(const UndirectedGraph& g, const State& s,
+                            int j) const {
+  const int k = target_of(g, s.get(ptr[static_cast<std::size_t>(j)]), j);
+  if (k < 0) return -1;
+  if (target_of(g, s.get(ptr[static_cast<std::size_t>(k)]), k) == j) return k;
+  return -1;
+}
+
+bool MatchingDesign::is_matching(const UndirectedGraph& g,
+                                 const State& s) const {
+  for (int j = 0; j < g.size(); ++j) {
+    const int k = target_of(g, s.get(ptr[static_cast<std::size_t>(j)]), j);
+    if (k < 0) continue;
+    if (target_of(g, s.get(ptr[static_cast<std::size_t>(k)]), k) != j) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MatchingDesign::is_maximal_matching(const UndirectedGraph& g,
+                                         const State& s) const {
+  if (!is_matching(g, s)) return false;
+  for (const auto& [u, v] : g.edges()) {
+    if (s.get(ptr[static_cast<std::size_t>(u)]) < 0 &&
+        s.get(ptr[static_cast<std::size_t>(v)]) < 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+MatchingDesign make_matching(const UndirectedGraph& g) {
+  const int n = g.size();
+  ProgramBuilder b("hsu-huang-matching");
+  MatchingDesign md;
+  for (int j = 0; j < n; ++j) {
+    md.ptr.push_back(b.var("p." + std::to_string(j), -1,
+                           static_cast<Value>(g.degree(j)) - 1, j));
+  }
+  const auto& ptr = md.ptr;
+
+  // All pointers of all nodes feed every rule's guard via "does anyone
+  // point at j", so reads cover j's neighborhood pointers.
+  for (int j = 0; j < n; ++j) {
+    const VarId pj = ptr[static_cast<std::size_t>(j)];
+    const auto& nbrs = g.neighbors(j);
+    std::vector<VarId> reads{pj};
+    for (int k : nbrs) reads.push_back(ptr[static_cast<std::size_t>(k)]);
+
+    // Index of j within each neighbor's adjacency list (to test p.k -> j).
+    std::vector<Value> back_index(nbrs.size(), -1);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const auto& kn = g.neighbors(nbrs[i]);
+      for (std::size_t t = 0; t < kn.size(); ++t) {
+        if (kn[t] == j) back_index[i] = static_cast<Value>(t);
+      }
+    }
+
+    auto pointed_at_by = [ptr, nbrs, back_index](const State& s, int j_) {
+      (void)j_;
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (s.get(ptr[static_cast<std::size_t>(nbrs[i])]) == back_index[i]) {
+          return static_cast<int>(i);  // adjacency index of a suitor
+        }
+      }
+      return -1;
+    };
+
+    // accept: null and a neighbor points at me -> point back (smallest).
+    b.closure(
+        "accept@" + std::to_string(j),
+        [pj, pointed_at_by, j](const State& s) {
+          return s.get(pj) < 0 && pointed_at_by(s, j) >= 0;
+        },
+        [pj, pointed_at_by, j](State& s) {
+          s.set(pj, static_cast<Value>(pointed_at_by(s, j)));
+        },
+        reads, {pj}, j);
+
+    // propose: null, no suitors, and a null neighbor exists -> point at the
+    // smallest null neighbor.
+    {
+      auto first_null_nbr = [ptr, nbrs](const State& s) {
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          if (s.get(ptr[static_cast<std::size_t>(nbrs[i])]) < 0) {
+            return static_cast<int>(i);
+          }
+        }
+        return -1;
+      };
+      b.closure(
+          "propose@" + std::to_string(j),
+          [pj, pointed_at_by, first_null_nbr, j](const State& s) {
+            return s.get(pj) < 0 && pointed_at_by(s, j) < 0 &&
+                   first_null_nbr(s) >= 0;
+          },
+          [pj, first_null_nbr](State& s) {
+            s.set(pj, static_cast<Value>(first_null_nbr(s)));
+          },
+          reads, {pj}, j);
+    }
+
+    // retract: I point at k but k points at a third node -> null.
+    b.closure(
+        "retract@" + std::to_string(j),
+        [pj, ptr, nbrs, back_index](const State& s) {
+          const Value v = s.get(pj);
+          if (v < 0) return false;
+          const int k = nbrs[static_cast<std::size_t>(v)];
+          const Value pk = s.get(ptr[static_cast<std::size_t>(k)]);
+          return pk >= 0 && pk != back_index[static_cast<std::size_t>(v)];
+        },
+        [pj](State& s) { s.set(pj, -1); }, reads, {pj}, j);
+  }
+
+  Design& d = md.design;
+  d.name = b.peek().name();
+  d.program = b.build();
+  d.fault_span = true_predicate();
+  d.stabilizing = true;
+
+  // S: the pointers form a maximal matching.
+  {
+    auto ptrs = md.ptr;
+    const UndirectedGraph graph = g;  // value copy captured by the predicate
+    MatchingDesign probe;
+    probe.ptr = ptrs;
+    d.S_override = [probe, graph](const State& s) {
+      return probe.is_maximal_matching(graph, s);
+    };
+  }
+  return md;
+}
+
+}  // namespace nonmask

@@ -1,0 +1,34 @@
+// Stabilizing maximal matching (extension protocol), after Hsu & Huang
+// (1992). Node j holds a pointer p.j — either null or (the adjacency index
+// of) a neighbor. Rules, with the smallest eligible neighbor chosen:
+//   accept:  p.j = null and some neighbor points at j        -> point back
+//   propose: p.j = null, nobody points at j, a neighbor is null -> point at it
+//   retract: p.j = k but k points at a third node             -> p.j := null
+// The invariant is "the pointers form a maximal matching": pointers are
+// mutual, and no two adjacent nodes are both null. Convergence under the
+// central daemon is Hsu-Huang's theorem; our exact checker re-proves it on
+// every small graph the tests sweep.
+#pragma once
+
+#include <vector>
+
+#include "core/candidate.hpp"
+#include "graphlib/topology.hpp"
+
+namespace nonmask {
+
+struct MatchingDesign {
+  Design design;
+  std::vector<VarId> ptr;  ///< p.j: -1 = null, else index into neighbors(j)
+
+  /// The matched partner of j at s, or -1.
+  int partner(const UndirectedGraph& g, const State& s, int j) const;
+  /// True iff pointers at s form a matching (mutual pointers only).
+  bool is_matching(const UndirectedGraph& g, const State& s) const;
+  /// True iff the matching is maximal (no two adjacent unmatched nodes).
+  bool is_maximal_matching(const UndirectedGraph& g, const State& s) const;
+};
+
+MatchingDesign make_matching(const UndirectedGraph& g);
+
+}  // namespace nonmask

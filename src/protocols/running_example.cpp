@@ -1,0 +1,95 @@
+#include "protocols/running_example.hpp"
+
+#include <stdexcept>
+
+#include "core/builder.hpp"
+
+namespace nonmask {
+
+const char* to_string(RunningExampleVariant v) noexcept {
+  switch (v) {
+    case RunningExampleVariant::kWriteYZ: return "write-y-z";
+    case RunningExampleVariant::kWriteXBoth: return "write-x-both";
+    case RunningExampleVariant::kDecreaseX: return "decrease-x";
+  }
+  return "?";
+}
+
+Design make_running_example(RunningExampleVariant variant, Value lo,
+                            Value hi) {
+  if (hi <= lo) throw std::invalid_argument("running example: hi <= lo");
+
+  ProgramBuilder b(std::string("running-example-") + to_string(variant));
+  // x gets one value of headroom below lo: the kDecreaseX convergence
+  // action decrements x whenever x == y, and y >= lo.
+  const VarId x = b.var("x", lo - 1, hi);
+  const VarId y = b.var("y", lo, hi);
+  const VarId z = b.var("z", lo, hi);
+
+  Invariant inv;
+  const auto c_neq = inv.add(Constraint{
+      "x != y", [x, y](const State& s) { return s.get(x) != s.get(y); },
+      {x, y}});
+  const auto c_leq = inv.add(Constraint{
+      "x <= z", [x, z](const State& s) { return s.get(x) <= s.get(z); },
+      {x, z}});
+
+  switch (variant) {
+    case RunningExampleVariant::kWriteYZ:
+      // Fix x != y by moving y off x; fix x <= z by raising z to x.
+      b.convergence(
+          "fix-neq: y := (x == lo ? hi : lo)",
+          [x, y](const State& s) { return s.get(x) == s.get(y); },
+          [x, y, lo, hi](State& s) { s.set(y, s.get(x) == lo ? hi : lo); },
+          {x, y}, {y}, static_cast<int>(c_neq));
+      b.convergence(
+          "fix-leq: z := x",
+          [x, z](const State& s) { return s.get(x) > s.get(z); },
+          [x, z](State& s) { s.set(z, s.get(x)); }, {x, z}, {z},
+          static_cast<int>(c_leq));
+      break;
+
+    case RunningExampleVariant::kWriteXBoth:
+      // Fix x != y by *raising* x (wrapping), fix x <= z by x := z: each
+      // can violate the other, so the pair can oscillate forever.
+      b.convergence(
+          "fix-neq: x := x + 1 (wrap)",
+          [x, y](const State& s) { return s.get(x) == s.get(y); },
+          [x, lo, hi](State& s) {
+            s.set(x, s.get(x) < hi ? s.get(x) + 1 : lo - 1);
+          },
+          {x, y}, {x}, static_cast<int>(c_neq));
+      b.convergence(
+          "fix-leq: x := z",
+          [x, z](const State& s) { return s.get(x) > s.get(z); },
+          [x, z](State& s) { s.set(x, s.get(z)); }, {x, z}, {x},
+          static_cast<int>(c_leq));
+      break;
+
+    case RunningExampleVariant::kDecreaseX:
+      // Fix x != y by decreasing x (x == y >= lo, so x-1 >= lo-1 stays in
+      // domain); decreasing x preserves x <= z, so the linear order
+      // (fix-leq, fix-neq) discharges Theorem 2.
+      b.convergence(
+          "fix-neq: x := x - 1",
+          [x, y](const State& s) { return s.get(x) == s.get(y); },
+          [x](State& s) { s.set(x, s.get(x) - 1); }, {x, y}, {x},
+          static_cast<int>(c_neq));
+      b.convergence(
+          "fix-leq: x := z",
+          [x, z](const State& s) { return s.get(x) > s.get(z); },
+          [x, z](State& s) { s.set(x, s.get(z)); }, {x, z}, {x},
+          static_cast<int>(c_leq));
+      break;
+  }
+
+  Design d;
+  d.name = b.peek().name();
+  d.program = b.build();
+  d.invariant = std::move(inv);
+  d.fault_span = true_predicate();
+  d.stabilizing = true;
+  return d;
+}
+
+}  // namespace nonmask

@@ -1,0 +1,36 @@
+// The paper's running example (Sections 4 and 6): three integer variables
+// x, y, z with the invariant  S = (x != y) /\ (x <= z).
+//
+// Three convergence-action choices are modeled:
+//   kWriteYZ    (Section 4): fix x!=y by changing y, fix x<=z by raising z.
+//               Constraint graph {x}->{y}, {x}->{z} — the paper's figure,
+//               an out-tree; Theorem 1 applies.
+//   kWriteXBoth (Section 6, first example): both actions write x. Both
+//               edges target {x}; no linear order exists (each action can
+//               violate the other's constraint) and the pair can livelock.
+//   kDecreaseX  (Section 6, second example): fix x!=y by *decreasing* x,
+//               fix x<=z by lowering x to z. The decreasing action
+//               preserves x<=z, so the order (fix-x<=z, fix-x!=y) validates
+//               Theorem 2 and every computation is finite.
+#pragma once
+
+#include "core/candidate.hpp"
+#include "core/variable.hpp"
+
+namespace nonmask {
+
+enum class RunningExampleVariant {
+  kWriteYZ,     ///< Section 4: out-tree (the paper's figure)
+  kWriteXBoth,  ///< Section 6: same target node, livelocks
+  kDecreaseX,   ///< Section 6: same target node, linearly orderable
+};
+
+const char* to_string(RunningExampleVariant v) noexcept;
+
+/// Build the running example over domains y,z in [lo,hi] (x gets one extra
+/// value of headroom below lo so that the kDecreaseX variant can always
+/// decrement). Requires hi > lo.
+Design make_running_example(RunningExampleVariant variant, Value lo = 0,
+                            Value hi = 7);
+
+}  // namespace nonmask

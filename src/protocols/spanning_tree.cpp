@@ -1,0 +1,102 @@
+#include "protocols/spanning_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "core/builder.hpp"
+
+namespace nonmask {
+
+namespace {
+Value capped_min_plus_one(const State& s, const std::vector<VarId>& nbrs,
+                          Value cap) {
+  Value best = cap;
+  for (VarId v : nbrs) best = std::min(best, s.get(v));
+  return std::min<Value>(best + 1, cap);
+}
+}  // namespace
+
+std::vector<int> SpanningTreeDesign::extract_parents(const UndirectedGraph& g,
+                                                     const State& s) const {
+  std::vector<int> parent(static_cast<std::size_t>(g.size()), -1);
+  parent[static_cast<std::size_t>(root)] = root;
+  for (int j = 0; j < g.size(); ++j) {
+    if (j == root) continue;
+    for (int k : g.neighbors(j)) {
+      if (s.get(dist[static_cast<std::size_t>(k)]) + 1 ==
+          s.get(dist[static_cast<std::size_t>(j)])) {
+        if (parent[static_cast<std::size_t>(j)] == -1 ||
+            k < parent[static_cast<std::size_t>(j)]) {
+          parent[static_cast<std::size_t>(j)] = k;
+        }
+      }
+    }
+  }
+  return parent;
+}
+
+SpanningTreeDesign make_spanning_tree(const UndirectedGraph& g, int root) {
+  const int n = g.size();
+  if (root < 0 || root >= n) {
+    throw std::invalid_argument("spanning tree: bad root");
+  }
+  const Value cap = static_cast<Value>(n - 1);
+
+  ProgramBuilder b("bfs-spanning-tree");
+  SpanningTreeDesign st;
+  st.root = root;
+  for (int j = 0; j < n; ++j) {
+    st.dist.push_back(b.var("dist." + std::to_string(j), 0, cap, j));
+  }
+  const auto& dist = st.dist;
+
+  Invariant inv;
+  for (int j = 0; j < n; ++j) {
+    const VarId dj = dist[static_cast<std::size_t>(j)];
+    if (j == root) {
+      const auto cid = inv.add(Constraint{
+          "dist." + std::to_string(j) + " = 0",
+          [dj](const State& s) { return s.get(dj) == 0; },
+          {dj}});
+      b.convergence(
+          "pin-root@" + std::to_string(j),
+          [dj](const State& s) { return s.get(dj) != 0; },
+          [dj](State& s) { s.set(dj, 0); }, {dj}, {dj},
+          static_cast<int>(cid), j);
+      continue;
+    }
+    std::vector<VarId> nbrs;
+    for (int k : g.neighbors(j)) {
+      nbrs.push_back(dist[static_cast<std::size_t>(k)]);
+    }
+    auto fix = [dj, nbrs, cap](const State& s) {
+      return s.get(dj) == capped_min_plus_one(s, nbrs, cap);
+    };
+    const auto cid = inv.add(Constraint{
+        "dist." + std::to_string(j) + " = min(nbr)+1", fix,
+        [&] {
+          std::vector<VarId> support = nbrs;
+          support.push_back(dj);
+          return support;
+        }()});
+    std::vector<VarId> reads = nbrs;
+    reads.push_back(dj);
+    b.convergence(
+        "recompute@" + std::to_string(j),
+        [fix](const State& s) { return !fix(s); },
+        [dj, nbrs, cap](State& s) {
+          s.set(dj, capped_min_plus_one(s, nbrs, cap));
+        },
+        reads, {dj}, static_cast<int>(cid), j);
+  }
+
+  st.design.name = b.peek().name();
+  st.design.program = b.build();
+  st.design.invariant = std::move(inv);
+  st.design.fault_span = true_predicate();
+  st.design.stabilizing = true;
+  return st;
+}
+
+}  // namespace nonmask

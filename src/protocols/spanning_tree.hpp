@@ -1,0 +1,37 @@
+// Stabilizing BFS spanning tree (extension protocol).
+//
+// A classic application of the paper's methodology to a protocol whose
+// constraint graph is *cyclic* (every node reads all of its neighbors), yet
+// which converges: the exact checker proves it on small graphs while
+// Theorems 1-2 correctly refuse to apply — illustrating Section 7's remark
+// that cyclic graphs need refined analysis.
+//
+// Per node j: dist.j in [0, n-1]. The root pins dist.r = 0; every other
+// node maintains dist.j = min over neighbors (dist.k) + 1, capped at n-1.
+// The unique fixpoint is the true BFS distance vector, from which parents
+// (any neighbor with dist one less) form a spanning tree.
+#pragma once
+
+#include <vector>
+
+#include "core/candidate.hpp"
+#include "graphlib/topology.hpp"
+
+namespace nonmask {
+
+struct SpanningTreeDesign {
+  Design design;
+  std::vector<VarId> dist;
+  int root = 0;
+
+  /// Extract the parent of each node from a stabilized state (root maps to
+  /// itself). Any neighbor with dist one less is a valid parent; we pick
+  /// the smallest.
+  std::vector<int> extract_parents(const UndirectedGraph& g,
+                                   const State& s) const;
+};
+
+/// Build the design over a connected graph; `root` in [0, g.size()).
+SpanningTreeDesign make_spanning_tree(const UndirectedGraph& g, int root = 0);
+
+}  // namespace nonmask

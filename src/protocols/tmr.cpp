@@ -1,0 +1,131 @@
+#include "protocols/tmr.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/builder.hpp"
+
+namespace nonmask {
+
+namespace {
+
+/// Majority of three values, or -1 when all differ.
+Value majority(Value a, Value b, Value c) {
+  if (a == b || a == c) return a;
+  if (b == c) return b;
+  return -1;
+}
+
+}  // namespace
+
+TmrDesign make_tmr(bool masking, Value value_max, Value reference) {
+  if (value_max < 1 || reference < 0 || reference > value_max) {
+    throw std::invalid_argument("tmr: bad domain/reference");
+  }
+  ProgramBuilder b(masking ? "tmr-masking" : "tmr-nonmasking");
+  TmrDesign tmr;
+  tmr.reference = reference;
+  for (int k = 0; k < 3; ++k) {
+    tmr.replica.push_back(b.var("r." + std::to_string(k), 0, value_max, k));
+  }
+  tmr.out = b.var("out", 0, value_max);
+  const auto& r = tmr.replica;
+  const VarId out = tmr.out;
+
+  auto majority_of = [r](const State& s) {
+    return majority(s.get(r[0]), s.get(r[1]), s.get(r[2]));
+  };
+  auto healthy = [r, reference](const State& s) {
+    int good = 0;
+    for (VarId v : r) {
+      if (s.get(v) == reference) ++good;
+    }
+    return good >= 2;
+  };
+
+  Invariant inv;
+  // Constraint per replica: r.k equals the majority (repairable locally).
+  for (int k = 0; k < 3; ++k) {
+    const VarId rk = r[static_cast<std::size_t>(k)];
+    auto ok = [rk, majority_of](const State& s) {
+      const Value m = majority_of(s);
+      return m < 0 || s.get(rk) == m;
+    };
+    const auto cid = inv.add(Constraint{
+        "r." + std::to_string(k) + " = majority", ok, {r[0], r[1], r[2]}});
+    b.convergence(
+        "repair@" + std::to_string(k),
+        [ok](const State& s) { return !ok(s); },
+        [rk, majority_of](State& s) { s.set(rk, majority_of(s)); },
+        {r[0], r[1], r[2]}, {rk}, static_cast<int>(cid), k);
+  }
+  // Voter: out follows the majority.
+  {
+    auto ok = [out, majority_of](const State& s) {
+      const Value m = majority_of(s);
+      return m < 0 || s.get(out) == m;
+    };
+    const auto cid = inv.add(Constraint{
+        "out = majority", ok, {r[0], r[1], r[2], out}});
+    b.convergence(
+        "vote",
+        [ok](const State& s) { return !ok(s); },
+        [out, majority_of](State& s) { s.set(out, majority_of(s)); },
+        {r[0], r[1], r[2], out}, {out}, static_cast<int>(cid));
+  }
+
+  // Tolerated fault: corrupt one replica of a *fully repaired* system (the
+  // guard encodes the fault class "at most one replica fails between
+  // repairs" — corrupting a 2-of-3 system could exceed the majority
+  // assumption and leave T, so it is outside the tolerated class).
+  auto fully_repaired = [r, reference](const State& s) {
+    for (VarId v : r) {
+      if (s.get(v) != reference) return false;
+    }
+    return true;
+  };
+  for (int k = 0; k < 3; ++k) {
+    const VarId rk = r[static_cast<std::size_t>(k)];
+    b.fault(
+        "corrupt-r" + std::to_string(k),
+        [fully_repaired, out, reference, masking](const State& s) {
+          if (!fully_repaired(s)) return false;
+          return !masking || s.get(out) == reference;
+        },
+        [rk, reference, value_max](State& s) {
+          s.set(rk, (reference + 1) % (value_max + 1));
+        },
+        {r[0], r[1], r[2], out, rk}, {rk}, k);
+    tmr.fault_actions.push_back(b.peek().num_actions() - 1);
+  }
+  if (!masking) {
+    b.fault(
+        "corrupt-out", healthy,
+        [out, reference, value_max](State& s) {
+          s.set(out, s.get(out) == reference
+                         ? (reference + 1) % (value_max + 1)
+                         : reference);
+        },
+        {r[0], r[1], r[2], out}, {out});
+    tmr.fault_actions.push_back(b.peek().num_actions() - 1);
+  }
+
+  tmr.design.name = b.peek().name();
+  tmr.design.program = b.build();
+  tmr.design.invariant = std::move(inv);
+  tmr.design.stabilizing = false;
+
+  // S: a majority carries the reference and out equals it.
+  tmr.design.S_override = [healthy, out, reference](const State& s) {
+    return healthy(s) && s.get(out) == reference;
+  };
+  // T: masking -> T = S; nonmasking -> majority correct, out arbitrary.
+  if (masking) {
+    tmr.design.fault_span = tmr.design.S_override;
+  } else {
+    tmr.design.fault_span = [healthy](const State& s) { return healthy(s); };
+  }
+  return tmr;
+}
+
+}  // namespace nonmask

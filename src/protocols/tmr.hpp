@@ -1,0 +1,39 @@
+// Triple modular redundancy — the paper's Section 3 *classification* made
+// executable. Two designs over the same replicated-register substrate:
+//
+//   masking variant:    T = S = "a majority of replicas carry the reference
+//                       value and the output equals it". The tolerated
+//                       fault (corrupt one replica of a healthy system)
+//                       never exposes a non-S state — the reader of `out`
+//                       cannot observe the fault. S = T ⇒ *masking*.
+//
+//   nonmasking variant: faults may additionally corrupt the output;
+//                       T = "a majority of replicas are correct" ⊋ S.
+//                       The voter re-establishes S eventually; the reader
+//                       may observe a glitch. S ⊊ T ⇒ *nonmasking*.
+//
+// classify_tolerance() distinguishes the two mechanically, and the tests
+// sweep both — the definitional heart of the paper in ~100 lines.
+#pragma once
+
+#include <vector>
+
+#include "core/candidate.hpp"
+
+namespace nonmask {
+
+struct TmrDesign {
+  Design design;
+  std::vector<VarId> replica;  ///< r.0, r.1, r.2
+  VarId out;
+  Value reference = 0;  ///< the value the system is supposed to hold
+  /// Fault-action indices: [0..2] corrupt replica k (guarded to fire only
+  /// from healthy states in the masking variant); last = corrupt `out`
+  /// (nonmasking variant only).
+  std::vector<std::size_t> fault_actions;
+};
+
+/// `masking` selects the variant; values range over [0, value_max].
+TmrDesign make_tmr(bool masking, Value value_max = 3, Value reference = 2);
+
+}  // namespace nonmask

@@ -1,0 +1,230 @@
+#include "protocols/token_ring.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/builder.hpp"
+
+namespace nonmask {
+
+int TokenRingDesign::privileges(const State& s) const {
+  const int n = static_cast<int>(x.size());
+  int count = 0;
+  if (mod_k) {
+    if (s.get(x[0]) == s.get(x[static_cast<std::size_t>(n - 1)])) ++count;
+    for (int j = 1; j < n; ++j) {
+      if (s.get(x[static_cast<std::size_t>(j)]) !=
+          s.get(x[static_cast<std::size_t>(j - 1)])) {
+        ++count;
+      }
+    }
+  } else {
+    if (s.get(x[0]) == s.get(x[static_cast<std::size_t>(n - 1)])) ++count;
+    for (int j = 0; j + 1 < n; ++j) {
+      if (s.get(x[static_cast<std::size_t>(j)]) >
+          s.get(x[static_cast<std::size_t>(j + 1)])) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+int TokenRingDesign::first_privileged(const State& s) const {
+  const int n = static_cast<int>(x.size());
+  if (mod_k) {
+    if (s.get(x[0]) == s.get(x[static_cast<std::size_t>(n - 1)])) return 0;
+    for (int j = 1; j < n; ++j) {
+      if (s.get(x[static_cast<std::size_t>(j)]) !=
+          s.get(x[static_cast<std::size_t>(j - 1)])) {
+        return j;
+      }
+    }
+  } else {
+    if (s.get(x[0]) == s.get(x[static_cast<std::size_t>(n - 1)])) return 0;
+    for (int j = 0; j + 1 < n; ++j) {
+      if (s.get(x[static_cast<std::size_t>(j)]) >
+          s.get(x[static_cast<std::size_t>(j + 1)])) {
+        return j + 1;
+      }
+    }
+  }
+  return -1;
+}
+
+TokenRingDesign make_token_ring_bounded(int num_nodes, Value x_max,
+                                        bool combined) {
+  if (num_nodes < 2) throw std::invalid_argument("token ring: num_nodes < 2");
+  if (x_max < 1) throw std::invalid_argument("token ring: x_max < 1");
+  const int N = num_nodes - 1;  // nodes 0..N, paper indexing
+
+  ProgramBuilder b(combined ? "token-ring" : "token-ring-layered");
+  TokenRingDesign tr;
+  tr.K = x_max + 1;
+  for (int j = 0; j <= N; ++j) {
+    tr.x.push_back(b.var("x." + std::to_string(j), 0, x_max, j));
+  }
+  const auto& x = tr.x;
+
+  // Constraints. Layer 0: x.j >= x.(j+1); layer 1: x.j = x.(j+1), j < N.
+  Invariant inv;
+  std::vector<int> c_ge(static_cast<std::size_t>(N)),
+      c_eq(static_cast<std::size_t>(N));
+  for (int j = 0; j < N; ++j) {
+    const VarId xj = x[static_cast<std::size_t>(j)];
+    const VarId xj1 = x[static_cast<std::size_t>(j + 1)];
+    c_ge[static_cast<std::size_t>(j)] = static_cast<int>(inv.add(Constraint{
+        "x." + std::to_string(j) + " >= x." + std::to_string(j + 1),
+        [xj, xj1](const State& s) { return s.get(xj) >= s.get(xj1); },
+        {xj, xj1}}));
+    c_eq[static_cast<std::size_t>(j)] = static_cast<int>(inv.add(Constraint{
+        "x." + std::to_string(j) + " = x." + std::to_string(j + 1),
+        [xj, xj1](const State& s) { return s.get(xj) == s.get(xj1); },
+        {xj, xj1}}));
+  }
+
+  // The paper's S: non-increasing with x.0 = x.N or x.0 = x.N + 1.
+  {
+    const VarId x0 = x[0];
+    const VarId xN = x[static_cast<std::size_t>(N)];
+    auto xs = x;
+    tr.design.S_override = [xs, x0, xN](const State& s) {
+      for (std::size_t j = 0; j + 1 < xs.size(); ++j) {
+        if (s.get(xs[j]) < s.get(xs[j + 1])) return false;
+      }
+      return s.get(x0) == s.get(xN) || s.get(x0) == s.get(xN) + 1;
+    };
+  }
+
+  // Closure action at node 0: pass the token to node 1 by incrementing.
+  // The x.0 < x_max guard is our bounded-domain substitution for the
+  // paper's unbounded integers (see header comment).
+  {
+    const VarId x0 = x[0];
+    const VarId xN = x[static_cast<std::size_t>(N)];
+    b.closure(
+        "increment@0",
+        [x0, xN, x_max](const State& s) {
+          return s.get(x0) == s.get(xN) && s.get(x0) < x_max;
+        },
+        [x0](State& s) { s.set(x0, s.get(x0) + 1); }, {x0, xN}, {x0}, 0);
+  }
+
+  for (int j = 0; j < N; ++j) {
+    const VarId xj = x[static_cast<std::size_t>(j)];
+    const VarId xj1 = x[static_cast<std::size_t>(j + 1)];
+    auto copy = [xj, xj1](State& s) { s.set(xj1, s.get(xj)); };
+    const std::vector<VarId> reads{xj, xj1};
+    const std::vector<VarId> writes{xj1};
+    const std::string at = "@" + std::to_string(j + 1);
+
+    if (combined) {
+      // The paper's final program: x.j != x.(j+1) -> x.(j+1) := x.j.
+      b.convergence(
+          "copy" + at,
+          [xj, xj1](const State& s) { return s.get(xj) != s.get(xj1); },
+          copy, reads, writes, c_eq[static_cast<std::size_t>(j)], j + 1);
+    } else {
+      // The paper notes the token-passing closure action is *identical* to
+      // the layer-1 convergence action ("execution of the one has the same
+      // effect as that of the other"), so the separated design carries only
+      // the convergence copy — a duplicate closure copy would spuriously
+      // fail Theorem 3's closure-preserves-layer-1 antecedent.
+      // Layer-0 convergence: establish x.j >= x.(j+1).
+      const std::size_t a0 = b.peek().num_actions();
+      b.convergence(
+          "raise" + at,
+          [xj, xj1](const State& s) { return s.get(xj) < s.get(xj1); },
+          copy, reads, writes, c_ge[static_cast<std::size_t>(j)], j + 1);
+      // Layer-1 convergence: establish x.j = x.(j+1).
+      const std::size_t a1 = b.peek().num_actions();
+      b.convergence(
+          "level" + at,
+          [xj, xj1](const State& s) { return s.get(xj) > s.get(xj1); },
+          copy, reads, writes, c_eq[static_cast<std::size_t>(j)], j + 1);
+      if (tr.layers.empty()) tr.layers.resize(2);
+      tr.layers[0].push_back(a0);
+      tr.layers[1].push_back(a1);
+    }
+  }
+
+  tr.design.name = b.peek().name();
+  tr.design.program = b.build();
+  tr.design.invariant = std::move(inv);
+  tr.design.fault_span = true_predicate();
+  tr.design.stabilizing = true;
+  tr.mod_k = false;
+  return tr;
+}
+
+TokenRingDesign make_dijkstra_ring(int num_nodes, int K) {
+  if (num_nodes < 2) throw std::invalid_argument("dijkstra ring: n < 2");
+  if (K < 2) throw std::invalid_argument("dijkstra ring: K < 2");
+
+  ProgramBuilder b("dijkstra-k-state-ring");
+  TokenRingDesign tr;
+  tr.mod_k = true;
+  tr.K = K;
+  for (int j = 0; j < num_nodes; ++j) {
+    tr.x.push_back(b.var("x." + std::to_string(j), 0, K - 1, j));
+  }
+  const auto& x = tr.x;
+  const int last = num_nodes - 1;
+
+  {
+    const VarId x0 = x[0];
+    const VarId xN = x[static_cast<std::size_t>(last)];
+    b.closure(
+        "advance@0",
+        [x0, xN](const State& s) { return s.get(x0) == s.get(xN); },
+        [x0, K](State& s) { s.set(x0, (s.get(x0) + 1) % K); }, {x0, xN},
+        {x0}, 0);
+  }
+  for (int j = 1; j < num_nodes; ++j) {
+    const VarId xj = x[static_cast<std::size_t>(j)];
+    const VarId xp = x[static_cast<std::size_t>(j - 1)];
+    b.closure(
+        "adopt@" + std::to_string(j),
+        [xj, xp](const State& s) { return s.get(xj) != s.get(xp); },
+        [xj, xp](State& s) { s.set(xj, s.get(xp)); }, {xj, xp}, {xj}, j);
+  }
+
+  // Informational constraints (no convergence-action bindings): adversarial
+  // daemons and violation timelines score states by how far the x's are
+  // from agreeing.
+  Invariant inv;
+  for (int j = 1; j < num_nodes; ++j) {
+    const VarId xj = x[static_cast<std::size_t>(j)];
+    const VarId xp = x[static_cast<std::size_t>(j - 1)];
+    inv.add(Constraint{
+        "x." + std::to_string(j) + " = x." + std::to_string(j - 1),
+        [xj, xp](const State& s) { return s.get(xj) == s.get(xp); },
+        {xj, xp}});
+  }
+  tr.design.invariant = std::move(inv);
+
+  tr.design.name = b.peek().name();
+  tr.design.program = b.build();
+  tr.design.fault_span = true_predicate();
+  tr.design.stabilizing = true;
+
+  // S: exactly one privilege.
+  {
+    auto xs = tr.x;
+    const int n = num_nodes;
+    tr.design.S_override = [xs, n](const State& s) {
+      int count = 0;
+      if (s.get(xs[0]) == s.get(xs[static_cast<std::size_t>(n - 1)])) ++count;
+      for (int j = 1; j < n; ++j) {
+        if (s.get(xs[static_cast<std::size_t>(j)]) !=
+            s.get(xs[static_cast<std::size_t>(j - 1)])) {
+          ++count;
+        }
+      }
+      return count == 1;
+    };
+  }
+  return tr;
+}
+
+}  // namespace nonmask

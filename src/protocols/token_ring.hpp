@@ -1,0 +1,59 @@
+// Stabilizing token rings (Section 7.1).
+//
+// Two faithful forms are provided:
+//
+// 1. make_token_ring_bounded — the paper's design: N+1 nodes 0..N with
+//    integer x.j, invariant
+//      S = (forall j < N :: x.j >= x.(j+1)) /\ (x.0 = x.N \/ x.0 = x.N + 1)
+//    layered per Section 7.1:
+//      layer 0 constraints: x.j >= x.(j+1)   (convergence: x.j < x.(j+1) -> copy)
+//      layer 1 constraints: x.j  = x.(j+1)   (convergence: x.j > x.(j+1) -> copy)
+//    Closure actions: node 0 increments when x.0 = x.N; node j+1 copies
+//    when x.j > x.(j+1). The paper uses unbounded integers; we bound the
+//    domain to [0, x_max] and guard the increment with x.0 < x_max, which
+//    preserves closure and convergence (every computation still reaches S;
+//    token circulation simply halts at the ceiling — use the mod-K form
+//    below for perpetual circulation).
+//
+// 2. make_dijkstra_ring — Dijkstra's executable K-state protocol (the
+//    program the paper derives is due to [9] = Dijkstra 1974): arithmetic
+//    mod K, perpetual token circulation. Its invariant is "exactly one
+//    privilege". Stabilizes for K >= N+1 (num_nodes); bench_token_ring
+//    sweeps K to locate the boundary.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/candidate.hpp"
+
+namespace nonmask {
+
+struct TokenRingDesign {
+  Design design;
+  std::vector<VarId> x;  ///< x.j per node
+  /// Theorem-3 layers: layer 0 = the >= constraints' convergence actions,
+  /// layer 1 = the == constraints' convergence actions. Only populated by
+  /// make_token_ring_bounded with combined == false.
+  std::vector<std::vector<std::size_t>> layers;
+
+  /// Number of privileged nodes at s (spec requirement (i): exactly one).
+  int privileges(const State& s) const;
+  /// Index of the lowest privileged node, or -1.
+  int first_privileged(const State& s) const;
+
+  bool mod_k = false;  ///< true for the Dijkstra mod-K form
+  int K = 0;           ///< modulus / domain size
+};
+
+/// The paper's bounded-domain design. num_nodes = N+1 >= 2. When
+/// `combined`, the layer-0/layer-1 convergence actions and the copy closure
+/// action merge into the paper's final x.j != x.(j+1) -> copy.
+TokenRingDesign make_token_ring_bounded(int num_nodes, Value x_max,
+                                        bool combined = false);
+
+/// Dijkstra's K-state token ring (mod-K arithmetic), num_nodes >= 2,
+/// K >= 2. Invariant: exactly one privilege.
+TokenRingDesign make_dijkstra_ring(int num_nodes, int K);
+
+}  // namespace nonmask

@@ -1,0 +1,183 @@
+#include "protocols/token_ring_small.hpp"
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "core/builder.hpp"
+
+namespace nonmask {
+
+int SmallRingDesign::privileges(const State& s) const {
+  std::set<int> machines;
+  for (const auto& a : design.program.actions()) {
+    if (a.kind() == ActionKind::kFault) continue;
+    if (a.enabled(s)) machines.insert(a.process());
+  }
+  return static_cast<int>(machines.size());
+}
+
+namespace {
+
+/// S for both protocols: exactly one machine is privileged.
+PredicateFn one_privilege_of(const Program& program) {
+  // Capture guards by value: (process, guard) pairs.
+  struct Entry {
+    int process;
+    GuardFn guard;
+  };
+  auto entries = std::make_shared<std::vector<Entry>>();
+  for (const auto& a : program.actions()) {
+    if (a.kind() == ActionKind::kFault) continue;
+    entries->push_back(Entry{a.process(), a.guard()});  // guard copied
+  }
+  return [entries](const State& s) {
+    std::set<int> machines;
+    for (const auto& e : *entries) {
+      if (e.guard(s)) machines.insert(e.process);
+    }
+    return machines.size() == 1;
+  };
+}
+
+}  // namespace
+
+SmallRingDesign make_dijkstra_three_state(int num_machines) {
+  if (num_machines < 3) throw std::invalid_argument("three-state: n < 3");
+  const int n = num_machines;
+  ProgramBuilder b("dijkstra-three-state");
+  SmallRingDesign sr;
+  for (int j = 0; j < n; ++j) {
+    sr.primary.push_back(b.var("s." + std::to_string(j), 0, 2, j));
+  }
+  const auto& s3 = sr.primary;
+
+  // bottom: if S+1 = R then S := S+2  (R = machine 1)
+  {
+    const VarId s0 = s3[0];
+    const VarId s1 = s3[1];
+    b.closure(
+        "bottom",
+        [s0, s1](const State& st) {
+          return (st.get(s0) + 1) % 3 == st.get(s1);
+        },
+        [s0](State& st) { st.set(s0, (st.get(s0) + 2) % 3); }, {s0, s1},
+        {s0}, 0);
+  }
+  // normal i: if S+1 = L or S+1 = R then S := S+1
+  for (int i = 1; i + 1 < n; ++i) {
+    const VarId si = s3[static_cast<std::size_t>(i)];
+    const VarId sl = s3[static_cast<std::size_t>(i - 1)];
+    const VarId sr_ = s3[static_cast<std::size_t>(i + 1)];
+    b.closure(
+        "normal@" + std::to_string(i),
+        [si, sl, sr_](const State& st) {
+          const Value next = (st.get(si) + 1) % 3;
+          return next == st.get(sl) || next == st.get(sr_);
+        },
+        [si](State& st) { st.set(si, (st.get(si) + 1) % 3); },
+        {si, sl, sr_}, {si}, i);
+  }
+  // top: if L = R and L+1 != S then S := L+1
+  // (top's R is bottom — Dijkstra's cyclic arrangement).
+  {
+    const VarId st_ = s3[static_cast<std::size_t>(n - 1)];
+    const VarId sl = s3[static_cast<std::size_t>(n - 2)];
+    const VarId s0 = s3[0];
+    b.closure(
+        "top",
+        [st_, sl, s0](const State& st) {
+          return st.get(sl) == st.get(s0) &&
+                 (st.get(sl) + 1) % 3 != st.get(st_);
+        },
+        [st_, sl](State& st) { st.set(st_, (st.get(sl) + 1) % 3); },
+        {st_, sl, s0}, {st_}, n - 1);
+  }
+
+  sr.design.name = b.peek().name();
+  sr.design.program = b.build();
+  sr.design.fault_span = true_predicate();
+  sr.design.stabilizing = true;
+  sr.design.S_override = one_privilege_of(sr.design.program);
+  return sr;
+}
+
+SmallRingDesign make_dijkstra_four_state(int num_machines) {
+  if (num_machines < 3) throw std::invalid_argument("four-state: n < 3");
+  const int n = num_machines;
+  ProgramBuilder b("dijkstra-four-state");
+  SmallRingDesign sr;
+  for (int j = 0; j < n; ++j) {
+    sr.primary.push_back(b.boolean("x." + std::to_string(j), j));
+  }
+  // up.0 == 1 and up.(n-1) == 0 are structural constants; modeling them as
+  // singleton-domain variables keeps every machine uniform *and* keeps
+  // them out of the corruptible state (the paper's machines hard-wire
+  // them).
+  for (int j = 0; j < n; ++j) {
+    const Value lo = j == 0 ? 1 : 0;
+    const Value hi = j == n - 1 ? 0 : 1;
+    sr.up.push_back(b.var("up." + std::to_string(j), lo, hi, j));
+  }
+  const auto& x = sr.primary;
+  const auto& up = sr.up;
+
+  // bottom: if x0 = x1 and !up1 then x0 := !x0
+  {
+    const VarId x0 = x[0];
+    const VarId x1 = x[1];
+    const VarId up1 = up[1];
+    b.closure(
+        "bottom",
+        [x0, x1, up1](const State& st) {
+          return st.get(x0) == st.get(x1) && st.get(up1) == 0;
+        },
+        [x0](State& st) { st.set(x0, 1 - st.get(x0)); }, {x0, x1, up1},
+        {x0}, 0);
+  }
+  // normal i:
+  //   down-rule: if x_i != x_(i-1) then { x_i := x_(i-1); up_i := 1 }
+  //   up-rule:   if x_i == x_(i+1) and up_i and !up_(i+1) then up_i := 0
+  for (int i = 1; i + 1 < n; ++i) {
+    const VarId xi = x[static_cast<std::size_t>(i)];
+    const VarId xl = x[static_cast<std::size_t>(i - 1)];
+    const VarId xr = x[static_cast<std::size_t>(i + 1)];
+    const VarId ui = up[static_cast<std::size_t>(i)];
+    const VarId ur = up[static_cast<std::size_t>(i + 1)];
+    b.closure(
+        "recv@" + std::to_string(i),
+        [xi, xl](const State& st) { return st.get(xi) != st.get(xl); },
+        [xi, xl, ui](State& st) {
+          st.set(xi, st.get(xl));
+          st.set(ui, 1);
+        },
+        {xi, xl}, {xi, ui}, i);
+    b.closure(
+        "pass-down@" + std::to_string(i),
+        [xi, xr, ui, ur](const State& st) {
+          return st.get(xi) == st.get(xr) && st.get(ui) == 1 &&
+                 st.get(ur) == 0;
+        },
+        [ui](State& st) { st.set(ui, 0); }, {xi, xr, ui, ur}, {ui}, i);
+  }
+  // top: if x_(n-1) != x_(n-2) then x_(n-1) := x_(n-2)
+  {
+    const VarId xt = x[static_cast<std::size_t>(n - 1)];
+    const VarId xl = x[static_cast<std::size_t>(n - 2)];
+    b.closure(
+        "top",
+        [xt, xl](const State& st) { return st.get(xt) != st.get(xl); },
+        [xt, xl](State& st) { st.set(xt, st.get(xl)); }, {xt, xl}, {xt},
+        n - 1);
+  }
+
+  sr.design.name = b.peek().name();
+  sr.design.program = b.build();
+  sr.design.fault_span = true_predicate();
+  sr.design.stabilizing = true;
+  sr.design.S_override = one_privilege_of(sr.design.program);
+  return sr;
+}
+
+}  // namespace nonmask

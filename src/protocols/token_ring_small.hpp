@@ -1,0 +1,37 @@
+// Dijkstra's three-state and four-state token circulation protocols — the
+// other two solutions of [9] (Dijkstra, CACM 1974), which achieve
+// self-stabilization with constant-size state per machine by giving the
+// two distinguished machines ("bottom" and "top") asymmetric rules.
+//
+// Machines 0..n-1 form a line with bottom = 0 and top = n-1; in the
+// three-state solution top additionally reads bottom (Dijkstra's cyclic
+// arrangement). A machine is *privileged* iff one of its guards holds;
+// S = "exactly one machine is privileged". Our exact checker re-verifies
+// closure and convergence of both protocols on every small n the tests
+// sweep — the honest way to pin down 50-year-old rule sets.
+#pragma once
+
+#include <vector>
+
+#include "core/candidate.hpp"
+
+namespace nonmask {
+
+struct SmallRingDesign {
+  Design design;
+  /// Variables per machine. Three-state: s.j in {0,1,2}. Four-state:
+  /// x.j in {0,1} plus up.j in {0,1} (up.0 == 1 and up.(n-1) == 0 fixed).
+  std::vector<VarId> primary;
+  std::vector<VarId> up;  ///< empty for the three-state protocol
+
+  /// Number of privileged machines at s (machines with an enabled rule).
+  int privileges(const State& s) const;
+};
+
+/// Dijkstra's three-state solution; num_machines >= 3.
+SmallRingDesign make_dijkstra_three_state(int num_machines);
+
+/// Dijkstra's four-state solution; num_machines >= 3.
+SmallRingDesign make_dijkstra_four_state(int num_machines);
+
+}  // namespace nonmask

@@ -1,0 +1,111 @@
+#include "sched/daemons.hpp"
+
+#include <algorithm>
+
+namespace nonmask {
+
+std::vector<std::size_t> RandomDaemon::select(
+    const Program& p, const State& s,
+    const std::vector<std::size_t>& enabled) {
+  (void)p;
+  (void)s;
+  return {enabled[rng_.below(enabled.size())]};
+}
+
+std::vector<std::size_t> RoundRobinDaemon::select(
+    const Program& p, const State& s,
+    const std::vector<std::size_t>& enabled) {
+  (void)s;
+  const std::size_t n = p.num_actions();
+  for (std::size_t offset = 0; offset < n; ++offset) {
+    const std::size_t candidate = (cursor_ + offset) % n;
+    if (std::find(enabled.begin(), enabled.end(), candidate) !=
+        enabled.end()) {
+      cursor_ = (candidate + 1) % n;
+      return {candidate};
+    }
+  }
+  return {enabled.front()};  // unreachable: enabled is non-empty
+}
+
+std::vector<std::size_t> AdversarialDaemon::select(
+    const Program& p, const State& s,
+    const std::vector<std::size_t>& enabled) {
+  std::size_t best_score = 0;
+  std::vector<std::size_t> best;
+  for (std::size_t idx : enabled) {
+    const State next = p.action(idx).apply(s);
+    const std::size_t score = invariant_.violation_count(next);
+    if (best.empty() || score > best_score) {
+      best_score = score;
+      best.assign(1, idx);
+    } else if (score == best_score) {
+      best.push_back(idx);
+    }
+  }
+  return {best[rng_.below(best.size())]};
+}
+
+std::vector<std::size_t> DistributedDaemon::select(
+    const Program& p, const State& s,
+    const std::vector<std::size_t>& enabled) {
+  (void)p;
+  (void)s;
+  std::vector<std::size_t> chosen;
+  for (std::size_t idx : enabled) {
+    if (rng_.chance(p_fire_)) chosen.push_back(idx);
+  }
+  if (chosen.empty()) chosen.push_back(enabled[rng_.below(enabled.size())]);
+  return chosen;
+}
+
+std::vector<std::size_t> SynchronousDaemon::select(
+    const Program& p, const State& s,
+    const std::vector<std::size_t>& enabled) {
+  (void)s;
+  // One action per process; actions without a process fire individually.
+  std::vector<std::size_t> chosen;
+  std::unordered_map<int, std::size_t> per_process;
+  for (std::size_t idx : enabled) {
+    const int proc = p.action(idx).process();
+    if (proc < 0) {
+      chosen.push_back(idx);
+    } else if (per_process.find(proc) == per_process.end()) {
+      per_process.emplace(proc, idx);
+    }
+  }
+  for (const auto& [proc, idx] : per_process) {
+    (void)proc;
+    chosen.push_back(idx);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+std::vector<std::size_t> WeaklyFairDaemon::select(
+    const Program& p, const State& s,
+    const std::vector<std::size_t>& enabled) {
+  // Age the streaks: enabled actions accumulate, others reset.
+  std::unordered_map<std::size_t, std::size_t> next_streak;
+  std::size_t forced = enabled.front();
+  std::size_t longest = 0;
+  for (std::size_t idx : enabled) {
+    auto it = streak_.find(idx);
+    const std::size_t age = (it == streak_.end() ? 0 : it->second) + 1;
+    next_streak[idx] = age;
+    if (age > longest) {
+      longest = age;
+      forced = idx;
+    }
+  }
+  streak_ = std::move(next_streak);
+  if (longest >= patience_) {
+    streak_[forced] = 0;
+    return {forced};
+  }
+  auto chosen = inner_->select(p, s, enabled);
+  for (std::size_t idx : chosen) streak_[idx] = 0;
+  return chosen;
+}
+
+}  // namespace nonmask

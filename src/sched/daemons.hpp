@@ -1,0 +1,129 @@
+// Concrete daemons. All are deterministic given their seed.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/predicate.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace nonmask {
+
+/// Central daemon choosing uniformly at random among enabled actions.
+/// Probabilistically fair.
+class RandomDaemon final : public Daemon {
+ public:
+  explicit RandomDaemon(std::uint64_t seed) : rng_(seed), seed_(seed) {}
+  const char* name() const noexcept override { return "random"; }
+  std::vector<std::size_t> select(
+      const Program& p, const State& s,
+      const std::vector<std::size_t>& enabled) override;
+  void reset() override { rng_ = Rng(seed_); }
+
+ private:
+  Rng rng_;
+  std::uint64_t seed_;
+};
+
+/// Central daemon cycling through action indices; weakly fair.
+class RoundRobinDaemon final : public Daemon {
+ public:
+  const char* name() const noexcept override { return "round-robin"; }
+  std::vector<std::size_t> select(
+      const Program& p, const State& s,
+      const std::vector<std::size_t>& enabled) override;
+  void reset() override { cursor_ = 0; }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+/// Central daemon that always fires the lowest-indexed enabled action.
+/// Deterministic and *unfair* — a useful stress for fairness-free
+/// convergence claims.
+class FirstEnabledDaemon final : public Daemon {
+ public:
+  const char* name() const noexcept override { return "first-enabled"; }
+  std::vector<std::size_t> select(
+      const Program& p, const State& s,
+      const std::vector<std::size_t>& enabled) override {
+    (void)p;
+    (void)s;
+    return {enabled.front()};
+  }
+};
+
+/// Unfair adversarial central daemon: greedily fires the enabled action
+/// whose successor state violates the most invariant constraints (ties
+/// broken randomly). Used to probe worst-case convergence (Section 8's
+/// fairness remark).
+class AdversarialDaemon final : public Daemon {
+ public:
+  AdversarialDaemon(Invariant invariant, std::uint64_t seed)
+      : invariant_(std::move(invariant)), rng_(seed), seed_(seed) {}
+  const char* name() const noexcept override { return "adversarial"; }
+  std::vector<std::size_t> select(
+      const Program& p, const State& s,
+      const std::vector<std::size_t>& enabled) override;
+  void reset() override { rng_ = Rng(seed_); }
+
+ private:
+  Invariant invariant_;
+  Rng rng_;
+  std::uint64_t seed_;
+};
+
+/// Distributed daemon: each enabled action fires independently with
+/// probability `p_fire`; at least one action always fires.
+class DistributedDaemon final : public Daemon {
+ public:
+  DistributedDaemon(double p_fire, std::uint64_t seed)
+      : p_fire_(p_fire), rng_(seed), seed_(seed) {}
+  const char* name() const noexcept override { return "distributed"; }
+  std::vector<std::size_t> select(
+      const Program& p, const State& s,
+      const std::vector<std::size_t>& enabled) override;
+  void reset() override { rng_ = Rng(seed_); }
+
+ private:
+  double p_fire_;
+  Rng rng_;
+  std::uint64_t seed_;
+};
+
+/// Synchronous daemon: every enabled process fires one action per step
+/// (the lowest-indexed enabled action of each process; process-less actions
+/// each count as their own process).
+class SynchronousDaemon final : public Daemon {
+ public:
+  const char* name() const noexcept override { return "synchronous"; }
+  std::vector<std::size_t> select(
+      const Program& p, const State& s,
+      const std::vector<std::size_t>& enabled) override;
+};
+
+/// Decorator enforcing weak fairness on any inner daemon: an action that
+/// has been continuously enabled for `patience` consecutive selections is
+/// fired by force.
+class WeaklyFairDaemon final : public Daemon {
+ public:
+  WeaklyFairDaemon(DaemonPtr inner, std::size_t patience)
+      : inner_(std::move(inner)), patience_(patience) {}
+  const char* name() const noexcept override { return "weakly-fair"; }
+  std::vector<std::size_t> select(
+      const Program& p, const State& s,
+      const std::vector<std::size_t>& enabled) override;
+  void reset() override {
+    inner_->reset();
+    streak_.clear();
+  }
+
+ private:
+  DaemonPtr inner_;
+  std::size_t patience_;
+  std::unordered_map<std::size_t, std::size_t> streak_;
+};
+
+}  // namespace nonmask

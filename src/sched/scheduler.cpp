@@ -1,0 +1,4 @@
+// Daemon is a pure interface; this translation unit anchors its vtable.
+#include "sched/scheduler.hpp"
+
+namespace nonmask {}

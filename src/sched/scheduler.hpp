@@ -1,0 +1,43 @@
+// Daemons (schedulers).
+//
+// The paper's computations are fair, maximal sequences of steps in which
+// "some action that is enabled in the current state is executed". The
+// adversary choosing *which* action is the daemon. We model:
+//   - central daemons: one enabled action fires per step;
+//   - distributed daemons: a non-empty subset fires simultaneously;
+//   - the synchronous daemon: every enabled process fires each step.
+// Fairness is provided either natively (round-robin) or by the
+// WeaklyFairDaemon decorator. Section 8 of the paper observes that its
+// derived programs converge even without fairness — bench_daemons measures
+// exactly this, pitting adversarial unfair daemons against the protocols.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/program.hpp"
+#include "core/state.hpp"
+
+namespace nonmask {
+
+class Daemon {
+ public:
+  virtual ~Daemon() = default;
+
+  virtual const char* name() const noexcept = 0;
+
+  /// Select a non-empty subset of `enabled` (indices into p.actions()) to
+  /// fire simultaneously. `enabled` is non-empty. Central daemons return a
+  /// singleton.
+  virtual std::vector<std::size_t> select(
+      const Program& p, const State& s,
+      const std::vector<std::size_t>& enabled) = 0;
+
+  /// Clear internal bookkeeping between runs.
+  virtual void reset() {}
+};
+
+using DaemonPtr = std::unique_ptr<Daemon>;
+
+}  // namespace nonmask

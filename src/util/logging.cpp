@@ -1,0 +1,37 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace nonmask {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+std::ostream* g_sink = nullptr;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) noexcept { g_level = level; }
+LogLevel Log::level() noexcept { return g_level; }
+void Log::set_sink(std::ostream* sink) noexcept { g_sink = sink; }
+bool Log::enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(g_level) &&
+         g_level != LogLevel::kOff;
+}
+
+void Log::write(LogLevel level, std::string_view msg) {
+  std::ostream& out = g_sink != nullptr ? *g_sink : std::clog;
+  out << "[" << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace nonmask

@@ -1,0 +1,56 @@
+// Minimal leveled logger. Off by default; enabled per-binary for the
+// examples' live traces. Not thread-aware by design: the simulation engine
+// is single-threaded (the paper's interleaving semantics).
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace nonmask {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log configuration (process-wide).
+class Log {
+ public:
+  static void set_level(LogLevel level) noexcept;
+  static LogLevel level() noexcept;
+  static void set_sink(std::ostream* sink) noexcept;  // nullptr -> std::clog
+  static bool enabled(LogLevel level) noexcept;
+  static void write(LogLevel level, std::string_view msg);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace nonmask
+
+#define NONMASK_LOG(level)                        \
+  if (!::nonmask::Log::enabled(level)) {          \
+  } else                                          \
+    ::nonmask::detail::LogLine(level)
+
+#define NONMASK_TRACE() NONMASK_LOG(::nonmask::LogLevel::kTrace)
+#define NONMASK_DEBUG() NONMASK_LOG(::nonmask::LogLevel::kDebug)
+#define NONMASK_INFO() NONMASK_LOG(::nonmask::LogLevel::kInfo)
+#define NONMASK_WARN() NONMASK_LOG(::nonmask::LogLevel::kWarn)
+#define NONMASK_ERROR() NONMASK_LOG(::nonmask::LogLevel::kError)

@@ -1,0 +1,195 @@
+// Unit tests for constraint-graph construction (explicit and inferred),
+// classification, and ranks — including E1: the paper's Section 4 figure.
+#include <gtest/gtest.h>
+
+#include "cgraph/classify.hpp"
+#include "cgraph/constraint_graph.hpp"
+#include "core/builder.hpp"
+#include "protocols/diffusing.hpp"
+#include "protocols/running_example.hpp"
+
+namespace nonmask {
+namespace {
+
+// E1: the running example with convergence actions writing y and z yields
+// the paper's figure — the out-tree {x} -> {y}, {x} -> {z}.
+TEST(ConstraintGraphTest, PaperFigureIsOutTree) {
+  const Design d = make_running_example(RunningExampleVariant::kWriteYZ);
+  const auto result = infer_constraint_graph(d.program);
+  ASSERT_TRUE(result.ok) << result.error;
+  const ConstraintGraph& cg = result.graph;
+
+  EXPECT_EQ(cg.graph.num_nodes(), 3);
+  EXPECT_EQ(cg.graph.num_edges(), 2);
+  EXPECT_EQ(classify(cg), GraphShape::kOutTree);
+
+  // The root node is labeled {x} and has out-degree 2.
+  const VarId x = d.program.find_variable("x");
+  const int root = cg.node_of(x);
+  EXPECT_EQ(cg.graph.out_degree(root), 2);
+  EXPECT_EQ(cg.graph.in_degree(root), 0);
+  EXPECT_EQ(cg.describe_node(d.program, root), "{x}");
+
+  const auto ranks = constraint_graph_ranks(cg);
+  ASSERT_TRUE(ranks.has_value());
+  EXPECT_EQ((*ranks)[static_cast<std::size_t>(root)], 1);
+}
+
+TEST(ConstraintGraphTest, WriteXVariantsShareTargetNode) {
+  for (auto variant : {RunningExampleVariant::kWriteXBoth,
+                       RunningExampleVariant::kDecreaseX}) {
+    const Design d = make_running_example(variant);
+    const auto result = infer_constraint_graph(d.program);
+    ASSERT_TRUE(result.ok) << result.error;
+    const ConstraintGraph& cg = result.graph;
+    EXPECT_EQ(classify(cg), GraphShape::kSelfLooping);
+    const VarId x = d.program.find_variable("x");
+    EXPECT_EQ(cg.graph.in_degree(cg.node_of(x)), 2);
+  }
+}
+
+TEST(ConstraintGraphTest, ExplicitPartitionMatchesInference) {
+  const Design d = make_running_example(RunningExampleVariant::kWriteYZ);
+  const VarId x = d.program.find_variable("x");
+  const VarId y = d.program.find_variable("y");
+  const VarId z = d.program.find_variable("z");
+  const auto result = build_constraint_graph(
+      d.program, d.program.actions_of_kind(ActionKind::kConvergence),
+      {{x}, {y}, {z}});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(classify(result.graph), GraphShape::kOutTree);
+}
+
+TEST(ConstraintGraphTest, ExplicitPartitionRejectsOverlap) {
+  const Design d = make_running_example(RunningExampleVariant::kWriteYZ);
+  const VarId x = d.program.find_variable("x");
+  const VarId y = d.program.find_variable("y");
+  const VarId z = d.program.find_variable("z");
+  const auto result = build_constraint_graph(
+      d.program, d.program.actions_of_kind(ActionKind::kConvergence),
+      {{x, y}, {y, z}});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("two partition groups"), std::string::npos);
+}
+
+TEST(ConstraintGraphTest, ExplicitPartitionRejectsUncoveredVariable) {
+  const Design d = make_running_example(RunningExampleVariant::kWriteYZ);
+  const VarId x = d.program.find_variable("x");
+  const VarId y = d.program.find_variable("y");
+  const auto result = build_constraint_graph(
+      d.program, d.program.actions_of_kind(ActionKind::kConvergence),
+      {{x}, {y}});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("not covered"), std::string::npos);
+}
+
+TEST(ConstraintGraphTest, ExplicitPartitionRejectsSplitWrites) {
+  // One action writing variables placed in two different groups.
+  ProgramBuilder b("split");
+  const VarId a = b.var("a", 0, 1);
+  const VarId c = b.var("c", 0, 1);
+  b.convergence(
+      "w2", true_predicate(),
+      [a, c](State& s) {
+        s.set(a, 0);
+        s.set(c, 0);
+      },
+      {a, c}, {a, c}, 0);
+  Program p = b.build();
+  const auto result = build_constraint_graph(p, {0}, {{a}, {c}});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("two different nodes"), std::string::npos);
+}
+
+TEST(ConstraintGraphTest, ActionWithoutWritesRejected) {
+  ProgramBuilder b("ro");
+  const VarId a = b.var("a", 0, 1);
+  b.convergence("read-only", true_predicate(), [](State&) {}, {a}, {}, 0);
+  Program p = b.build();
+  EXPECT_FALSE(infer_constraint_graph(p).ok);
+}
+
+TEST(ConstraintGraphTest, SelfLoopWhenReadsSubsetOfWrites) {
+  ProgramBuilder b("self");
+  const VarId a = b.var("a", 0, 3);
+  b.convergence(
+      "bump", [a](const State& s) { return s.get(a) > 0; },
+      [a](State& s) { s.set(a, s.get(a) - 1); }, {a}, {a}, 0);
+  Program p = b.build();
+  const auto result = infer_constraint_graph(p);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.graph.graph.num_nodes(), 1);
+  ASSERT_EQ(result.graph.graph.num_edges(), 1);
+  EXPECT_EQ(result.graph.graph.edge(0).from, result.graph.graph.edge(0).to);
+  EXPECT_EQ(classify(result.graph), GraphShape::kSelfLooping);
+}
+
+TEST(ConstraintGraphTest, InferenceMergesMultiNodeResidualReads) {
+  // Action reads {a, b} and writes {c}: a and b must merge into one source.
+  ProgramBuilder b("merge");
+  const VarId a = b.var("a", 0, 1);
+  const VarId bb = b.var("b", 0, 1);
+  const VarId c = b.var("c", 0, 1);
+  b.convergence(
+      "combine", true_predicate(),
+      [c](State& s) { s.set(c, 1); }, {a, bb}, {c}, 0);
+  Program p = b.build();
+  const auto result = infer_constraint_graph(p);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.graph.graph.num_nodes(), 2);
+  EXPECT_EQ(result.graph.node_of(a), result.graph.node_of(bb));
+  EXPECT_NE(result.graph.node_of(a), result.graph.node_of(c));
+}
+
+TEST(ConstraintGraphTest, DiffusingTreeGraphMirrorsTree) {
+  // The diffusing computation's constraint graph is the process tree
+  // itself: one node {c.j, sn.j} per process, one edge parent -> child.
+  const auto tree = RootedTree::balanced(7, 2);
+  const auto dd = make_diffusing(tree, /*combined=*/false);
+  const auto result = infer_constraint_graph(dd.design.program);
+  ASSERT_TRUE(result.ok) << result.error;
+  const ConstraintGraph& cg = result.graph;
+  EXPECT_EQ(cg.graph.num_nodes(), 7);
+  EXPECT_EQ(cg.graph.num_edges(), 6);
+  EXPECT_EQ(classify(cg), GraphShape::kOutTree);
+  // Variables of one process share a node.
+  for (int j = 0; j < 7; ++j) {
+    EXPECT_EQ(cg.node_of(dd.color[static_cast<std::size_t>(j)]),
+              cg.node_of(dd.session[static_cast<std::size_t>(j)]));
+  }
+  // Edge structure matches the tree: child node's in-edge from parent node.
+  for (int j = 1; j < 7; ++j) {
+    const int cnode = cg.node_of(dd.color[static_cast<std::size_t>(j)]);
+    ASSERT_EQ(cg.graph.in_degree(cnode), 1);
+    const auto& e = cg.graph.edge(cg.graph.in_edges(cnode)[0]);
+    EXPECT_EQ(e.from,
+              cg.node_of(dd.color[static_cast<std::size_t>(tree.parent(j))]));
+  }
+  // Ranks equal 1 + depth.
+  const auto ranks = constraint_graph_ranks(cg);
+  ASSERT_TRUE(ranks.has_value());
+  for (int j = 0; j < 7; ++j) {
+    const int node = cg.node_of(dd.color[static_cast<std::size_t>(j)]);
+    EXPECT_EQ((*ranks)[static_cast<std::size_t>(node)], 1 + tree.depth(j));
+  }
+}
+
+TEST(ConstraintGraphTest, ExplicitDiffusingPartitionWorks) {
+  const auto tree = RootedTree::chain(4);
+  const auto dd = make_diffusing(tree, /*combined=*/false);
+  const auto result = build_constraint_graph(
+      dd.design.program,
+      dd.design.program.actions_of_kind(ActionKind::kConvergence),
+      dd.partition());
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(classify(result.graph), GraphShape::kOutTree);
+}
+
+TEST(ClassifyTest, ShapeNames) {
+  EXPECT_STREQ(to_string(GraphShape::kOutTree), "out-tree");
+  EXPECT_STREQ(to_string(GraphShape::kSelfLooping), "self-looping");
+  EXPECT_STREQ(to_string(GraphShape::kCyclic), "cyclic");
+}
+
+}  // namespace
+}  // namespace nonmask

@@ -1,0 +1,283 @@
+// Unit tests for the core model: variables, states, actions, predicates,
+// programs, builder, and candidate triples.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/builder.hpp"
+#include "core/candidate.hpp"
+#include "core/predicate.hpp"
+#include "core/program.hpp"
+#include "util/rng.hpp"
+
+namespace nonmask {
+namespace {
+
+TEST(VariableSpecTest, DomainSizeAndContains) {
+  VariableSpec v("x", -2, 5);
+  EXPECT_EQ(v.domain_size(), 8u);
+  EXPECT_TRUE(v.contains(-2));
+  EXPECT_TRUE(v.contains(5));
+  EXPECT_FALSE(v.contains(6));
+  EXPECT_FALSE(v.contains(-3));
+}
+
+TEST(VariableSpecTest, ClampPinsToDomain) {
+  VariableSpec v("x", 0, 3);
+  EXPECT_EQ(v.clamp(-5), 0);
+  EXPECT_EQ(v.clamp(2), 2);
+  EXPECT_EQ(v.clamp(99), 3);
+}
+
+TEST(VariableSpecTest, EmptyDomainThrows) {
+  EXPECT_THROW(VariableSpec("x", 3, 2), std::invalid_argument);
+}
+
+TEST(VariableSpecTest, SingletonDomain) {
+  VariableSpec v("x", 7, 7);
+  EXPECT_EQ(v.domain_size(), 1u);
+  EXPECT_TRUE(v.contains(7));
+}
+
+TEST(VarIdTest, DefaultIsInvalid) {
+  VarId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_TRUE(VarId(0).valid());
+}
+
+TEST(StateTest, GetSetRoundtrip) {
+  State s(3);
+  s.set(VarId(1), 42);
+  EXPECT_EQ(s.get(VarId(1)), 42);
+  EXPECT_EQ(s.get(VarId(0)), 0);
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(StateTest, EqualityAndHash) {
+  State a(2), b(2);
+  a.set(VarId(0), 1);
+  b.set(VarId(0), 1);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set(VarId(1), 9);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(PredicateTest, Combinators) {
+  State s(1);
+  auto is_zero = [](const State& st) { return st.get(VarId(0)) == 0; };
+  auto p = p_and(is_zero, true_predicate());
+  EXPECT_TRUE(p(s));
+  EXPECT_FALSE(p_not(p)(s));
+  EXPECT_TRUE(p_or(false_predicate(), is_zero)(s));
+  EXPECT_FALSE(p_all({true_predicate(), false_predicate()})(s));
+  EXPECT_TRUE(p_all({})(s));
+}
+
+TEST(InvariantTest, ViolationReporting) {
+  Invariant inv;
+  const VarId x(0);
+  inv.add(Constraint{"x>=0", [x](const State& s) { return s.get(x) >= 0; }, {x}});
+  inv.add(Constraint{"x<=5", [x](const State& s) { return s.get(x) <= 5; }, {x}});
+  State s(1);
+  s.set(x, 9);
+  EXPECT_FALSE(inv.holds(s));
+  EXPECT_EQ(inv.violation_count(s), 1u);
+  EXPECT_EQ(inv.violated(s), (std::vector<std::size_t>{1}));
+  s.set(x, 3);
+  EXPECT_TRUE(inv.holds(s));
+  EXPECT_TRUE(inv.as_predicate()(s));
+}
+
+Program make_counter_program() {
+  ProgramBuilder b("counter");
+  const VarId x = b.var("x", 0, 3);
+  b.closure(
+      "inc", [x](const State& s) { return s.get(x) < 3; },
+      [x](State& s) { s.set(x, s.get(x) + 1); }, {x}, {x});
+  b.closure(
+      "reset", [x](const State& s) { return s.get(x) == 3; },
+      [x](State& s) { s.set(x, 0); }, {x}, {x});
+  return b.build();
+}
+
+TEST(ProgramTest, EnabledActions) {
+  Program p = make_counter_program();
+  State s = p.initial_state();
+  EXPECT_EQ(p.enabled_actions(s), (std::vector<std::size_t>{0}));
+  s.set(p.find_variable("x"), 3);
+  EXPECT_EQ(p.enabled_actions(s), (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(p.any_enabled(s));
+}
+
+TEST(ProgramTest, StateCount) {
+  ProgramBuilder b("p");
+  b.var("a", 0, 9);
+  b.var("b", 0, 1);
+  Program p = b.build();
+  ASSERT_TRUE(p.state_count().has_value());
+  EXPECT_EQ(*p.state_count(), 20u);
+}
+
+TEST(ProgramTest, StateCountOverflowReturnsNullopt) {
+  ProgramBuilder b("p");
+  for (int i = 0; i < 10; ++i) {
+    b.var("v" + std::to_string(i), 0, 2'000'000'000);
+  }
+  EXPECT_FALSE(b.build().state_count().has_value());
+}
+
+TEST(ProgramTest, FindVariable) {
+  Program p = make_counter_program();
+  EXPECT_TRUE(p.find_variable("x").valid());
+  EXPECT_FALSE(p.find_variable("nope").valid());
+}
+
+TEST(ProgramTest, RandomStateInDomain) {
+  ProgramBuilder b("p");
+  b.var("a", -3, 3);
+  b.var("b", 5, 9);
+  Program p = b.build();
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(p.in_domain(p.random_state(rng)));
+  }
+}
+
+TEST(ProgramTest, ClampBringsStateIntoDomain) {
+  ProgramBuilder b("p");
+  b.var("a", 0, 3);
+  Program p = b.build();
+  State s(1);
+  s.set(VarId(0), 99);
+  EXPECT_FALSE(p.in_domain(s));
+  p.clamp(s);
+  EXPECT_TRUE(p.in_domain(s));
+  EXPECT_EQ(s.get(VarId(0)), 3);
+}
+
+TEST(ProgramTest, FormatState) {
+  Program p = make_counter_program();
+  EXPECT_EQ(p.format_state(p.initial_state()), "x=0");
+}
+
+TEST(ActionTest, ApplyDoesNotMutateInput) {
+  Program p = make_counter_program();
+  const State s = p.initial_state();
+  const State next = p.action(0).apply(s);
+  EXPECT_EQ(s.get(VarId(0)), 0);
+  EXPECT_EQ(next.get(VarId(0)), 1);
+}
+
+TEST(ActionTest, ContractViolationDetected) {
+  ProgramBuilder b("bad");
+  const VarId x = b.var("x", 0, 3);
+  const VarId y = b.var("y", 0, 3);
+  // Declares writes {x} but also writes y.
+  b.closure(
+      "sneaky", true_predicate(),
+      [x, y](State& s) {
+        s.set(x, 1);
+        s.set(y, 1);
+      },
+      {x}, {x});
+  Program p = b.build();
+  const auto illegal = p.action(0).contract_violations(p.initial_state());
+  ASSERT_EQ(illegal.size(), 1u);
+  EXPECT_EQ(illegal[0], y);
+  EXPECT_NE(p.check_contracts(p.initial_state()), "");
+}
+
+TEST(ActionTest, KindNames) {
+  EXPECT_STREQ(to_string(ActionKind::kClosure), "closure");
+  EXPECT_STREQ(to_string(ActionKind::kConvergence), "convergence");
+  EXPECT_STREQ(to_string(ActionKind::kFault), "fault");
+}
+
+TEST(CandidateTest, DefaultSIsConstraintsAndT) {
+  ProgramBuilder b("p");
+  const VarId x = b.var("x", 0, 5);
+  CandidateTriple t;
+  t.program = b.build();
+  t.invariant.add(
+      Constraint{"x<=2", [x](const State& s) { return s.get(x) <= 2; }, {x}});
+  t.fault_span = [x](const State& s) { return s.get(x) <= 4; };
+  State s(1);
+  s.set(x, 2);
+  EXPECT_TRUE(t.S()(s));
+  s.set(x, 3);
+  EXPECT_FALSE(t.S()(s));  // constraint fails
+  EXPECT_TRUE(t.T()(s));
+  s.set(x, 5);
+  EXPECT_FALSE(t.T()(s));
+}
+
+TEST(CandidateTest, SOverrideWins) {
+  CandidateTriple t;
+  ProgramBuilder b("p");
+  b.var("x", 0, 1);
+  t.program = b.build();
+  t.S_override = false_predicate();
+  EXPECT_FALSE(t.S()(State(1)));
+}
+
+TEST(CandidateTest, AugmentedAddsConvergenceActions) {
+  ProgramBuilder b("p");
+  const VarId x = b.var("x", 0, 5);
+  b.closure(
+      "noop", false_predicate(), [](State&) {}, {}, {});
+  CandidateTriple t;
+  t.program = b.build();
+  t.invariant.add(
+      Constraint{"x==0", [x](const State& s) { return s.get(x) == 0; }, {x}});
+
+  Action ca(
+      "fix", ActionKind::kConvergence,
+      [x](const State& s) { return s.get(x) != 0; },
+      [x](State& s) { s.set(x, 0); }, {x}, {x});
+  ca.set_constraint_id(0);
+  Design d = t.augmented({ca});
+  EXPECT_EQ(d.program.num_actions(), 2u);
+  EXPECT_EQ(d.program.actions_of_kind(ActionKind::kConvergence).size(), 1u);
+
+  // candidate() strips convergence actions back off.
+  CandidateTriple back = d.candidate();
+  EXPECT_EQ(back.program.num_actions(), 1u);
+  EXPECT_EQ(back.program.action(0).kind(), ActionKind::kClosure);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(5);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    hit_lo |= v == -2;
+    hit_hi |= v == 2;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, SplitYieldsIndependentStream) {
+  Rng a(9);
+  Rng child = a.split();
+  EXPECT_NE(a(), child());
+}
+
+}  // namespace
+}  // namespace nonmask

@@ -1,0 +1,46 @@
+// Tests for program/design introspection.
+#include <gtest/gtest.h>
+
+#include "core/describe.hpp"
+#include "protocols/atomic_action.hpp"
+#include "protocols/running_example.hpp"
+
+namespace nonmask {
+namespace {
+
+TEST(DescribeTest, ProgramListsVariablesAndActions) {
+  const Design d = make_running_example(RunningExampleVariant::kWriteYZ);
+  const std::string text = describe_program(d.program);
+  EXPECT_NE(text.find("x : [-1, 7]"), std::string::npos);
+  EXPECT_NE(text.find("y : [0, 7]"), std::string::npos);
+  EXPECT_NE(text.find("[convergence] fix-neq"), std::string::npos);
+  EXPECT_NE(text.find("writes {y}"), std::string::npos);
+  EXPECT_NE(text.find("establishes #0"), std::string::npos);
+  EXPECT_NE(text.find("state space: 576 states"), std::string::npos);
+}
+
+TEST(DescribeTest, DesignListsConstraintsAndST) {
+  const Design d = make_running_example(RunningExampleVariant::kWriteYZ);
+  const std::string text = describe_design(d);
+  EXPECT_NE(text.find("#0 x != y"), std::string::npos);
+  EXPECT_NE(text.find("#1 x <= z"), std::string::npos);
+  EXPECT_NE(text.find("conjunction of constraints"), std::string::npos);
+  EXPECT_NE(text.find("true (stabilizing)"), std::string::npos);
+}
+
+TEST(DescribeTest, NonStabilizingDesignMarked) {
+  const auto aa = make_atomic_action(2);
+  const std::string text = describe_design(aa.design);
+  EXPECT_NE(text.find("T: restricted"), std::string::npos);
+  EXPECT_NE(text.find("[fault] flip@0"), std::string::npos);
+}
+
+TEST(DescribeTest, ProcessAnnotations) {
+  const auto aa = make_atomic_action(2);
+  const std::string text = describe_program(aa.design.program);
+  EXPECT_NE(text.find("f.0 : [0, 2] @p0"), std::string::npos);
+  EXPECT_NE(text.find("[convergence] apply@1 @p1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nonmask

@@ -1,0 +1,207 @@
+// E3/E4: the stabilizing diffusing computation (Section 5.1).
+// Exhaustive self-stabilization on every small tree shape; simulated
+// re-stabilization after corruption on larger trees; wave behavior in the
+// fault-free steady state.
+#include <gtest/gtest.h>
+
+#include "checker/closure_check.hpp"
+#include "checker/convergence_check.hpp"
+#include "checker/state_space.hpp"
+#include "engine/simulator.hpp"
+#include "faults/fault.hpp"
+#include "faults/injector.hpp"
+#include "protocols/diffusing.hpp"
+#include "sched/daemons.hpp"
+
+namespace nonmask {
+namespace {
+
+struct TreeCase {
+  const char* name;
+  RootedTree tree;
+};
+
+std::vector<TreeCase> small_trees() {
+  return {
+      {"chain2", RootedTree::chain(2)},
+      {"chain3", RootedTree::chain(3)},
+      {"chain4", RootedTree::chain(4)},
+      {"chain5", RootedTree::chain(5)},
+      {"star4", RootedTree::star(4)},
+      {"star5", RootedTree::star(5)},
+      {"binary5", RootedTree::balanced(5, 2)},
+      {"binary6", RootedTree::balanced(6, 2)},
+      {"ternary5", RootedTree::balanced(5, 3)},
+  };
+}
+
+class DiffusingExhaustiveTest : public ::testing::TestWithParam<bool> {};
+
+// The headline claim: from EVERY state, computations converge to S —
+// for both the combined (paper-final) and separated design forms.
+TEST_P(DiffusingExhaustiveTest, SelfStabilizesOnAllSmallTrees) {
+  const bool combined = GetParam();
+  for (const auto& tc : small_trees()) {
+    const auto dd = make_diffusing(tc.tree, combined);
+    StateSpace space(dd.design.program);
+    const auto report = check_convergence(space, dd.design.S(), dd.design.T());
+    EXPECT_EQ(report.verdict, ConvergenceVerdict::kConverges)
+        << tc.name << " combined=" << combined;
+    EXPECT_EQ(report.states_in_T, space.size()) << tc.name;
+  }
+}
+
+TEST_P(DiffusingExhaustiveTest, InvariantClosedOnAllSmallTrees) {
+  const bool combined = GetParam();
+  for (const auto& tc : small_trees()) {
+    const auto dd = make_diffusing(tc.tree, combined);
+    StateSpace space(dd.design.program);
+    EXPECT_TRUE(check_closed(space, dd.design.S()).closed)
+        << tc.name << " combined=" << combined;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CombinedAndSeparated, DiffusingExhaustiveTest,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "combined" : "separated";
+                         });
+
+// No deadlock anywhere: some action is enabled at every state (the wave
+// never halts).
+TEST(DiffusingTest, AlwaysEnabled) {
+  const auto tree = RootedTree::balanced(6, 2);
+  const auto dd = make_diffusing(tree, true);
+  StateSpace space(dd.design.program);
+  State s(dd.design.program.num_variables());
+  for (std::uint64_t code = 0; code < space.size(); ++code) {
+    space.decode_into(code, s);
+    EXPECT_TRUE(dd.design.program.any_enabled(s));
+  }
+}
+
+TEST(DiffusingTest, WriteSetContractsHonored) {
+  const auto tree = RootedTree::balanced(6, 2);
+  const auto dd = make_diffusing(tree, true);
+  StateSpace space(dd.design.program);
+  State s(dd.design.program.num_variables());
+  for (std::uint64_t code = 0; code < space.size(); ++code) {
+    space.decode_into(code, s);
+    EXPECT_EQ(dd.design.program.check_contracts(s), "");
+  }
+}
+
+// Steady-state wave: from the all-green state, the root initiates, red
+// propagates to the leaves, green reflects back, and the root initiates
+// the next wave with the opposite session number.
+TEST(DiffusingTest, WaveSweepsDownAndReflects) {
+  const auto tree = RootedTree::chain(4);
+  const auto dd = make_diffusing(tree, true);
+  const Design& d = dd.design;
+  RoundRobinDaemon daemon;
+  Simulator sim(d.program, daemon);
+
+  // All green, equal session numbers: an S state.
+  State s = d.program.initial_state();
+  ASSERT_TRUE(d.S()(s));
+
+  RunOptions opts;
+  opts.max_steps = 200;
+  opts.record_snapshots = true;
+  opts.stop_when = [](const State&) { return false; };
+  const auto r = sim.run(s, opts);
+
+  // S must hold at every step (closure), and every node must turn red and
+  // back green at least once (the wave visits everyone).
+  const auto S = d.S();
+  std::vector<bool> was_red(4, false), was_green_again(4, false);
+  for (const State& snap : r.trace.snapshots()) {
+    EXPECT_TRUE(S(snap));
+    for (int j = 0; j < 4; ++j) {
+      const Value c = snap.get(dd.color[static_cast<std::size_t>(j)]);
+      if (c == kRed) was_red[static_cast<std::size_t>(j)] = true;
+      if (c == kGreen && was_red[static_cast<std::size_t>(j)]) {
+        was_green_again[static_cast<std::size_t>(j)] = true;
+      }
+    }
+  }
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_TRUE(was_red[static_cast<std::size_t>(j)]) << "node " << j;
+    EXPECT_TRUE(was_green_again[static_cast<std::size_t>(j)]) << "node " << j;
+  }
+}
+
+// E3 at scale: random corruption of every node, simulated convergence.
+TEST(DiffusingTest, RecoversFromFullCorruptionAtScale) {
+  Rng tree_rng(13);
+  for (const int n : {50, 200}) {
+    const auto tree = RootedTree::random(n, tree_rng);
+    const auto dd = make_diffusing(tree, true);
+    RandomDaemon daemon(99);
+    Rng rng(17);
+    for (int trial = 0; trial < 5; ++trial) {
+      State start = dd.design.program.random_state(rng);
+      RunOptions opts;
+      opts.max_steps = 200'000;
+      const auto r = converge(dd.design, start, daemon, opts);
+      EXPECT_TRUE(r.converged) << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+// Nonmasking behavior under live faults: corruption mid-run is repaired.
+TEST(DiffusingTest, RepairsAfterInjectedFaults) {
+  const auto tree = RootedTree::balanced(15, 2);
+  const auto dd = make_diffusing(tree, true);
+  auto inj = FaultInjector::periodic(
+      std::make_shared<CorruptKProcesses>(3), 50, 4, 21);
+  RandomDaemon daemon(5);
+  Simulator sim(dd.design.program, daemon);
+  RunOptions opts;
+  opts.max_steps = 100'000;
+  opts.perturb = inj.hook(dd.design.program);
+  // Run past the fault budget, then demand convergence.
+  opts.stop_when = [S = dd.design.S(), &inj](const State& s) {
+    return inj.faults_injected() == 4 && S(s);
+  };
+  const auto r = sim.run(dd.design.program.initial_state(), opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(inj.faults_injected(), 4u);
+}
+
+// The separated design's convergence actions have guard exactly ¬R.j.
+TEST(DiffusingTest, SeparatedCorrectGuardsMatchConstraints) {
+  const auto tree = RootedTree::balanced(5, 2);
+  const auto dd = make_diffusing(tree, false);
+  const Design& d = dd.design;
+  StateSpace space(d.program);
+  State s(d.program.num_variables());
+  for (std::uint64_t code = 0; code < space.size(); ++code) {
+    space.decode_into(code, s);
+    for (const auto& a : d.program.actions()) {
+      if (a.kind() != ActionKind::kConvergence) continue;
+      const auto& c =
+          d.invariant.at(static_cast<std::size_t>(a.constraint_id()));
+      EXPECT_EQ(a.enabled(s), !c.holds(s));
+    }
+  }
+}
+
+// Worst-case convergence distance grows with tree height (E4 shape check):
+// a deeper chain needs strictly more steps than a flat star of equal size.
+TEST(DiffusingTest, ConvergenceDistanceTracksDepth) {
+  const auto chain = make_diffusing(RootedTree::chain(5), true);
+  const auto star = make_diffusing(RootedTree::star(5), true);
+  StateSpace chain_space(chain.design.program);
+  StateSpace star_space(star.design.program);
+  const auto chain_report =
+      check_convergence(chain_space, chain.design.S(), chain.design.T());
+  const auto star_report =
+      check_convergence(star_space, star.design.S(), star.design.T());
+  ASSERT_EQ(chain_report.verdict, ConvergenceVerdict::kConverges);
+  ASSERT_EQ(star_report.verdict, ConvergenceVerdict::kConverges);
+  EXPECT_GT(chain_report.max_steps_to_S, star_report.max_steps_to_S);
+}
+
+}  // namespace
+}  // namespace nonmask

@@ -1,0 +1,248 @@
+// Unit tests for the simulation engine: stepping, stop predicates,
+// deadlock/exhaustion detection, rounds/moves accounting, traces,
+// violation timelines, and simultaneous-firing semantics.
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "engine/metrics.hpp"
+#include "engine/simulator.hpp"
+#include "sched/daemons.hpp"
+
+namespace nonmask {
+namespace {
+
+Program countdown(Value start_max = 9) {
+  ProgramBuilder b("countdown");
+  const VarId x = b.var("x", 0, start_max);
+  b.closure(
+      "dec", [x](const State& s) { return s.get(x) > 0; },
+      [x](State& s) { s.set(x, s.get(x) - 1); }, {x}, {x});
+  return b.build();
+}
+
+TEST(SimulatorTest, RunsToStopPredicate) {
+  Program p = countdown();
+  const VarId x = p.find_variable("x");
+  FirstEnabledDaemon d;
+  Simulator sim(p, d);
+  State start(1);
+  start.set(x, 6);
+  RunOptions opts;
+  opts.stop_when = [x](const State& s) { return s.get(x) == 0; };
+  const auto r = sim.run(start, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_FALSE(r.exhausted);
+  EXPECT_EQ(r.steps, 6u);
+  EXPECT_EQ(r.moves, 6u);
+  EXPECT_EQ(r.final_state.get(x), 0);
+}
+
+TEST(SimulatorTest, DeadlockDetected) {
+  Program p = countdown();
+  const VarId x = p.find_variable("x");
+  FirstEnabledDaemon d;
+  Simulator sim(p, d);
+  State start(1);
+  start.set(x, 3);
+  RunOptions opts;
+  opts.stop_when = [](const State&) { return false; };
+  const auto r = sim.run(start, opts);
+  EXPECT_TRUE(r.deadlocked);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(SimulatorTest, ExhaustionDetected) {
+  // Oscillator never satisfies the stop predicate.
+  ProgramBuilder b("osc");
+  const VarId x = b.boolean("x");
+  b.closure(
+      "flip", true_predicate(), [x](State& s) { s.set(x, 1 - s.get(x)); },
+      {x}, {x});
+  Program p = b.build();
+  FirstEnabledDaemon d;
+  Simulator sim(p, d);
+  RunOptions opts;
+  opts.max_steps = 100;
+  opts.stop_when = [](const State&) { return false; };
+  const auto r = sim.run(p.initial_state(), opts);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_EQ(r.steps, 100u);
+}
+
+TEST(SimulatorTest, StopAtStartCountsZeroSteps) {
+  Program p = countdown();
+  FirstEnabledDaemon d;
+  Simulator sim(p, d);
+  RunOptions opts;
+  opts.stop_when = true_predicate();
+  const auto r = sim.run(p.initial_state(), opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.steps, 0u);
+}
+
+TEST(SimulatorTest, TraceRecordsFiredActions) {
+  Program p = countdown();
+  const VarId x = p.find_variable("x");
+  FirstEnabledDaemon d;
+  Simulator sim(p, d);
+  State start(1);
+  start.set(x, 3);
+  RunOptions opts;
+  opts.stop_when = [x](const State& s) { return s.get(x) == 0; };
+  opts.record_trace = true;
+  opts.record_snapshots = true;
+  const auto r = sim.run(start, opts);
+  EXPECT_EQ(r.trace.num_steps(), 3u);
+  EXPECT_EQ(r.trace.snapshots().size(), 3u);
+  const std::string rendered = r.trace.format(p);
+  EXPECT_NE(rendered.find("dec"), std::string::npos);
+}
+
+TEST(SimulatorTest, ViolationTimelineShrinks) {
+  Program p = countdown();
+  const VarId x = p.find_variable("x");
+  Invariant inv;
+  inv.add(
+      Constraint{"x<=2", [x](const State& s) { return s.get(x) <= 2; }, {x}});
+  FirstEnabledDaemon d;
+  Simulator sim(p, d);
+  State start(1);
+  start.set(x, 5);
+  RunOptions opts;
+  opts.stop_when = [x](const State& s) { return s.get(x) == 0; };
+  opts.track_violations = &inv;
+  const auto r = sim.run(start, opts);
+  const auto& timeline = r.trace.violation_timeline();
+  ASSERT_GE(timeline.size(), 4u);
+  EXPECT_EQ(timeline.front(), 1u);  // x=5 violates
+  EXPECT_EQ(timeline.back(), 0u);
+}
+
+TEST(SimulatorTest, PerturbHookMutatesState) {
+  Program p = countdown();
+  const VarId x = p.find_variable("x");
+  FirstEnabledDaemon d;
+  Simulator sim(p, d);
+  State start(1);
+  start.set(x, 1);
+  RunOptions opts;
+  opts.stop_when = [](const State&) { return false; };
+  opts.max_steps = 50;
+  // Re-arm the countdown at step 1 — the run must last 5 extra steps.
+  opts.perturb = [x](std::size_t step, State& s) {
+    if (step == 1) s.set(x, 5);
+  };
+  const auto r = sim.run(start, opts);
+  EXPECT_EQ(r.steps, 6u);
+  EXPECT_TRUE(r.deadlocked);
+}
+
+TEST(SimulatorTest, ContractCheckThrowsOnViolation) {
+  ProgramBuilder b("bad");
+  const VarId x = b.boolean("x");
+  const VarId y = b.boolean("y");
+  b.closure(
+      "sneaky", true_predicate(),
+      [x, y](State& s) {
+        s.set(x, 1);
+        s.set(y, 1);
+      },
+      {x, y}, {x});
+  Program p = b.build();
+  FirstEnabledDaemon d;
+  Simulator sim(p, d);
+  RunOptions opts;
+  opts.check_contracts = true;
+  opts.max_steps = 5;
+  EXPECT_THROW(sim.run(p.initial_state(), opts), std::logic_error);
+}
+
+TEST(SimulatorTest, SynchronousFiringReadsOldState) {
+  // Two processes swap values simultaneously: classic read-old semantics.
+  ProgramBuilder b("swap");
+  const VarId u = b.var("u", 0, 9, 0);
+  const VarId v = b.var("v", 0, 9, 1);
+  b.closure(
+      "copy-v-to-u", true_predicate(),
+      [u, v](State& s) { s.set(u, s.get(v)); }, {u, v}, {u}, 0);
+  b.closure(
+      "copy-u-to-v", true_predicate(),
+      [u, v](State& s) { s.set(v, s.get(u)); }, {u, v}, {v}, 1);
+  Program p = b.build();
+  SynchronousDaemon d;
+  Simulator sim(p, d);
+  State start(2);
+  start.set(u, 3);
+  start.set(v, 7);
+  RunOptions opts;
+  opts.max_steps = 1;
+  const auto r = sim.run(start, opts);
+  EXPECT_EQ(r.final_state.get(u), 7);
+  EXPECT_EQ(r.final_state.get(v), 3);
+  EXPECT_EQ(r.steps, 1u);
+  EXPECT_EQ(r.moves, 2u);
+}
+
+TEST(SimulatorTest, RoundsTrackEnabledSets) {
+  // Three independent countdowns under round-robin: one round per sweep.
+  ProgramBuilder b("multi");
+  std::vector<VarId> xs;
+  for (int j = 0; j < 3; ++j) {
+    xs.push_back(b.var("x" + std::to_string(j), 0, 4, j));
+  }
+  for (int j = 0; j < 3; ++j) {
+    const VarId x = xs[static_cast<std::size_t>(j)];
+    b.closure(
+        "dec@" + std::to_string(j),
+        [x](const State& s) { return s.get(x) > 0; },
+        [x](State& s) { s.set(x, s.get(x) - 1); }, {x}, {x}, j);
+  }
+  Program p = b.build();
+  RoundRobinDaemon d;
+  Simulator sim(p, d);
+  State start(3);
+  for (const VarId x : xs) start.set(x, 4);
+  RunOptions opts;
+  opts.stop_when = [xs](const State& s) {
+    for (const VarId x : xs) {
+      if (s.get(x) != 0) return false;
+    }
+    return true;
+  };
+  const auto r = sim.run(start, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.steps, 12u);
+  EXPECT_EQ(r.rounds, 4u);
+}
+
+TEST(ConvergeHelperTest, UsesDesignS) {
+  ProgramBuilder b("fix");
+  const VarId x = b.var("x", 0, 5);
+  b.convergence(
+      "fix", [x](const State& s) { return s.get(x) != 0; },
+      [x](State& s) { s.set(x, 0); }, {x}, {x}, 0);
+  Design d;
+  d.program = b.build();
+  d.invariant.add(
+      Constraint{"x==0", [x](const State& s) { return s.get(x) == 0; }, {x}});
+  RandomDaemon daemon(2);
+  State start(1);
+  start.set(x, 4);
+  const auto r = converge(d, start, daemon);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.steps, 1u);
+}
+
+TEST(MetricsTest, SummaryStatistics) {
+  const auto stats = summarize({4.0, 1.0, 3.0, 2.0, 5.0});
+  EXPECT_EQ(stats.count, 5u);
+  EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 5.0);
+  EXPECT_DOUBLE_EQ(stats.p50, 3.0);
+  EXPECT_EQ(summarize({}).count, 0u);
+}
+
+}  // namespace
+}  // namespace nonmask

@@ -1,0 +1,124 @@
+// Tests for the experiment harness and the logging utility.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "engine/experiment.hpp"
+#include "protocols/diffusing.hpp"
+#include "protocols/running_example.hpp"
+#include "sched/daemons.hpp"
+#include "util/logging.hpp"
+
+namespace nonmask {
+namespace {
+
+TEST(ExperimentTest, ConvergingDesignReports100Percent) {
+  const auto dd = make_diffusing(RootedTree::balanced(7, 2), true);
+  ConvergenceExperiment config;
+  config.trials = 50;
+  config.seed = 42;
+  config.max_steps = 100'000;
+  const auto results = run_experiment(dd.design, config);
+  EXPECT_DOUBLE_EQ(results.converged_fraction, 1.0);
+  EXPECT_EQ(results.steps.count, 50u);
+  EXPECT_GE(results.steps.max, results.steps.p95);
+  EXPECT_GE(results.steps.p95, results.steps.p50);
+  EXPECT_GE(results.steps.mean, results.steps.min);
+}
+
+TEST(ExperimentTest, DeterministicGivenSeed) {
+  const auto dd = make_diffusing(RootedTree::chain(5), true);
+  ConvergenceExperiment config;
+  config.trials = 20;
+  config.seed = 7;
+  const auto a = run_experiment(dd.design, config);
+  const auto b = run_experiment(dd.design, config);
+  EXPECT_DOUBLE_EQ(a.steps.mean, b.steps.mean);
+  EXPECT_DOUBLE_EQ(a.rounds.mean, b.rounds.mean);
+}
+
+TEST(ExperimentTest, LivelockingDesignReportsFailures) {
+  const Design d = make_running_example(RunningExampleVariant::kWriteXBoth);
+  ConvergenceExperiment config;
+  config.trials = 200;
+  config.seed = 3;
+  config.max_steps = 2000;
+  // Start in the livelock pocket (y == z) explicitly.
+  config.make_start = [](const Program& p, Rng& rng) {
+    State s = p.random_state(rng);
+    s.set(p.find_variable("y"), 4);
+    s.set(p.find_variable("z"), 4);
+    s.set(p.find_variable("x"), 4);
+    return s;
+  };
+  const auto results = run_experiment(d, config);
+  EXPECT_LT(results.converged_fraction, 0.1);
+}
+
+TEST(ExperimentTest, CustomDaemonFactoryIsUsed) {
+  const auto dd = make_diffusing(RootedTree::chain(4), true);
+  ConvergenceExperiment config;
+  config.trials = 10;
+  config.make_daemon = [](std::uint64_t) {
+    return DaemonPtr(new RoundRobinDaemon());
+  };
+  const auto results = run_experiment(dd.design, config);
+  EXPECT_DOUBLE_EQ(results.converged_fraction, 1.0);
+}
+
+TEST(ExperimentTest, PerturbHookInjectsFaults) {
+  const auto dd = make_diffusing(RootedTree::chain(4), true);
+  ConvergenceExperiment config;
+  config.trials = 5;
+  config.max_steps = 50'000;
+  // A hook that corrupts early but stops, so trials still converge.
+  config.make_perturb = [&dd](const Program&) {
+    const VarId c1 = dd.color[1];
+    return [c1](std::size_t step, State& s) {
+      if (step == 1) s.set(c1, kRed);
+    };
+  };
+  const auto results = run_experiment(dd.design, config);
+  EXPECT_DOUBLE_EQ(results.converged_fraction, 1.0);
+}
+
+TEST(ExperimentTest, ZeroTrialsYieldEmptyStats) {
+  const auto dd = make_diffusing(RootedTree::chain(3), true);
+  ConvergenceExperiment config;
+  config.trials = 0;
+  const auto results = run_experiment(dd.design, config);
+  EXPECT_DOUBLE_EQ(results.converged_fraction, 0.0);
+  EXPECT_EQ(results.steps.count, 0u);
+}
+
+TEST(LoggingTest, LevelsGateOutput) {
+  std::ostringstream sink;
+  Log::set_sink(&sink);
+  Log::set_level(LogLevel::kWarn);
+  NONMASK_INFO() << "hidden";
+  NONMASK_WARN() << "shown " << 42;
+  NONMASK_ERROR() << "also shown";
+  Log::set_level(LogLevel::kOff);
+  NONMASK_ERROR() << "off";
+  Log::set_sink(nullptr);
+
+  const std::string out = sink.str();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("shown 42"), std::string::npos);
+  EXPECT_NE(out.find("also shown"), std::string::npos);
+  EXPECT_EQ(out.find("off"), std::string::npos);
+  EXPECT_NE(out.find("[WARN ]"), std::string::npos);
+}
+
+TEST(LoggingTest, EnabledReflectsLevel) {
+  Log::set_level(LogLevel::kDebug);
+  EXPECT_TRUE(Log::enabled(LogLevel::kDebug));
+  EXPECT_TRUE(Log::enabled(LogLevel::kError));
+  EXPECT_FALSE(Log::enabled(LogLevel::kTrace));
+  Log::set_level(LogLevel::kOff);
+  EXPECT_FALSE(Log::enabled(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace nonmask

@@ -1,0 +1,121 @@
+// Monte-Carlo falsification: sound cycle/deadlock certificates at scales
+// the exhaustive checker cannot touch.
+#include <gtest/gtest.h>
+
+#include "checker/convergence_check.hpp"
+#include "checker/falsify.hpp"
+#include "checker/state_space.hpp"
+#include "core/builder.hpp"
+#include "protocols/diffusing.hpp"
+#include "protocols/running_example.hpp"
+#include "protocols/token_ring.hpp"
+
+namespace nonmask {
+namespace {
+
+TEST(FalsifyTest, FindsTheRunningExampleLivelock) {
+  const Design d = make_running_example(RunningExampleVariant::kWriteXBoth);
+  const auto result = falsify_convergence(d);
+  ASSERT_TRUE(result.violated);
+  ASSERT_TRUE(result.cycle.has_value());
+  // Certificate check: every cycle state violates S, and the cycle really
+  // is traversable (each state has some action leading to the next).
+  const auto S = d.S();
+  const auto& cycle = *result.cycle;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    EXPECT_FALSE(S(cycle[i]));
+    const State& next = cycle[(i + 1) % cycle.size()];
+    bool reachable = false;
+    for (const auto& a : d.program.actions()) {
+      if (a.enabled(cycle[i]) && a.apply(cycle[i]) == next) {
+        reachable = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(reachable) << "cycle step " << i;
+  }
+}
+
+TEST(FalsifyTest, FindsLivelockAtHugeDomain) {
+  // Domain far beyond any exhaustive budget: (2^20)^3 states. The livelock
+  // pocket (y == z) has measure 2^-20 under uniform starts, so model the
+  // fault scenario explicitly: corruption that lands y and z on the same
+  // value — exactly how a falsifier is used against a designated fault
+  // class.
+  const Design d = make_running_example(RunningExampleVariant::kWriteXBoth, 0,
+                                        (1 << 20));
+  EXPECT_FALSE(fits_in_budget(d.program));
+  FalsifyOptions opts;
+  opts.walks = 50;
+  opts.make_start = [](const Program& p, Rng& rng) {
+    State s = p.random_state(rng);
+    s.set(p.find_variable("z"), s.get(p.find_variable("y")));
+    return s;
+  };
+  const auto result = falsify_convergence(d, opts);
+  EXPECT_TRUE(result.violated);
+  EXPECT_TRUE(result.cycle.has_value());
+}
+
+TEST(FalsifyTest, FindsDeadlocks) {
+  ProgramBuilder b("stuck");
+  const VarId x = b.var("x", 0, 1000);
+  b.closure(
+      "dec", [x](const State& s) { return s.get(x) > 1; },
+      [x](State& s) { s.set(x, s.get(x) - 1); }, {x}, {x});
+  Design d;
+  d.program = b.build();
+  d.S_override = [x](const State& s) { return s.get(x) == 0; };
+  const auto result = falsify_convergence(d);
+  ASSERT_TRUE(result.violated);
+  ASSERT_TRUE(result.deadlock.has_value());
+  EXPECT_EQ(result.deadlock->get(x), 1);
+}
+
+TEST(FalsifyTest, SilentOnConvergingDesigns) {
+  // A falsifier must not produce false positives — run it against designs
+  // the exhaustive checker has proven convergent.
+  const auto dd = make_diffusing(RootedTree::balanced(31, 2), true);
+  FalsifyOptions opts;
+  opts.walks = 50;
+  opts.max_walk_length = 5000;
+  EXPECT_FALSE(falsify_convergence(dd.design, opts).violated);
+
+  const auto tr = make_dijkstra_ring(32, 33);
+  EXPECT_FALSE(falsify_convergence(tr.design, opts).violated);
+}
+
+TEST(FalsifyTest, AgreesWithExhaustiveCheckerOnSmallDesigns) {
+  struct Case {
+    Design design;
+  };
+  std::vector<Design> designs;
+  designs.push_back(make_running_example(RunningExampleVariant::kWriteYZ));
+  designs.push_back(make_running_example(RunningExampleVariant::kWriteXBoth));
+  designs.push_back(make_running_example(RunningExampleVariant::kDecreaseX));
+  for (const Design& d : designs) {
+    StateSpace space(d.program);
+    const auto exact = check_convergence(space, d.S(), d.T());
+    const auto mc = falsify_convergence(d);
+    if (mc.violated) {
+      EXPECT_EQ(exact.verdict, ConvergenceVerdict::kViolated) << d.name;
+    }
+    if (exact.verdict == ConvergenceVerdict::kConverges) {
+      EXPECT_FALSE(mc.violated) << d.name;
+    }
+  }
+}
+
+TEST(FalsifyTest, DeterministicGivenSeed) {
+  const Design d = make_running_example(RunningExampleVariant::kWriteXBoth);
+  const auto a = falsify_convergence(d);
+  const auto b = falsify_convergence(d);
+  ASSERT_EQ(a.violated, b.violated);
+  ASSERT_EQ(a.cycle.has_value(), b.cycle.has_value());
+  if (a.cycle && b.cycle) {
+    EXPECT_EQ(a.cycle->size(), b.cycle->size());
+  }
+}
+
+}  // namespace
+}  // namespace nonmask

@@ -1,0 +1,145 @@
+// Unit tests for fault-span computation (Section 3: T as the reachable
+// closure of S under program + fault actions).
+#include <gtest/gtest.h>
+
+#include "checker/closure_check.hpp"
+#include "checker/convergence_check.hpp"
+#include "checker/fault_span.hpp"
+#include "checker/state_space.hpp"
+#include "core/builder.hpp"
+#include "protocols/atomic_action.hpp"
+
+namespace nonmask {
+namespace {
+
+TEST(StateSetTest, InsertContainsPredicate) {
+  ProgramBuilder b("p");
+  b.var("x", 0, 3);
+  Program p = b.build();
+  StateSpace space(p);
+  StateSet set(space);
+  EXPECT_EQ(set.size(), 0u);
+  set.insert_code(2);
+  set.insert_code(2);  // idempotent
+  EXPECT_EQ(set.size(), 1u);
+  State s(1);
+  s.set(VarId(0), 2);
+  EXPECT_TRUE(set.contains(s));
+  const auto pred = set.as_predicate();
+  EXPECT_TRUE(pred(s));
+  s.set(VarId(0), 1);
+  EXPECT_FALSE(pred(s));
+}
+
+TEST(ReachableTest, ClosureUnderActions) {
+  // dec-only countdown: reachable from {x = 5} is {0..5}.
+  ProgramBuilder b("countdown");
+  const VarId x = b.var("x", 0, 9);
+  b.closure(
+      "dec", [x](const State& s) { return s.get(x) > 0; },
+      [x](State& s) { s.set(x, s.get(x) - 1); }, {x}, {x});
+  Program p = b.build();
+  StateSpace space(p);
+  const auto set = compute_reachable(
+      space, [x](const State& s) { return s.get(x) == 5; }, {0});
+  EXPECT_EQ(set.size(), 6u);
+  State s(1);
+  for (Value v = 0; v <= 9; ++v) {
+    s.set(x, v);
+    EXPECT_EQ(set.contains(s), v <= 5) << v;
+  }
+}
+
+TEST(ReachableTest, MaxStatesCapStopsExpansion) {
+  ProgramBuilder b("inc");
+  const VarId x = b.var("x", 0, 99);
+  b.closure(
+      "inc", [x](const State& s) { return s.get(x) < 99; },
+      [x](State& s) { s.set(x, s.get(x) + 1); }, {x}, {x});
+  Program p = b.build();
+  StateSpace space(p);
+  FaultSpanOptions opts;
+  opts.max_states = 10;
+  const auto set = compute_reachable(
+      space, [x](const State& s) { return s.get(x) == 0; }, {0}, opts);
+  EXPECT_LE(set.size(), 11u);  // cap checked after each expansion wave
+}
+
+TEST(FaultSpanTest, AtomicActionInducedSpanEqualsDeclaredT) {
+  // The designed T is (forall j :: f.j != 2); the tolerated flip faults
+  // never produce 2, so the induced span must match the declared T exactly.
+  const auto aa = make_atomic_action(2);
+  StateSpace space(aa.design.program);
+  const auto span =
+      compute_fault_span(space, aa.design.S(), aa.fault_actions);
+
+  const auto T = aa.design.T();
+  State s(aa.design.program.num_variables());
+  for (std::uint64_t code = 0; code < space.size(); ++code) {
+    space.decode_into(code, s);
+    EXPECT_EQ(span.contains_code(code), T(s))
+        << aa.design.program.format_state(s);
+  }
+}
+
+TEST(FaultSpanTest, InducedSpanIsClosed) {
+  const auto aa = make_atomic_action(3);
+  StateSpace space(aa.design.program);
+  const auto span =
+      compute_fault_span(space, aa.design.S(), aa.fault_actions);
+  const auto pred = span.as_predicate();
+  // Closed under program actions...
+  EXPECT_TRUE(check_closed(space, pred).closed);
+  // ...and under the fault class itself.
+  EXPECT_TRUE(check_closed(space, pred, aa.fault_actions).closed);
+}
+
+TEST(FaultSpanTest, VerifyAgainstFaultClassEndToEnd) {
+  const auto aa = make_atomic_action(2);
+  StateSpace space(aa.design.program);
+  const auto report =
+      verify_against_fault_class(space, aa.design, aa.fault_actions);
+  EXPECT_TRUE(report.span_within_declared_T);
+  EXPECT_TRUE(report.converges_from_span);
+  EXPECT_TRUE(report.tolerant());
+  EXPECT_GT(report.induced_span_size, 0u);
+
+  // Add an un-tolerated poison fault: the span escapes T and convergence
+  // from it fails.
+  auto broken = make_atomic_action(2);
+  const VarId f0 = broken.flags[0];
+  broken.design.program.add_action(Action(
+      "poison", ActionKind::kFault, true_predicate(),
+      [f0](State& s) { s.set(f0, 2); }, {f0}, {f0}, 0));
+  StateSpace space2(broken.design.program);
+  const auto bad = verify_against_fault_class(
+      space2, broken.design,
+      {broken.design.program.num_actions() - 1});
+  EXPECT_FALSE(bad.span_within_declared_T);
+  EXPECT_FALSE(bad.converges_from_span);
+  EXPECT_FALSE(bad.tolerant());
+}
+
+TEST(FaultSpanTest, GuardlessFaultsWidenTheSpan) {
+  // A fault guarded to fire only at x == 0; respecting guards keeps the
+  // span small, ignoring them reaches everything.
+  ProgramBuilder b("guarded");
+  const VarId x = b.var("x", 0, 3);
+  b.fault(
+      "bump", [x](const State& s) { return s.get(x) == 0; },
+      [x](State& s) { s.set(x, (s.get(x) + 1) % 4); }, {x}, {x});
+  Program p = b.build();
+  StateSpace space(p);
+
+  auto S = [x](const State& s) { return s.get(x) == 0; };
+  const auto respected = compute_fault_span(space, S, {0});
+  EXPECT_EQ(respected.size(), 2u);  // {0, 1}
+
+  FaultSpanOptions opts;
+  opts.respect_fault_guards = false;
+  const auto ignored = compute_fault_span(space, S, {0}, opts);
+  EXPECT_EQ(ignored.size(), 4u);  // wraps all the way around
+}
+
+}  // namespace
+}  // namespace nonmask

@@ -1,0 +1,162 @@
+// Unit tests for fault models and injectors.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/builder.hpp"
+#include "engine/simulator.hpp"
+#include "faults/fault.hpp"
+#include "faults/injector.hpp"
+#include "sched/daemons.hpp"
+
+namespace nonmask {
+namespace {
+
+Program five_process_program() {
+  ProgramBuilder b("five");
+  for (int j = 0; j < 5; ++j) {
+    b.var("a." + std::to_string(j), 0, 9, j);
+    b.var("b." + std::to_string(j), 0, 9, j);
+  }
+  return b.build();
+}
+
+int changed_count(const State& before, const State& after) {
+  int n = 0;
+  for (std::uint32_t i = 0; i < before.size(); ++i) {
+    if (before.get(VarId(i)) != after.get(VarId(i))) ++n;
+  }
+  return n;
+}
+
+TEST(FaultModelTest, CorruptKVariablesStaysInDomainAndBounded) {
+  Program p = five_process_program();
+  Rng rng(1);
+  CorruptKVariables model(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    State s = p.initial_state();
+    const State before = s;
+    model.strike(p, s, rng);
+    EXPECT_TRUE(p.in_domain(s));
+    EXPECT_LE(changed_count(before, s), 3);
+  }
+}
+
+TEST(FaultModelTest, CorruptKVariablesCapsAtVariableCount) {
+  Program p = five_process_program();
+  Rng rng(2);
+  CorruptKVariables model(100);
+  State s = p.initial_state();
+  model.strike(p, s, rng);  // must terminate despite k > |vars|
+  EXPECT_TRUE(p.in_domain(s));
+}
+
+TEST(FaultModelTest, CorruptKProcessesTouchesOnlyVictims) {
+  Program p = five_process_program();
+  Rng rng(3);
+  CorruptKProcesses model(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    State s = p.initial_state();
+    const State before = s;
+    model.strike(p, s, rng);
+    // Changed variables must span at most 2 processes.
+    std::set<int> touched;
+    for (std::uint32_t i = 0; i < s.size(); ++i) {
+      if (s.get(VarId(i)) != before.get(VarId(i))) {
+        touched.insert(p.variable(VarId(i)).process);
+      }
+    }
+    EXPECT_LE(touched.size(), 2u);
+  }
+}
+
+TEST(FaultModelTest, CorruptFractionExtremes) {
+  Program p = five_process_program();
+  Rng rng(4);
+  State s = p.initial_state();
+  CorruptFraction none(0.0);
+  const State before = s;
+  none.strike(p, s, rng);
+  EXPECT_EQ(s, before);
+  // p=1.0 redraws every variable (values may coincide, but stay in domain).
+  CorruptFraction all(1.0);
+  all.strike(p, s, rng);
+  EXPECT_TRUE(p.in_domain(s));
+}
+
+TEST(FaultModelTest, TargetedCorruptionSetsAndClamps) {
+  Program p = five_process_program();
+  Rng rng(5);
+  TargetedCorruption model({VarId(0), VarId(3)}, {7, 99});
+  State s = p.initial_state();
+  model.strike(p, s, rng);
+  EXPECT_EQ(s.get(VarId(0)), 7);
+  EXPECT_EQ(s.get(VarId(3)), 9);  // clamped to domain hi
+}
+
+TEST(FaultModelTest, TargetedSizeMismatchThrows) {
+  EXPECT_THROW(TargetedCorruption({VarId(0)}, {1, 2}), std::invalid_argument);
+}
+
+TEST(InjectorTest, OneShotStrikesExactlyOnce) {
+  Program p = five_process_program();
+  auto inj = FaultInjector::one_shot(
+      std::make_shared<CorruptKVariables>(2), 3, 7);
+  State s = p.initial_state();
+  for (std::size_t step = 0; step < 10; ++step) inj(step, p, s);
+  EXPECT_EQ(inj.faults_injected(), 1u);
+}
+
+TEST(InjectorTest, PeriodicHonorsPeriodAndCap) {
+  Program p = five_process_program();
+  auto inj = FaultInjector::periodic(
+      std::make_shared<CorruptKVariables>(1), 5, 3, 7);
+  State s = p.initial_state();
+  for (std::size_t step = 0; step < 100; ++step) inj(step, p, s);
+  EXPECT_EQ(inj.faults_injected(), 3u);  // capped despite 19 period marks
+}
+
+TEST(InjectorTest, BernoulliRespectsCapAndResets) {
+  Program p = five_process_program();
+  auto inj = FaultInjector::bernoulli(
+      std::make_shared<CorruptKVariables>(1), 0.5, 10, 9);
+  State s = p.initial_state();
+  for (std::size_t step = 0; step < 200; ++step) inj(step, p, s);
+  EXPECT_EQ(inj.faults_injected(), 10u);
+  inj.reset();
+  EXPECT_EQ(inj.faults_injected(), 0u);
+}
+
+TEST(InjectorTest, HookDrivesSimulation) {
+  // A self-fixing program with periodic corruption still converges once
+  // the injector's budget runs out.
+  ProgramBuilder b("fixit");
+  const VarId x = b.var("x", 0, 3);
+  const VarId tick = b.boolean("tick");
+  b.convergence(
+      "fix", [x](const State& s) { return s.get(x) != 0; },
+      [x](State& s) { s.set(x, 0); }, {x}, {x}, 0);
+  // Always-enabled background work so the run never deadlocks.
+  b.closure(
+      "tick", true_predicate(),
+      [tick](State& s) { s.set(tick, 1 - s.get(tick)); }, {tick}, {tick});
+  Program p = b.build();
+  auto inj = FaultInjector::periodic(
+      std::make_shared<TargetedCorruption>(
+          std::vector<VarId>{x}, std::vector<Value>{3}),
+      2, 5, 1);
+  FirstEnabledDaemon d;  // prefers "fix" (lower index) whenever enabled
+  Simulator sim(p, d);
+  RunOptions opts;
+  opts.perturb = inj.hook(p);
+  opts.max_steps = 100;
+  opts.stop_when = [](const State&) { return false; };
+  const auto r = sim.run(p.initial_state(), opts);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_EQ(r.final_state.get(x), 0);  // last fault long since repaired
+  EXPECT_EQ(inj.faults_injected(), 5u);
+}
+
+}  // namespace
+}  // namespace nonmask

@@ -1,0 +1,256 @@
+// Unit tests for the graph substrate: digraph, SCC/shape analysis, ranks,
+// and topology generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graphlib/analysis.hpp"
+#include "graphlib/digraph.hpp"
+#include "graphlib/topology.hpp"
+
+namespace nonmask {
+namespace {
+
+Digraph chain_graph(int n) {
+  Digraph g(n);
+  for (int v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+TEST(DigraphTest, DegreesAndEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1, 7);
+  g.add_edge(0, 2);
+  g.add_edge(2, 2);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_EQ(g.in_degree(2), 2);
+  EXPECT_EQ(g.in_degree_proper(2), 1);
+  EXPECT_EQ(g.edge(0).payload, 7);
+}
+
+TEST(DigraphTest, BadEdgeThrows) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+  EXPECT_THROW(g.add_edge(-1, 0), std::out_of_range);
+}
+
+TEST(DigraphTest, DotRenderingMentionsEdges) {
+  Digraph g(2);
+  g.set_node_label(0, "{x}");
+  g.add_edge(0, 1, 0);
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("{x}"), std::string::npos);
+}
+
+TEST(SccTest, ChainHasSingletonComponents) {
+  const auto scc = tarjan_scc(chain_graph(5));
+  EXPECT_EQ(scc.num_components, 5);
+}
+
+TEST(SccTest, CycleIsOneComponent) {
+  Digraph g(4);
+  for (int v = 0; v < 4; ++v) g.add_edge(v, (v + 1) % 4);
+  const auto scc = tarjan_scc(g);
+  EXPECT_EQ(scc.num_components, 1);
+  EXPECT_EQ(scc.sizes(), (std::vector<int>{4}));
+}
+
+TEST(SccTest, TwoCyclesSeparated) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 2);
+  const auto scc = tarjan_scc(g);
+  EXPECT_EQ(scc.num_components, 2);
+}
+
+TEST(ShapeTest, AcyclicAndSelfLooping) {
+  Digraph g = chain_graph(4);
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_TRUE(is_self_looping(g));
+  g.add_edge(2, 2);
+  EXPECT_FALSE(is_acyclic(g));  // self-loop counts as a cycle
+  EXPECT_TRUE(is_self_looping(g));
+  g.add_edge(3, 0);
+  EXPECT_FALSE(is_self_looping(g));  // proper cycle
+}
+
+TEST(ShapeTest, OutTreeRecognition) {
+  // A star rooted at 0.
+  Digraph star(4);
+  star.add_edge(0, 1);
+  star.add_edge(0, 2);
+  star.add_edge(0, 3);
+  EXPECT_TRUE(is_out_tree(star));
+  EXPECT_EQ(out_tree_root(star), 0);
+
+  // Two roots: not an out-tree.
+  Digraph forest(4);
+  forest.add_edge(0, 1);
+  forest.add_edge(2, 3);
+  EXPECT_FALSE(is_out_tree(forest));
+
+  // In-degree 2: not an out-tree.
+  Digraph diamond(3);
+  diamond.add_edge(0, 2);
+  diamond.add_edge(1, 2);
+  EXPECT_FALSE(is_out_tree(diamond));
+
+  // A self-loop disqualifies.
+  Digraph looped = chain_graph(3);
+  looped.add_edge(1, 1);
+  EXPECT_FALSE(is_out_tree(looped));
+
+  // A directed cycle with in-degree one everywhere is not an out-tree.
+  Digraph ring(3);
+  for (int v = 0; v < 3; ++v) ring.add_edge(v, (v + 1) % 3);
+  EXPECT_FALSE(is_out_tree(ring));
+}
+
+TEST(ShapeTest, WeakConnectivity) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(is_weakly_connected(g));
+  g.add_edge(2, 1);
+  EXPECT_TRUE(is_weakly_connected(g));
+  EXPECT_TRUE(is_weakly_connected(Digraph(1)));
+  EXPECT_TRUE(is_weakly_connected(Digraph(0)));
+}
+
+TEST(RankTest, ChainRanksIncrease) {
+  const auto ranks = node_ranks(chain_graph(4));
+  ASSERT_TRUE(ranks.has_value());
+  EXPECT_EQ(*ranks, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(RankTest, SelfLoopsIgnored) {
+  Digraph g = chain_graph(3);
+  g.add_edge(1, 1);
+  const auto ranks = node_ranks(g);
+  ASSERT_TRUE(ranks.has_value());
+  EXPECT_EQ(*ranks, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(RankTest, CyclicGraphHasNoRanks) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_FALSE(node_ranks(g).has_value());
+  EXPECT_FALSE(topo_order_ignoring_self_loops(g).has_value());
+}
+
+TEST(RankTest, DiamondTakesMaxOfPredecessors) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 3);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  g.add_edge(1, 2);  // lengthen one path
+  const auto ranks = node_ranks(g);
+  ASSERT_TRUE(ranks.has_value());
+  EXPECT_EQ((*ranks)[3], 4);  // 0 -> 1 -> 2 -> 3
+}
+
+TEST(RootedTreeTest, ChainProperties) {
+  const auto t = RootedTree::chain(5);
+  EXPECT_EQ(t.size(), 5);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.height(), 4);
+  EXPECT_TRUE(t.is_leaf(4));
+  EXPECT_FALSE(t.is_leaf(0));
+  EXPECT_EQ(t.depth(3), 3);
+  EXPECT_EQ(t.parent(3), 2);
+}
+
+TEST(RootedTreeTest, StarProperties) {
+  const auto t = RootedTree::star(6);
+  EXPECT_EQ(t.height(), 1);
+  EXPECT_EQ(t.children(0).size(), 5u);
+}
+
+TEST(RootedTreeTest, BalancedBinary) {
+  const auto t = RootedTree::balanced(7, 2);
+  EXPECT_EQ(t.height(), 2);
+  EXPECT_EQ(t.children(0).size(), 2u);
+  EXPECT_EQ(t.parent(5), 2);
+}
+
+TEST(RootedTreeTest, RandomTreeIsValid) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto t = RootedTree::random(12, rng);
+    EXPECT_EQ(t.size(), 12);
+    EXPECT_EQ(t.bfs_order().size(), 12u);
+    // Every non-root node has a strictly smaller-depth parent.
+    for (int j = 1; j < t.size(); ++j) {
+      EXPECT_EQ(t.depth(j), t.depth(t.parent(j)) + 1);
+    }
+  }
+}
+
+TEST(RootedTreeTest, InvalidParentArraysThrow) {
+  EXPECT_THROW(RootedTree({1, 0}), std::invalid_argument);       // no root
+  EXPECT_THROW(RootedTree({0, 1}), std::invalid_argument);       // two roots
+  EXPECT_THROW(RootedTree({0, 2, 1}), std::invalid_argument);    // cycle
+  EXPECT_THROW(RootedTree(std::vector<int>{}), std::invalid_argument);
+}
+
+TEST(UndirectedGraphTest, Generators) {
+  const auto c = UndirectedGraph::cycle(5);
+  EXPECT_EQ(c.num_edges(), 5);
+  EXPECT_EQ(c.max_degree(), 2);
+
+  const auto p = UndirectedGraph::path(4);
+  EXPECT_EQ(p.num_edges(), 3);
+
+  const auto k = UndirectedGraph::complete(4);
+  EXPECT_EQ(k.num_edges(), 6);
+  EXPECT_EQ(k.max_degree(), 3);
+
+  const auto g = UndirectedGraph::grid(2, 3);
+  EXPECT_EQ(g.size(), 6);
+  EXPECT_EQ(g.num_edges(), 7);
+}
+
+TEST(UndirectedGraphTest, RandomConnectedIsConnected) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = UndirectedGraph::random_connected(15, 5, rng);
+    // BFS from 0 must reach all nodes.
+    std::vector<bool> seen(15, false);
+    std::vector<int> queue{0};
+    seen[0] = true;
+    std::size_t head = 0;
+    int count = 1;
+    while (head < queue.size()) {
+      for (int w : g.neighbors(queue[head++])) {
+        if (!seen[static_cast<std::size_t>(w)]) {
+          seen[static_cast<std::size_t>(w)] = true;
+          ++count;
+          queue.push_back(w);
+        }
+      }
+    }
+    EXPECT_EQ(count, 15);
+  }
+}
+
+TEST(UndirectedGraphTest, GnpExtremes) {
+  Rng rng(4);
+  EXPECT_EQ(UndirectedGraph::random_gnp(6, 0.0, rng).num_edges(), 0);
+  EXPECT_EQ(UndirectedGraph::random_gnp(6, 1.0, rng).num_edges(), 15);
+}
+
+TEST(UndirectedGraphTest, SelfLoopRejected) {
+  UndirectedGraph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nonmask

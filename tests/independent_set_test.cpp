@@ -1,0 +1,90 @@
+// Stabilizing maximal independent set.
+#include <gtest/gtest.h>
+
+#include "checker/closure_check.hpp"
+#include "checker/convergence_check.hpp"
+#include "checker/state_space.hpp"
+#include "engine/simulator.hpp"
+#include "protocols/independent_set.hpp"
+#include "sched/daemons.hpp"
+
+namespace nonmask {
+namespace {
+
+TEST(IndependentSetTest, StabilizesExhaustivelyOnSmallGraphs) {
+  for (const auto& g :
+       {UndirectedGraph::path(5), UndirectedGraph::cycle(5),
+        UndirectedGraph::complete(4), UndirectedGraph::grid(2, 3)}) {
+    const auto is = make_independent_set(g);
+    StateSpace space(is.design.program);
+    EXPECT_TRUE(check_closed(space, is.design.S()).closed);
+    const auto report = check_convergence(space, is.design.S(), is.design.T());
+    EXPECT_EQ(report.verdict, ConvergenceVerdict::kConverges)
+        << g.size() << " nodes / " << g.num_edges() << " edges";
+  }
+}
+
+TEST(IndependentSetTest, SStatesAreExactlyTerminalStates) {
+  const auto g = UndirectedGraph::cycle(5);
+  const auto is = make_independent_set(g);
+  StateSpace space(is.design.program);
+  const auto S = is.design.S();
+  State s(is.design.program.num_variables());
+  for (std::uint64_t code = 0; code < space.size(); ++code) {
+    space.decode_into(code, s);
+    EXPECT_EQ(S(s), !is.design.program.any_enabled(s))
+        << is.design.program.format_state(s);
+  }
+}
+
+TEST(IndependentSetTest, FixpointsAreMaximalIndependentSets) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = UndirectedGraph::random_connected(40, 60, rng);
+    const auto is = make_independent_set(g);
+    RandomDaemon d(trial);
+    Rng start_rng(trial + 50);
+    RunOptions opts;
+    opts.max_steps = 200'000;
+    const auto r = converge(is.design,
+                            is.design.program.random_state(start_rng), d,
+                            opts);
+    ASSERT_TRUE(r.converged);
+    EXPECT_TRUE(is.maximal_independent(g, r.final_state));
+  }
+}
+
+TEST(IndependentSetTest, UnfairDaemonConverges) {
+  const auto g = UndirectedGraph::grid(3, 4);
+  const auto is = make_independent_set(g);
+  FirstEnabledDaemon d;
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    RunOptions opts;
+    opts.max_steps = 10'000;
+    const auto r = converge(
+        is.design, is.design.program.random_state(rng), d, opts);
+    EXPECT_TRUE(r.converged);
+  }
+}
+
+TEST(IndependentSetTest, HelperPredicates) {
+  const auto g = UndirectedGraph::path(3);  // 0-1-2
+  const auto is = make_independent_set(g);
+  State s(3);
+  s.set(is.in[0], 1);
+  s.set(is.in[2], 1);
+  EXPECT_TRUE(is.independent(g, s));
+  EXPECT_TRUE(is.maximal_independent(g, s));
+  s.set(is.in[1], 1);
+  EXPECT_FALSE(is.independent(g, s));
+  s.set(is.in[0], 0);
+  s.set(is.in[2], 0);
+  EXPECT_TRUE(is.independent(g, s));        // {1}
+  EXPECT_TRUE(is.maximal_independent(g, s));
+  s.set(is.in[1], 0);
+  EXPECT_FALSE(is.maximal_independent(g, s));  // empty set not maximal
+}
+
+}  // namespace
+}  // namespace nonmask

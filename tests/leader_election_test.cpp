@@ -1,0 +1,85 @@
+// Extension protocol: stabilizing leader election on a unidirectional ring.
+#include <gtest/gtest.h>
+
+#include "cgraph/classify.hpp"
+#include "cgraph/theorems.hpp"
+#include "checker/closure_check.hpp"
+#include "checker/convergence_check.hpp"
+#include "checker/state_space.hpp"
+#include "checker/variant.hpp"
+#include "engine/simulator.hpp"
+#include "protocols/leader_election.hpp"
+#include "sched/daemons.hpp"
+
+namespace nonmask {
+namespace {
+
+TEST(LeaderElectionTest, StabilizesExhaustively) {
+  for (const int n : {2, 3, 4, 5}) {
+    const auto le = make_leader_election(n);
+    StateSpace space(le.design.program);
+    EXPECT_TRUE(check_closed(space, le.design.S()).closed) << "n=" << n;
+    const auto report = check_convergence(space, le.design.S(), le.design.T());
+    EXPECT_EQ(report.verdict, ConvergenceVerdict::kConverges) << "n=" << n;
+  }
+}
+
+TEST(LeaderElectionTest, UniqueFixpointElectsNodeZero) {
+  const auto le = make_leader_election(4);
+  StateSpace space(le.design.program);
+  const auto S = le.design.S();
+  State s(le.design.program.num_variables());
+  std::uint64_t s_count = 0;
+  for (std::uint64_t code = 0; code < space.size(); ++code) {
+    space.decode_into(code, s);
+    if (!S(s)) continue;
+    ++s_count;
+    for (const VarId l : le.ldr) EXPECT_EQ(s.get(l), 0);
+  }
+  EXPECT_EQ(s_count, 1u);  // the all-zeros state is the only fixpoint
+}
+
+TEST(LeaderElectionTest, ConstraintGraphIsChainWithRootSelfLoop) {
+  const auto le = make_leader_election(5);
+  const auto cg = infer_constraint_graph(le.design.program);
+  ASSERT_TRUE(cg.ok);
+  EXPECT_EQ(classify(cg.graph), GraphShape::kSelfLooping);
+  EXPECT_EQ(cg.graph.graph.num_nodes(), 5);
+  const int root = cg.graph.node_of(le.ldr[0]);
+  ASSERT_EQ(cg.graph.graph.in_degree(root), 1);
+  const auto& self_edge =
+      cg.graph.graph.edge(cg.graph.graph.in_edges(root)[0]);
+  EXPECT_EQ(self_edge.from, root);  // claim@0 reads/writes only ldr.0
+}
+
+TEST(LeaderElectionTest, WorstCaseDistanceIsLinear) {
+  // The ripple fixes at most one node per step and must travel the ring.
+  const auto le = make_leader_election(4);
+  StateSpace space(le.design.program);
+  const auto variant = compute_variant(space, le.design.S());
+  ASSERT_TRUE(variant.has_value());
+  EXPECT_GE(variant->max_value(), 4u);
+  EXPECT_LE(variant->max_value(), 10u);
+}
+
+TEST(LeaderElectionTest, ConvergesAtScaleUnderAllDaemons) {
+  const auto le = make_leader_election(200);
+  Rng rng(71);
+  const State start = le.design.program.random_state(rng);
+  RunOptions opts;
+  opts.max_steps = 1'000'000;
+
+  RandomDaemon random(1);
+  EXPECT_TRUE(converge(le.design, start, random, opts).converged);
+  RoundRobinDaemon rr;
+  EXPECT_TRUE(converge(le.design, start, rr, opts).converged);
+  FirstEnabledDaemon first;
+  EXPECT_TRUE(converge(le.design, start, first, opts).converged);
+  AdversarialDaemon adv(le.design.invariant, 2);
+  EXPECT_TRUE(converge(le.design, start, adv, opts).converged);
+  SynchronousDaemon sync;
+  EXPECT_TRUE(converge(le.design, start, sync, opts).converged);
+}
+
+}  // namespace
+}  // namespace nonmask

@@ -1,0 +1,123 @@
+// Exact liveness verification of the specifications' progress clauses,
+// using check_convergence as a leads-to oracle:
+//   "from every state where FROM holds, every computation reaches TARGET"
+// is exactly check_convergence(space, S = TARGET, T = FROM) — the checker
+// never requires FROM to be closed, it simply explores the ¬TARGET states
+// reachable from FROM.
+//
+// Verified here:
+//   * token ring spec (ii): each privileged node eventually yields its
+//     privilege to its successor (Dijkstra K-state, exact, all j);
+//   * three-/four-state rings: a privileged machine eventually yields;
+//   * diffusing computation: in S, a green root eventually starts the next
+//     wave with a toggled session number, and every red node eventually
+//     turns green again (waves never wedge).
+#include <gtest/gtest.h>
+
+#include "checker/convergence_check.hpp"
+#include "checker/state_space.hpp"
+#include "protocols/diffusing.hpp"
+#include "protocols/token_ring.hpp"
+#include "protocols/token_ring_small.hpp"
+
+namespace nonmask {
+namespace {
+
+/// leads-to: from every FROM state, every computation reaches TARGET.
+bool leads_to(const StateSpace& space, const PredicateFn& from,
+              const PredicateFn& target) {
+  return check_convergence(space, target, from).verdict ==
+         ConvergenceVerdict::kConverges;
+}
+
+TEST(LivenessTest, DijkstraRingPrivilegePassesToSuccessor) {
+  const int n = 5;
+  const auto tr = make_dijkstra_ring(n, n + 1);
+  StateSpace space(tr.design.program);
+  const auto S = tr.design.S();
+  for (int j = 0; j < n; ++j) {
+    auto from = [S, &tr, j](const State& s) {
+      return S(s) && tr.first_privileged(s) == j;
+    };
+    auto target = [&tr, j, n](const State& s) {
+      return tr.first_privileged(s) == (j + 1) % n;
+    };
+    EXPECT_TRUE(leads_to(space, from, target)) << "node " << j;
+  }
+}
+
+TEST(LivenessTest, SmallRingsEventuallyYieldPrivilege) {
+  for (const int which : {0, 1}) {
+    const auto sr = which == 0 ? make_dijkstra_three_state(5)
+                               : make_dijkstra_four_state(5);
+    StateSpace space(sr.design.program);
+    const auto S = sr.design.S();
+    const Program& p = sr.design.program;
+    for (int j = 0; j < 5; ++j) {
+      auto privileged_j = [&p, j](const State& s) {
+        for (const auto& a : p.actions()) {
+          if (a.process() == j && a.enabled(s)) return true;
+        }
+        return false;
+      };
+      auto from = [S, privileged_j](const State& s) {
+        return S(s) && privileged_j(s);
+      };
+      auto target = [privileged_j](const State& s) {
+        return !privileged_j(s);
+      };
+      EXPECT_TRUE(leads_to(space, from, target))
+          << (which == 0 ? "three" : "four") << "-state machine " << j;
+    }
+  }
+}
+
+TEST(LivenessTest, DiffusingRootStartsNextWaveWithToggledSession) {
+  const auto tree = RootedTree::balanced(5, 2);
+  const auto dd = make_diffusing(tree, true);
+  StateSpace space(dd.design.program);
+  const auto S = dd.design.S();
+  const VarId rc = dd.color[static_cast<std::size_t>(tree.root())];
+  const VarId rs = dd.session[static_cast<std::size_t>(tree.root())];
+  for (Value bit : {0, 1}) {
+    auto from = [S, rc, rs, bit](const State& s) {
+      return S(s) && s.get(rc) == kGreen && s.get(rs) == bit;
+    };
+    auto target = [rc, rs, bit](const State& s) {
+      return s.get(rc) == kRed && s.get(rs) == 1 - bit;
+    };
+    EXPECT_TRUE(leads_to(space, from, target)) << "session bit " << bit;
+  }
+}
+
+TEST(LivenessTest, DiffusingEveryRedNodeTurnsGreenAgain) {
+  const auto tree = RootedTree::chain(4);
+  const auto dd = make_diffusing(tree, true);
+  StateSpace space(dd.design.program);
+  const auto S = dd.design.S();
+  for (int j = 0; j < tree.size(); ++j) {
+    const VarId cj = dd.color[static_cast<std::size_t>(j)];
+    auto from = [S, cj](const State& s) {
+      return S(s) && s.get(cj) == kRed;
+    };
+    auto target = [cj](const State& s) { return s.get(cj) == kGreen; };
+    EXPECT_TRUE(leads_to(space, from, target)) << "node " << j;
+  }
+}
+
+TEST(LivenessTest, BoundedRingYieldsUntilCeiling) {
+  // The bounded paper design circulates while headroom remains: from
+  // S with node-0 privileged and x.0 < x_max, node 1 eventually becomes
+  // privileged.
+  const auto tr = make_token_ring_bounded(4, 3, true);
+  StateSpace space(tr.design.program);
+  const auto S = tr.design.S();
+  auto from = [&](const State& s) {
+    return S(s) && tr.first_privileged(s) == 0 && s.get(tr.x[0]) < 3;
+  };
+  auto target = [&](const State& s) { return tr.first_privileged(s) == 1; };
+  EXPECT_TRUE(leads_to(space, from, target));
+}
+
+}  // namespace
+}  // namespace nonmask

@@ -1,0 +1,98 @@
+// Extension protocol: Hsu-Huang stabilizing maximal matching.
+#include <gtest/gtest.h>
+
+#include "checker/closure_check.hpp"
+#include "checker/convergence_check.hpp"
+#include "checker/state_space.hpp"
+#include "engine/simulator.hpp"
+#include "protocols/matching.hpp"
+#include "sched/daemons.hpp"
+
+namespace nonmask {
+namespace {
+
+TEST(MatchingTest, StabilizesExhaustivelyOnSmallGraphs) {
+  for (const auto& g :
+       {UndirectedGraph::path(3), UndirectedGraph::path(4),
+        UndirectedGraph::cycle(4), UndirectedGraph::complete(3),
+        UndirectedGraph::complete(4)}) {
+    const auto md = make_matching(g);
+    StateSpace space(md.design.program);
+    EXPECT_TRUE(check_closed(space, md.design.S()).closed)
+        << g.size() << " nodes / " << g.num_edges() << " edges";
+    const auto report = check_convergence(space, md.design.S(), md.design.T());
+    EXPECT_EQ(report.verdict, ConvergenceVerdict::kConverges)
+        << g.size() << " nodes / " << g.num_edges() << " edges";
+  }
+}
+
+TEST(MatchingTest, SStatesAreExactlyMaximalMatchings) {
+  const auto g = UndirectedGraph::path(4);
+  const auto md = make_matching(g);
+  StateSpace space(md.design.program);
+  const auto S = md.design.S();
+  State s(md.design.program.num_variables());
+  std::uint64_t count = 0;
+  for (std::uint64_t code = 0; code < space.size(); ++code) {
+    space.decode_into(code, s);
+    if (S(s)) {
+      ++count;
+      EXPECT_TRUE(md.is_maximal_matching(g, s));
+      // Maximal matchings of P4 never leave both middle nodes unmatched.
+      EXPECT_FALSE(s.get(md.ptr[1]) < 0 && s.get(md.ptr[2]) < 0);
+    }
+  }
+  // P4 has exactly 2 maximal matchings as edge sets: {01,23} and {12}.
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(MatchingTest, SIsDeadlockState) {
+  // In a maximal matching nothing is enabled: the protocol is silent.
+  const auto g = UndirectedGraph::cycle(5);
+  const auto md = make_matching(g);
+  RandomDaemon d(3);
+  Rng rng(77);
+  RunOptions opts;
+  opts.max_steps = 100'000;
+  const auto r = converge(md.design,
+                          md.design.program.random_state(rng), d, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_FALSE(md.design.program.any_enabled(r.final_state));
+}
+
+TEST(MatchingTest, ConvergesOnLargeRandomGraphs) {
+  Rng rng(59);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = UndirectedGraph::random_connected(60, 80, rng);
+    const auto md = make_matching(g);
+    RandomDaemon d(trial);
+    Rng start_rng(trial + 31);
+    RunOptions opts;
+    opts.max_steps = 1'000'000;
+    const auto r = converge(
+        md.design, md.design.program.random_state(start_rng), d, opts);
+    ASSERT_TRUE(r.converged) << "trial " << trial;
+    EXPECT_TRUE(md.is_maximal_matching(g, r.final_state));
+  }
+}
+
+TEST(MatchingTest, PartnerHelpers) {
+  const auto g = UndirectedGraph::path(3);  // 0-1-2
+  const auto md = make_matching(g);
+  State s(md.design.program.num_variables());
+  // 0 and 1 point at each other; 2 null.
+  s.set(md.ptr[0], 0);   // 0's first neighbor is 1
+  s.set(md.ptr[1], 0);   // 1's first neighbor is 0
+  s.set(md.ptr[2], -1);
+  EXPECT_EQ(md.partner(g, s, 0), 1);
+  EXPECT_EQ(md.partner(g, s, 1), 0);
+  EXPECT_EQ(md.partner(g, s, 2), -1);
+  EXPECT_TRUE(md.is_matching(g, s));
+  EXPECT_TRUE(md.is_maximal_matching(g, s));
+  // 2 pointing at 1 while 1 points at 0 is not a matching.
+  s.set(md.ptr[2], 0);  // 2's first neighbor is 1
+  EXPECT_FALSE(md.is_matching(g, s));
+}
+
+}  // namespace
+}  // namespace nonmask

@@ -1,0 +1,138 @@
+// The protocol × daemon simulation matrix: every shipped stabilizing
+// design must converge from random corruption under every daemon that is
+// fair enough for it. Fairness-needing designs (distributed reset, the
+// message-passing ring) are exercised only under (probabilistically or
+// structurally) fair daemons.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/simulator.hpp"
+#include "msg/mp_diffusing.hpp"
+#include "msg/mp_token_ring.hpp"
+#include "protocols/aggregation.hpp"
+#include "protocols/coloring.hpp"
+#include "protocols/diffusing.hpp"
+#include "protocols/distributed_reset.hpp"
+#include "protocols/independent_set.hpp"
+#include "protocols/leader_election.hpp"
+#include "protocols/matching.hpp"
+#include "protocols/running_example.hpp"
+#include "protocols/spanning_tree.hpp"
+#include "protocols/token_ring.hpp"
+#include "protocols/token_ring_small.hpp"
+#include "sched/daemons.hpp"
+
+namespace nonmask {
+namespace {
+
+struct MatrixEntry {
+  Design design;
+  bool needs_fairness;
+};
+
+std::vector<MatrixEntry> matrix() {
+  std::vector<MatrixEntry> out;
+  Rng rng(2026);
+  out.push_back({make_running_example(RunningExampleVariant::kWriteYZ), false});
+  out.push_back(
+      {make_running_example(RunningExampleVariant::kDecreaseX), false});
+  out.push_back({make_diffusing(RootedTree::random(20, rng), true).design,
+                 false});
+  out.push_back({make_dijkstra_ring(16, 17).design, false});
+  out.push_back({make_token_ring_bounded(8, 7, true).design, false});
+  out.push_back({make_dijkstra_three_state(8).design, false});
+  out.push_back({make_dijkstra_four_state(8).design, false});
+  out.push_back(
+      {make_spanning_tree(UndirectedGraph::random_connected(15, 10, rng))
+           .design,
+       false});
+  out.push_back(
+      {make_coloring(UndirectedGraph::random_connected(15, 20, rng)).design,
+       false});
+  out.push_back(
+      {make_matching(UndirectedGraph::random_connected(12, 8, rng)).design,
+       false});
+  out.push_back(
+      {make_independent_set(UndirectedGraph::random_connected(12, 14, rng))
+           .design,
+       false});
+  out.push_back({make_leader_election(12).design, false});
+  out.push_back({make_aggregation(RootedTree::random(12, rng), 7).design,
+                 false});
+  out.push_back(
+      {make_distributed_reset(RootedTree::random(10, rng), 4).design, true});
+  out.push_back({make_mp_token_ring(6, 13).design, true});
+  out.push_back({make_mp_diffusing(RootedTree::random(8, rng)).design, true});
+  return out;
+}
+
+enum DaemonKind {
+  kRandom,
+  kRoundRobin,
+  kFirstEnabled,
+  kAdversarial,
+  kDistributed,
+  kWeaklyFair,
+};
+
+DaemonPtr make(DaemonKind kind, const Design& d, std::uint64_t seed) {
+  switch (kind) {
+    case kRandom: return std::make_unique<RandomDaemon>(seed);
+    case kRoundRobin: return std::make_unique<RoundRobinDaemon>();
+    case kFirstEnabled: return std::make_unique<FirstEnabledDaemon>();
+    case kAdversarial:
+      return std::make_unique<AdversarialDaemon>(d.invariant, seed);
+    case kDistributed:
+      return std::make_unique<DistributedDaemon>(0.4, seed);
+    case kWeaklyFair:
+      return std::make_unique<WeaklyFairDaemon>(
+          std::make_unique<RandomDaemon>(seed), 24);
+  }
+  return std::make_unique<RandomDaemon>(seed);
+}
+
+bool is_fair_enough(DaemonKind kind) {
+  // Unfair daemons for fairness-needing designs are exercised elsewhere
+  // (they legitimately diverge there).
+  return kind == kRandom || kind == kRoundRobin || kind == kWeaklyFair;
+}
+
+class MatrixTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixTest, ConvergesFromRandomCorruption) {
+  const auto kind = static_cast<DaemonKind>(GetParam());
+  Rng start_rng(31337 + static_cast<std::uint64_t>(GetParam()));
+  for (auto& entry : matrix()) {
+    if (entry.needs_fairness && !is_fair_enough(kind)) continue;
+    auto daemon = make(kind, entry.design, 7);
+    for (int trial = 0; trial < 3; ++trial) {
+      RunOptions opts;
+      opts.max_steps = 500'000;
+      const auto r =
+          converge(entry.design,
+                   entry.design.program.random_state(start_rng), *daemon,
+                   opts);
+      EXPECT_TRUE(r.converged)
+          << entry.design.name << " under daemon " << GetParam() << " trial "
+          << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDaemons, MatrixTest, ::testing::Range(0, 6),
+    [](const ::testing::TestParamInfo<int>& info) {
+      switch (static_cast<DaemonKind>(info.param)) {
+        case kRandom: return "random";
+        case kRoundRobin: return "round_robin";
+        case kFirstEnabled: return "first_enabled";
+        case kAdversarial: return "adversarial";
+        case kDistributed: return "distributed";
+        case kWeaklyFair: return "weakly_fair";
+      }
+      return "unknown";
+    });
+
+}  // namespace
+}  // namespace nonmask

@@ -1,0 +1,199 @@
+// E10 + the low-atomicity refinement: message-passing token ring and
+// low-atomicity diffusing computation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "checker/closure_check.hpp"
+#include "checker/convergence_check.hpp"
+#include "checker/state_space.hpp"
+#include "engine/simulator.hpp"
+#include "msg/mp_diffusing.hpp"
+#include "msg/mp_token_ring.hpp"
+#include "sched/daemons.hpp"
+
+namespace nonmask {
+namespace {
+
+TEST(ChannelTest, DeclareAndFaults) {
+  ProgramBuilder b("ch");
+  const Channel ch = Channel::declare(b, "ch", 3);
+  ch.add_loss_fault(b, "lose");
+  ch.add_corruption_fault(b, "garble");
+  Program p = b.build();
+  EXPECT_EQ(p.variable(ch.slot).lo, Channel::kEmpty);
+  EXPECT_EQ(p.variable(ch.slot).hi, 3);
+
+  State s = p.initial_state();
+  s.set(ch.slot, 2);
+  EXPECT_FALSE(ch.empty(s));
+  EXPECT_EQ(ch.payload(s), 2);
+  p.action(0).execute(s);  // loss
+  EXPECT_TRUE(ch.empty(s));
+  EXPECT_FALSE(p.action(0).enabled(s));  // nothing left to drop
+  s.set(ch.slot, 3);
+  p.action(1).execute(s);  // corruption wraps 3 -> 0
+  EXPECT_EQ(ch.payload(s), 0);
+}
+
+TEST(MpTokenRingTest, SIsClosedExhaustively) {
+  const auto mp = make_mp_token_ring(2, 3);
+  StateSpace space(mp.design.program);
+  EXPECT_TRUE(check_closed(space, mp.design.S()).closed);
+}
+
+TEST(MpTokenRingTest, UnfairDaemonCanSpinForever) {
+  // A send/consume pair with matching values loops without progress: the
+  // refinement genuinely requires fairness (contrast with the paper's
+  // Section 8 remark for the shared-memory designs).
+  const auto mp = make_mp_token_ring(2, 3);
+  StateSpace space(mp.design.program);
+  const auto report = check_convergence(space, mp.design.S(), mp.design.T());
+  EXPECT_EQ(report.verdict, ConvergenceVerdict::kViolated);
+  EXPECT_TRUE(report.cycle.has_value());
+}
+
+TEST(MpTokenRingTest, WeakFairnessRestoresConvergence) {
+  // The SCC escape analysis proves it: every spin component has an
+  // always-enabled action whose firing leaves the component.
+  const auto mp = make_mp_token_ring(2, 3);
+  StateSpace space(mp.design.program);
+  const auto report =
+      check_convergence_weakly_fair(space, mp.design.S(), mp.design.T());
+  EXPECT_EQ(report.verdict, ConvergenceVerdict::kConverges);
+}
+
+TEST(MpTokenRingTest, ConvergesUnderFairSimulation) {
+  for (const int n : {2, 3, 5}) {
+    const auto mp = make_mp_token_ring(n, 2 * n + 1);
+    RoundRobinDaemon d;
+    Rng rng(101 + static_cast<std::uint64_t>(n));
+    for (int trial = 0; trial < 10; ++trial) {
+      RunOptions opts;
+      opts.max_steps = 100'000;
+      const auto r = converge(
+          mp.design, mp.design.program.random_state(rng), d, opts);
+      EXPECT_TRUE(r.converged) << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+TEST(MpTokenRingTest, CirculatesPerpetuallyInS) {
+  const auto mp = make_mp_token_ring(4, 9);
+  RoundRobinDaemon d;
+  Simulator sim(mp.design.program, d);
+  State s = mp.design.program.initial_state();  // all x=0, channels empty
+  ASSERT_TRUE(mp.design.S()(s));
+  RunOptions opts;
+  opts.max_steps = 2000;
+  opts.record_snapshots = true;
+  opts.stop_when = [](const State&) { return false; };
+  const auto r = sim.run(s, opts);
+  int x0_changes = 0;
+  Value last = 0;
+  for (const State& snap : r.trace.snapshots()) {
+    EXPECT_TRUE(mp.design.S()(snap));
+    if (snap.get(mp.x[0]) != last) {
+      last = snap.get(mp.x[0]);
+      ++x0_changes;
+    }
+  }
+  EXPECT_GT(x0_changes, 3);  // the token came around several times
+}
+
+TEST(MpTokenRingTest, RecoversFromMessageLossAndCorruption) {
+  const auto mp = make_mp_token_ring(4, 9);
+  RandomDaemon d(7);
+  Simulator sim(mp.design.program, d);
+  Rng fault_rng(131);
+  std::size_t strikes = 0;
+  RunOptions opts;
+  opts.max_steps = 200'000;
+  opts.perturb = [&](std::size_t step, State& s) {
+    if (step % 200 == 0 && step > 0 && strikes < 12) {
+      // Alternate loss and corruption on a random channel.
+      const auto& pool =
+          (strikes % 2 == 0) ? mp.loss_faults : mp.corruption_faults;
+      const auto& fa =
+          mp.design.program.action(pool[fault_rng.below(pool.size())]);
+      if (fa.enabled(s)) fa.execute(s);
+      ++strikes;
+    }
+  };
+  opts.stop_when = [S = mp.design.S(), &strikes](const State& s) {
+    return strikes == 12 && S(s);
+  };
+  const auto r = sim.run(mp.design.program.initial_state(), opts);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(MpDiffusingTest, StabilizesExhaustivelyOnSmallTrees) {
+  for (const auto& tree :
+       {RootedTree::chain(2), RootedTree::chain(3), RootedTree::star(3)}) {
+    const auto md = make_mp_diffusing(tree);
+    StateSpace space(md.design.program);
+    EXPECT_TRUE(check_closed(space, md.design.S()).closed)
+        << tree.size() << " nodes";
+    const auto report = check_convergence(space, md.design.S(), md.design.T());
+    EXPECT_EQ(report.verdict, ConvergenceVerdict::kConverges)
+        << tree.size() << " nodes, height " << tree.height();
+  }
+}
+
+TEST(MpDiffusingTest, LowAtomicityActionsReadAtMostOneNeighbor) {
+  const auto tree = RootedTree::balanced(7, 2);
+  const auto md = make_mp_diffusing(tree);
+  const Program& p = md.design.program;
+  for (const auto& a : p.actions()) {
+    // Count distinct processes among read variables other than the
+    // action's own process.
+    std::set<int> others;
+    for (const VarId v : a.reads()) {
+      const int proc = p.variable(v).process;
+      if (proc != a.process()) others.insert(proc);
+    }
+    EXPECT_LE(others.size(), 1u) << a.name();
+  }
+}
+
+TEST(MpDiffusingTest, WavesStillSweepTheTree) {
+  const auto tree = RootedTree::balanced(7, 2);
+  const auto md = make_mp_diffusing(tree);
+  RoundRobinDaemon d;
+  Simulator sim(md.design.program, d);
+  State s = md.design.program.initial_state();
+  RunOptions opts;
+  opts.max_steps = 2000;
+  opts.record_snapshots = true;
+  opts.stop_when = [](const State&) { return false; };
+  const auto r = sim.run(s, opts);
+  std::vector<bool> was_red(7, false);
+  for (const State& snap : r.trace.snapshots()) {
+    for (int j = 0; j < 7; ++j) {
+      if (snap.get(md.color[static_cast<std::size_t>(j)]) == kRed) {
+        was_red[static_cast<std::size_t>(j)] = true;
+      }
+    }
+  }
+  for (int j = 0; j < 7; ++j) {
+    EXPECT_TRUE(was_red[static_cast<std::size_t>(j)]) << "node " << j;
+  }
+}
+
+TEST(MpDiffusingTest, RecoversFromCorruptionAtModerateScale) {
+  Rng tree_rng(3);
+  const auto tree = RootedTree::random(25, tree_rng);
+  const auto md = make_mp_diffusing(tree);
+  RandomDaemon d(11);
+  Rng rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    RunOptions opts;
+    opts.max_steps = 300'000;
+    const auto r = converge(
+        md.design, md.design.program.random_state(rng), d, opts);
+    EXPECT_TRUE(r.converged) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace nonmask

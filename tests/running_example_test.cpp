@@ -1,0 +1,129 @@
+// E2: the paper's Section 4/6 running example {x != y, x <= z}.
+//   - kWriteYZ: out-tree graph, converges (Theorem 1 territory).
+//   - kWriteXBoth: both actions write x; livelocks — the exact checker
+//     exhibits the oscillation the paper describes ("executing one can
+//     violate the constraint of the other, and so on").
+//   - kDecreaseX: the paper's fix; converges, and every computation of the
+//     two convergence actions is finite.
+#include <gtest/gtest.h>
+
+#include "checker/closure_check.hpp"
+#include "checker/convergence_check.hpp"
+#include "checker/state_space.hpp"
+#include "checker/variant.hpp"
+#include "engine/simulator.hpp"
+#include "protocols/running_example.hpp"
+#include "sched/daemons.hpp"
+
+namespace nonmask {
+namespace {
+
+TEST(RunningExampleTest, WriteYZConvergesFromEveryState) {
+  const Design d = make_running_example(RunningExampleVariant::kWriteYZ);
+  StateSpace space(d.program);
+  const auto report = check_convergence(space, d.S(), d.T());
+  EXPECT_EQ(report.verdict, ConvergenceVerdict::kConverges);
+  // Each constraint is fixed at most once: worst case two steps.
+  EXPECT_LE(report.max_steps_to_S, 2u);
+}
+
+TEST(RunningExampleTest, WriteYZInvariantClosed) {
+  const Design d = make_running_example(RunningExampleVariant::kWriteYZ);
+  StateSpace space(d.program);
+  EXPECT_TRUE(check_closed(space, d.S()).closed);
+}
+
+TEST(RunningExampleTest, WriteXBothLivelocks) {
+  const Design d = make_running_example(RunningExampleVariant::kWriteXBoth);
+  StateSpace space(d.program);
+  const auto report = check_convergence(space, d.S(), d.T());
+  EXPECT_EQ(report.verdict, ConvergenceVerdict::kViolated);
+  ASSERT_TRUE(report.cycle.has_value());
+  // The cycle states all violate S.
+  const auto S = d.S();
+  for (const State& s : *report.cycle) {
+    EXPECT_FALSE(S(s));
+  }
+}
+
+TEST(RunningExampleTest, DecreaseXConvergesFromEveryState) {
+  const Design d = make_running_example(RunningExampleVariant::kDecreaseX);
+  StateSpace space(d.program);
+  const auto report = check_convergence(space, d.S(), d.T());
+  EXPECT_EQ(report.verdict, ConvergenceVerdict::kConverges);
+  EXPECT_TRUE(check_closed(space, d.S()).closed);
+}
+
+TEST(RunningExampleTest, DecreaseXHasVariantFunction) {
+  const Design d = make_running_example(RunningExampleVariant::kDecreaseX);
+  StateSpace space(d.program);
+  const auto variant = compute_variant(space, d.S());
+  ASSERT_TRUE(variant.has_value());
+  EXPECT_GT(variant->max_value(), 0u);
+}
+
+TEST(RunningExampleTest, WriteXBothHasNoVariantFunction) {
+  const Design d = make_running_example(RunningExampleVariant::kWriteXBoth);
+  StateSpace space(d.program);
+  EXPECT_FALSE(compute_variant(space, d.S()).has_value());
+}
+
+TEST(RunningExampleTest, ConvergenceActionsEstablishTheirConstraints) {
+  for (auto variant :
+       {RunningExampleVariant::kWriteYZ, RunningExampleVariant::kWriteXBoth,
+        RunningExampleVariant::kDecreaseX}) {
+    const Design d = make_running_example(variant);
+    StateSpace space(d.program);
+    State s(d.program.num_variables());
+    for (std::uint64_t code = 0; code < space.size(); ++code) {
+      space.decode_into(code, s);
+      for (const auto& a : d.program.actions()) {
+        if (a.kind() != ActionKind::kConvergence || !a.enabled(s)) continue;
+        const auto& c = d.invariant.at(
+            static_cast<std::size_t>(a.constraint_id()));
+        EXPECT_FALSE(c.holds(s)) << to_string(variant) << ": guard of '"
+                                 << a.name() << "' overlaps its constraint";
+        EXPECT_TRUE(c.holds(a.apply(s)))
+            << to_string(variant) << ": '" << a.name()
+            << "' fails to establish its constraint";
+      }
+    }
+  }
+}
+
+TEST(RunningExampleTest, SimulationMatchesChecker) {
+  // kDecreaseX converges under every daemon; kWriteXBoth exhausts under an
+  // adversarial daemon started at a livelock state (y == z).
+  const Design good = make_running_example(RunningExampleVariant::kDecreaseX);
+  RandomDaemon rd(11);
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto r = converge(good, good.program.random_state(rng), rd);
+    EXPECT_TRUE(r.converged);
+  }
+
+  const Design bad = make_running_example(RunningExampleVariant::kWriteXBoth);
+  AdversarialDaemon ad(bad.invariant, 3);
+  State start(bad.program.num_variables());
+  start.set(bad.program.find_variable("x"), 4);
+  start.set(bad.program.find_variable("y"), 4);
+  start.set(bad.program.find_variable("z"), 4);
+  RunOptions opts;
+  opts.max_steps = 1000;
+  const auto r = converge(bad, start, ad, opts);
+  EXPECT_TRUE(r.exhausted);
+}
+
+TEST(RunningExampleTest, DomainValidation) {
+  EXPECT_THROW(make_running_example(RunningExampleVariant::kWriteYZ, 3, 3),
+               std::invalid_argument);
+  // Small domains still work.
+  const Design d =
+      make_running_example(RunningExampleVariant::kDecreaseX, 0, 1);
+  StateSpace space(d.program);
+  EXPECT_EQ(check_convergence(space, d.S(), d.T()).verdict,
+            ConvergenceVerdict::kConverges);
+}
+
+}  // namespace
+}  // namespace nonmask

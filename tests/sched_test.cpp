@@ -1,0 +1,152 @@
+// Unit tests for the daemons.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/builder.hpp"
+#include "sched/daemons.hpp"
+
+namespace nonmask {
+namespace {
+
+/// Three always-enabled no-op-ish actions on separate processes.
+Program three_toggles() {
+  ProgramBuilder b("toggles");
+  for (int j = 0; j < 3; ++j) {
+    const VarId v = b.boolean("t" + std::to_string(j), j);
+    b.closure(
+        "toggle@" + std::to_string(j), true_predicate(),
+        [v](State& s) { s.set(v, 1 - s.get(v)); }, {v}, {v}, j);
+  }
+  return b.build();
+}
+
+TEST(RandomDaemonTest, SelectsOnlyEnabledAndIsDeterministic) {
+  Program p = three_toggles();
+  State s = p.initial_state();
+  RandomDaemon d1(42), d2(42);
+  const auto enabled = p.enabled_actions(s);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = d1.select(p, s, enabled);
+    const auto b = d2.select(p, s, enabled);
+    ASSERT_EQ(a.size(), 1u);
+    EXPECT_EQ(a, b);
+    EXPECT_LT(a[0], 3u);
+  }
+}
+
+TEST(RandomDaemonTest, ResetReplaysStream) {
+  Program p = three_toggles();
+  State s = p.initial_state();
+  RandomDaemon d(7);
+  const auto enabled = p.enabled_actions(s);
+  std::vector<std::size_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(d.select(p, s, enabled)[0]);
+  d.reset();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(d.select(p, s, enabled)[0], first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(RoundRobinDaemonTest, CyclesThroughActions) {
+  Program p = three_toggles();
+  State s = p.initial_state();
+  RoundRobinDaemon d;
+  const auto enabled = p.enabled_actions(s);
+  EXPECT_EQ(d.select(p, s, enabled)[0], 0u);
+  EXPECT_EQ(d.select(p, s, enabled)[0], 1u);
+  EXPECT_EQ(d.select(p, s, enabled)[0], 2u);
+  EXPECT_EQ(d.select(p, s, enabled)[0], 0u);
+}
+
+TEST(RoundRobinDaemonTest, SkipsDisabled) {
+  Program p = three_toggles();
+  State s = p.initial_state();
+  RoundRobinDaemon d;
+  EXPECT_EQ(d.select(p, s, {1})[0], 1u);
+  EXPECT_EQ(d.select(p, s, {0, 1})[0], 0u);  // cursor wrapped past 1
+}
+
+TEST(FirstEnabledDaemonTest, AlwaysLowest) {
+  Program p = three_toggles();
+  State s = p.initial_state();
+  FirstEnabledDaemon d;
+  EXPECT_EQ(d.select(p, s, {2, 1})[0], 2u);  // front of the provided list
+  EXPECT_EQ(d.select(p, s, {0, 1, 2})[0], 0u);
+}
+
+TEST(AdversarialDaemonTest, PicksMostViolatingSuccessor) {
+  // Two actions: one establishes the constraint, one violates it. The
+  // adversary must pick the violating one.
+  ProgramBuilder b("adv");
+  const VarId x = b.var("x", 0, 1);
+  b.closure(
+      "good", true_predicate(), [x](State& s) { s.set(x, 0); }, {x}, {x});
+  b.closure(
+      "bad", true_predicate(), [x](State& s) { s.set(x, 1); }, {x}, {x});
+  Program p = b.build();
+  Invariant inv;
+  inv.add(Constraint{"x==0", [x](const State& s) { return s.get(x) == 0; },
+                     {x}});
+  AdversarialDaemon d(inv, 1);
+  State s = p.initial_state();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(d.select(p, s, {0, 1})[0], 1u);
+  }
+}
+
+TEST(DistributedDaemonTest, AlwaysNonEmptyAndSubsetOfEnabled) {
+  Program p = three_toggles();
+  State s = p.initial_state();
+  DistributedDaemon d(0.5, 3);
+  for (int i = 0; i < 100; ++i) {
+    const auto chosen = d.select(p, s, {0, 1, 2});
+    EXPECT_GE(chosen.size(), 1u);
+    for (std::size_t a : chosen) EXPECT_LT(a, 3u);
+  }
+  DistributedDaemon never(0.0, 3);
+  EXPECT_EQ(never.select(p, s, {0, 1, 2}).size(), 1u);
+  DistributedDaemon always(1.0, 3);
+  EXPECT_EQ(always.select(p, s, {0, 1, 2}).size(), 3u);
+}
+
+TEST(SynchronousDaemonTest, OneActionPerProcess) {
+  ProgramBuilder b("sync");
+  const VarId u = b.boolean("u", 0);
+  const VarId v = b.boolean("v", 1);
+  // Two actions on process 0, one on process 1.
+  b.closure("a0", true_predicate(), [u](State& s) { s.set(u, 1); }, {u}, {u}, 0);
+  b.closure("a1", true_predicate(), [u](State& s) { s.set(u, 0); }, {u}, {u}, 0);
+  b.closure("b0", true_predicate(), [v](State& s) { s.set(v, 1); }, {v}, {v}, 1);
+  Program p = b.build();
+  SynchronousDaemon d;
+  const auto chosen = d.select(p, p.initial_state(), {0, 1, 2});
+  EXPECT_EQ(chosen, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(SynchronousDaemonTest, ProcesslessActionsAllFire) {
+  ProgramBuilder b("sync2");
+  const VarId u = b.boolean("u");
+  b.closure("g0", true_predicate(), [u](State& s) { s.set(u, 1); }, {u}, {u});
+  b.closure("g1", true_predicate(), [u](State& s) { s.set(u, 0); }, {u}, {u});
+  Program p = b.build();
+  SynchronousDaemon d;
+  EXPECT_EQ(d.select(p, p.initial_state(), {0, 1}).size(), 2u);
+}
+
+TEST(WeaklyFairDaemonTest, ForcesStarvedAction) {
+  Program p = three_toggles();
+  State s = p.initial_state();
+  // Inner daemon always picks the front action — starving the rest.
+  auto inner = std::make_unique<FirstEnabledDaemon>();
+  WeaklyFairDaemon d(std::move(inner), 5);
+  std::set<std::size_t> fired;
+  for (int i = 0; i < 40; ++i) {
+    fired.insert(d.select(p, s, {0, 1, 2})[0]);
+  }
+  EXPECT_EQ(fired.size(), 3u);  // everyone eventually fires
+}
+
+}  // namespace
+}  // namespace nonmask

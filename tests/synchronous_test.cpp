@@ -1,0 +1,133 @@
+// Exact synchronous-daemon convergence checking. All shipped protocols
+// break symmetry via ids or distinguished nodes, so they converge
+// synchronously too; the classic failure mode — two symmetric nodes
+// swapping values forever — is reconstructed explicitly and caught.
+#include <gtest/gtest.h>
+
+#include "checker/state_space.hpp"
+#include "checker/synchronous.hpp"
+#include "core/builder.hpp"
+#include "engine/simulator.hpp"
+#include "protocols/coloring.hpp"
+#include "protocols/diffusing.hpp"
+#include "protocols/independent_set.hpp"
+#include "protocols/leader_election.hpp"
+#include "protocols/token_ring.hpp"
+#include "protocols/token_ring_small.hpp"
+#include "sched/daemons.hpp"
+
+namespace nonmask {
+namespace {
+
+TEST(SynchronousTest, ShippedProtocolsConvergeSynchronously) {
+  std::vector<Design> designs;
+  designs.push_back(make_diffusing(RootedTree::balanced(5, 2), true).design);
+  designs.push_back(make_dijkstra_ring(5, 6).design);
+  designs.push_back(make_dijkstra_three_state(4).design);
+  designs.push_back(make_dijkstra_four_state(4).design);
+  designs.push_back(make_leader_election(4).design);
+  designs.push_back(make_coloring(UndirectedGraph::cycle(4)).design);
+  designs.push_back(
+      make_independent_set(UndirectedGraph::cycle(5)).design);
+  designs.push_back(make_token_ring_bounded(4, 3, true).design);
+  for (const Design& d : designs) {
+    StateSpace space(d.program);
+    const auto report =
+        check_convergence_synchronous(space, d.S(), d.T());
+    EXPECT_TRUE(report.converges) << d.name;
+  }
+}
+
+TEST(SynchronousTest, SynchronousWorstCaseBeatsInterleaved) {
+  // Parallelism pays: the synchronous worst case is far below the
+  // interleaved one (which counts single moves).
+  const auto dd = make_diffusing(RootedTree::chain(4), true);
+  StateSpace space(dd.design.program);
+  const auto sync =
+      check_convergence_synchronous(space, dd.design.S(), dd.design.T());
+  ASSERT_TRUE(sync.converges);
+  EXPECT_LE(sync.max_steps_to_S, 4u);
+}
+
+/// Two anonymous nodes trying to agree by copying each other: converges
+/// under any central daemon, livelocks synchronously (the values swap
+/// forever). The textbook reason symmetric anonymous protocols need a
+/// symmetry breaker.
+Design symmetric_agreement() {
+  ProgramBuilder b("symmetric-agreement");
+  const VarId a = b.boolean("a", 0);
+  const VarId c = b.boolean("b", 1);
+  b.closure(
+      "copy@0", [a, c](const State& s) { return s.get(a) != s.get(c); },
+      [a, c](State& s) { s.set(a, s.get(c)); }, {a, c}, {a}, 0);
+  b.closure(
+      "copy@1", [a, c](const State& s) { return s.get(a) != s.get(c); },
+      [a, c](State& s) { s.set(c, s.get(a)); }, {a, c}, {c}, 1);
+  Design d;
+  d.program = b.build();
+  d.S_override = [a, c](const State& s) { return s.get(a) == s.get(c); };
+  d.fault_span = true_predicate();
+  return d;
+}
+
+TEST(SynchronousTest, SymmetricAgreementLivelocksSynchronously) {
+  const Design d = symmetric_agreement();
+  StateSpace space(d.program);
+  const auto sync = check_convergence_synchronous(space, d.S(), d.T());
+  EXPECT_FALSE(sync.converges);
+  ASSERT_TRUE(sync.cycle.has_value());
+  EXPECT_EQ(sync.cycle->size(), 2u);  // (0,1) <-> (1,0)
+}
+
+TEST(SynchronousTest, SymmetricAgreementConvergesInterleaved) {
+  const Design d = symmetric_agreement();
+  StateSpace space(d.program);
+  // Exact interleaved checking (any central daemon converges in one step).
+  RandomDaemon daemon(5);
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto r = converge(d, d.program.random_state(rng), daemon);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LE(r.steps, 1u);
+  }
+}
+
+TEST(SynchronousTest, SimulatorAgreesWithChecker) {
+  // The engine's SynchronousDaemon must reproduce the checker's verdicts:
+  // livelock for the symmetric pair, convergence for diffusing.
+  const Design sym = symmetric_agreement();
+  SynchronousDaemon daemon;
+  State start(2);
+  start.set(VarId(0), 0);
+  start.set(VarId(1), 1);
+  RunOptions opts;
+  opts.max_steps = 100;
+  opts.stop_when = sym.S();
+  Simulator sim(sym.program, daemon);
+  EXPECT_TRUE(sim.run(start, opts).exhausted);
+
+  const auto dd = make_diffusing(RootedTree::balanced(7, 2), true);
+  SynchronousDaemon daemon2;
+  Rng rng(3);
+  const auto r = converge(dd.design, dd.design.program.random_state(rng),
+                          daemon2);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(SynchronousTest, DeadlockDetected) {
+  ProgramBuilder b("stuck");
+  const VarId x = b.var("x", 0, 2);
+  b.closure(
+      "once", [x](const State& s) { return s.get(x) == 2; },
+      [x](State& s) { s.set(x, 1); }, {x}, {x});
+  Design d;
+  d.program = b.build();
+  d.S_override = [x](const State& s) { return s.get(x) == 0; };
+  StateSpace space(d.program);
+  const auto report = check_convergence_synchronous(space, d.S(), d.T());
+  EXPECT_FALSE(report.converges);
+  EXPECT_TRUE(report.deadlock.has_value());
+}
+
+}  // namespace
+}  // namespace nonmask

@@ -1,0 +1,114 @@
+// TMR and the paper's masking/nonmasking classification (Section 3).
+#include <gtest/gtest.h>
+
+#include "checker/closure_check.hpp"
+#include "checker/convergence_check.hpp"
+#include "checker/fault_span.hpp"
+#include "checker/state_space.hpp"
+#include "engine/simulator.hpp"
+#include "protocols/tmr.hpp"
+#include "sched/daemons.hpp"
+
+namespace nonmask {
+namespace {
+
+TEST(TmrTest, MaskingVariantClassifiesAsMasking) {
+  const auto tmr = make_tmr(/*masking=*/true);
+  StateSpace space(tmr.design.program);
+  EXPECT_EQ(classify_tolerance(space, tmr.design), ToleranceClass::kMasking);
+}
+
+TEST(TmrTest, NonmaskingVariantClassifiesAsNonmasking) {
+  const auto tmr = make_tmr(/*masking=*/false);
+  StateSpace space(tmr.design.program);
+  EXPECT_EQ(classify_tolerance(space, tmr.design),
+            ToleranceClass::kNonmasking);
+}
+
+TEST(TmrTest, BrokenDesignClassifiesAsNotTolerant) {
+  auto tmr = make_tmr(false);
+  // Widen T to everything: convergence from garbage replica states fails
+  // (no majority -> repair actions are disabled -> deadlock outside S).
+  tmr.design.fault_span = true_predicate();
+  StateSpace space(tmr.design.program);
+  EXPECT_EQ(classify_tolerance(space, tmr.design),
+            ToleranceClass::kNotTolerant);
+}
+
+TEST(TmrTest, FaultSpansClosedUnderProgramAndFaults) {
+  for (const bool masking : {true, false}) {
+    const auto tmr = make_tmr(masking);
+    StateSpace space(tmr.design.program);
+    EXPECT_TRUE(check_closed(space, tmr.design.T()).closed) << masking;
+    EXPECT_TRUE(
+        check_closed(space, tmr.design.T(), tmr.fault_actions).closed)
+        << masking;
+    EXPECT_TRUE(check_closed(space, tmr.design.S()).closed) << masking;
+  }
+}
+
+TEST(TmrTest, MaskingFaultsNeverExposeNonSStates) {
+  // The definitional property: within the masking design's fault class,
+  // every fault strikes an S state and lands in an S state.
+  const auto tmr = make_tmr(true);
+  StateSpace space(tmr.design.program);
+  const auto S = tmr.design.S();
+  State s(tmr.design.program.num_variables());
+  for (std::uint64_t code = 0; code < space.size(); ++code) {
+    space.decode_into(code, s);
+    for (std::size_t f : tmr.fault_actions) {
+      const auto& fa = tmr.design.program.action(f);
+      if (!fa.enabled(s)) continue;
+      EXPECT_TRUE(S(s));
+      EXPECT_TRUE(S(fa.apply(s)));
+    }
+  }
+}
+
+TEST(TmrTest, NonmaskingOutputGlitchIsObservableThenRepaired) {
+  const auto tmr = make_tmr(false);
+  const Design& d = tmr.design;
+  const auto S = d.S();
+  State s = d.program.initial_state();
+  // Bring the system into S first.
+  for (const VarId v : tmr.replica) s.set(v, tmr.reference);
+  s.set(tmr.out, tmr.reference);
+  ASSERT_TRUE(S(s));
+  // Corrupt the output: S violated (the glitch a reader could observe).
+  const auto& fault = d.program.action(tmr.fault_actions.back());
+  ASSERT_TRUE(fault.enabled(s));
+  fault.execute(s);
+  EXPECT_FALSE(S(s));
+  EXPECT_TRUE(d.T()(s));
+  // The voter repairs it.
+  RandomDaemon daemon(3);
+  const auto r = converge(d, s, daemon);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.final_state.get(tmr.out), tmr.reference);
+}
+
+TEST(TmrTest, InducedSpanMatchesDeclaredT) {
+  for (const bool masking : {true, false}) {
+    const auto tmr = make_tmr(masking);
+    StateSpace space(tmr.design.program);
+    const auto span =
+        compute_fault_span(space, tmr.design.S(), tmr.fault_actions);
+    // The declared T must contain the induced span (it may be larger).
+    const auto T = tmr.design.T();
+    State s(tmr.design.program.num_variables());
+    for (std::uint64_t code = 0; code < space.size(); ++code) {
+      if (!span.contains_code(code)) continue;
+      space.decode_into(code, s);
+      EXPECT_TRUE(T(s)) << masking << " "
+                        << tmr.design.program.format_state(s);
+    }
+  }
+}
+
+TEST(TmrTest, ConstructorValidation) {
+  EXPECT_THROW(make_tmr(true, 0), std::invalid_argument);
+  EXPECT_THROW(make_tmr(true, 3, 9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nonmask

@@ -1,0 +1,154 @@
+// Dijkstra's three-state and four-state solutions ([9]): exhaustive
+// stabilization, single-privilege closure, token circulation, and the
+// constant-state property that distinguishes them from the K-state ring.
+#include <gtest/gtest.h>
+
+#include "checker/closure_check.hpp"
+#include "checker/convergence_check.hpp"
+#include "checker/state_space.hpp"
+#include "checker/variant.hpp"
+#include "engine/simulator.hpp"
+#include "protocols/token_ring_small.hpp"
+#include "sched/daemons.hpp"
+
+namespace nonmask {
+namespace {
+
+struct Factory {
+  const char* name;
+  SmallRingDesign (*make)(int);
+};
+
+class SmallRingTest : public ::testing::TestWithParam<int> {
+ protected:
+  static SmallRingDesign build(int which, int n) {
+    return which == 0 ? make_dijkstra_three_state(n)
+                      : make_dijkstra_four_state(n);
+  }
+};
+
+TEST_P(SmallRingTest, StabilizesExhaustively) {
+  const int which = GetParam();
+  for (int n = 3; n <= 6; ++n) {
+    const auto sr = build(which, n);
+    StateSpace space(sr.design.program);
+    EXPECT_TRUE(check_closed(space, sr.design.S()).closed) << "n=" << n;
+    const auto report =
+        check_convergence(space, sr.design.S(), sr.design.T());
+    EXPECT_EQ(report.verdict, ConvergenceVerdict::kConverges) << "n=" << n;
+  }
+}
+
+TEST_P(SmallRingTest, ExactlyOnePrivilegeThroughoutS) {
+  const auto sr = build(GetParam(), 5);
+  StateSpace space(sr.design.program);
+  const auto S = sr.design.S();
+  State s(sr.design.program.num_variables());
+  std::uint64_t count = 0;
+  for (std::uint64_t code = 0; code < space.size(); ++code) {
+    space.decode_into(code, s);
+    if (!S(s)) continue;
+    ++count;
+    EXPECT_EQ(sr.privileges(s), 1);
+  }
+  EXPECT_GT(count, 0u);
+}
+
+TEST_P(SmallRingTest, NoDeadlockAnywhere) {
+  const auto sr = build(GetParam(), 5);
+  StateSpace space(sr.design.program);
+  State s(sr.design.program.num_variables());
+  for (std::uint64_t code = 0; code < space.size(); ++code) {
+    space.decode_into(code, s);
+    EXPECT_TRUE(sr.design.program.any_enabled(s));
+  }
+}
+
+TEST_P(SmallRingTest, TokenVisitsEveryMachine) {
+  const auto sr = build(GetParam(), 6);
+  RoundRobinDaemon d;
+  Simulator sim(sr.design.program, d);
+  // Start anywhere; first converge, then watch circulation.
+  Rng rng(5);
+  RunOptions conv_opts;
+  conv_opts.max_steps = 10'000;
+  auto r = converge(sr.design, sr.design.program.random_state(rng), d,
+                    conv_opts);
+  ASSERT_TRUE(r.converged);
+
+  State s = r.final_state;
+  std::vector<int> visited(6, 0);
+  RunOptions opts;
+  opts.max_steps = 1;
+  for (int step = 0; step < 600; ++step) {
+    ASSERT_TRUE(sr.design.S()(s));
+    for (const auto& a : sr.design.program.actions()) {
+      if (a.enabled(s)) {
+        ++visited[static_cast<std::size_t>(a.process())];
+        break;
+      }
+    }
+    s = sim.run(s, opts).final_state;
+  }
+  for (int j = 0; j < 6; ++j) {
+    EXPECT_GT(visited[static_cast<std::size_t>(j)], 0) << "machine " << j;
+  }
+}
+
+TEST_P(SmallRingTest, UnfairDaemonStillConverges) {
+  // Dijkstra's solutions need no fairness (paper Section 8): worst-case
+  // steps are finite under the adversarial daemon too.
+  const auto sr = build(GetParam(), 6);
+  AdversarialDaemon d(sr.design.invariant, 7);
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    RunOptions opts;
+    opts.max_steps = 50'000;
+    const auto r = converge(
+        sr.design, sr.design.program.random_state(rng), d, opts);
+    EXPECT_TRUE(r.converged) << trial;
+  }
+}
+
+TEST_P(SmallRingTest, VariantExistsAndBoundsConvergence) {
+  const auto sr = build(GetParam(), 5);
+  StateSpace space(sr.design.program);
+  const auto variant = compute_variant(space, sr.design.S());
+  ASSERT_TRUE(variant.has_value());
+  EXPECT_GT(variant->max_value(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreeAndFourState, SmallRingTest,
+                         ::testing::Values(0, 1),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return info.param == 0 ? "three_state"
+                                                  : "four_state";
+                         });
+
+TEST(SmallRingStateTest, ConstantStatePerMachine) {
+  // Unlike the K-state ring, per-machine state does not grow with n.
+  for (int n : {3, 8, 16}) {
+    const auto three = make_dijkstra_three_state(n);
+    for (const VarId v : three.primary) {
+      EXPECT_EQ(three.design.program.variable(v).domain_size(), 3u);
+    }
+    const auto four = make_dijkstra_four_state(n);
+    for (int j = 0; j < n; ++j) {
+      const auto xbits =
+          four.design.program.variable(four.primary[static_cast<std::size_t>(j)])
+              .domain_size();
+      const auto ubits =
+          four.design.program.variable(four.up[static_cast<std::size_t>(j)])
+              .domain_size();
+      EXPECT_LE(xbits * ubits, 4u);
+    }
+  }
+}
+
+TEST(SmallRingStateTest, ConstructorValidation) {
+  EXPECT_THROW(make_dijkstra_three_state(2), std::invalid_argument);
+  EXPECT_THROW(make_dijkstra_four_state(2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nonmask

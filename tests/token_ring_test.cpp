@@ -1,0 +1,167 @@
+// E5: stabilizing token rings (Section 7.1).
+// Bounded paper design: exhaustive closure + convergence; Dijkstra mod-K
+// ring: stabilization boundary in K, single-token circulation, fairness of
+// privilege passing.
+#include <gtest/gtest.h>
+
+#include "checker/closure_check.hpp"
+#include "checker/convergence_check.hpp"
+#include "checker/state_space.hpp"
+#include "engine/simulator.hpp"
+#include "protocols/token_ring.hpp"
+#include "sched/daemons.hpp"
+
+namespace nonmask {
+namespace {
+
+TEST(TokenRingBoundedTest, PaperSClosedAndConvergesExhaustively) {
+  for (const int n : {2, 3, 4}) {
+    for (const Value x_max : {2, 3}) {
+      for (const bool combined : {false, true}) {
+        const auto tr = make_token_ring_bounded(n, x_max, combined);
+        StateSpace space(tr.design.program);
+        EXPECT_TRUE(check_closed(space, tr.design.S()).closed)
+            << "n=" << n << " x_max=" << x_max << " combined=" << combined;
+        const auto report =
+            check_convergence(space, tr.design.S(), tr.design.T());
+        EXPECT_EQ(report.verdict, ConvergenceVerdict::kConverges)
+            << "n=" << n << " x_max=" << x_max << " combined=" << combined;
+      }
+    }
+  }
+}
+
+TEST(TokenRingBoundedTest, ExactlyOnePrivilegeInS) {
+  const auto tr = make_token_ring_bounded(4, 3, true);
+  StateSpace space(tr.design.program);
+  const auto S = tr.design.S();
+  State s(tr.design.program.num_variables());
+  std::uint64_t s_states = 0;
+  for (std::uint64_t code = 0; code < space.size(); ++code) {
+    space.decode_into(code, s);
+    if (!S(s)) continue;
+    ++s_states;
+    EXPECT_EQ(tr.privileges(s), 1) << tr.design.program.format_state(s);
+  }
+  EXPECT_GT(s_states, 0u);
+}
+
+TEST(TokenRingBoundedTest, LayersPartitionConvergenceActions) {
+  const auto tr = make_token_ring_bounded(5, 4, false);
+  ASSERT_EQ(tr.layers.size(), 2u);
+  EXPECT_EQ(tr.layers[0].size(), 4u);  // raise@1..raise@4
+  EXPECT_EQ(tr.layers[1].size(), 4u);  // level@1..level@4
+  for (const auto& layer : tr.layers) {
+    for (std::size_t idx : layer) {
+      EXPECT_EQ(tr.design.program.action(idx).kind(),
+                ActionKind::kConvergence);
+      EXPECT_GE(tr.design.program.action(idx).constraint_id(), 0);
+    }
+  }
+}
+
+TEST(TokenRingBoundedTest, TokenPassesDownTheLine) {
+  // From all-zero (S state, node 0 privileged), the token moves 0 -> 1 ->
+  // ... -> N and back to 0 under the first-enabled daemon.
+  const auto tr = make_token_ring_bounded(5, 6, true);
+  FirstEnabledDaemon d;
+  Simulator sim(tr.design.program, d);
+  RunOptions opts;
+  opts.max_steps = 1;
+  State s = tr.design.program.initial_state();
+  EXPECT_EQ(tr.first_privileged(s), 0);
+  int expected = 1;
+  for (int step = 0; step < 5; ++step) {
+    s = sim.run(s, opts).final_state;
+    EXPECT_EQ(tr.first_privileged(s), expected % 5)
+        << tr.design.program.format_state(s);
+    expected = (expected + 1) % 5 == 0 ? 0 : expected + 1;
+    if (tr.first_privileged(s) == 0) break;
+  }
+}
+
+TEST(DijkstraRingTest, StabilizesExhaustivelyWhenKAtLeastN) {
+  for (const int n : {2, 3, 4}) {
+    for (const int K : {n, n + 1, n + 2}) {
+      const auto tr = make_dijkstra_ring(n, K);
+      StateSpace space(tr.design.program);
+      EXPECT_TRUE(check_closed(space, tr.design.S()).closed)
+          << "n=" << n << " K=" << K;
+      const auto report =
+          check_convergence(space, tr.design.S(), tr.design.T());
+      EXPECT_EQ(report.verdict, ConvergenceVerdict::kConverges)
+          << "n=" << n << " K=" << K;
+    }
+  }
+}
+
+TEST(DijkstraRingTest, SmallKAdmitsLivelock) {
+  // Dijkstra's bound is tight-ish: K = n - 2 livelocks for n >= 4.
+  const auto tr = make_dijkstra_ring(5, 3);
+  StateSpace space(tr.design.program);
+  const auto report = check_convergence(space, tr.design.S(), tr.design.T());
+  EXPECT_EQ(report.verdict, ConvergenceVerdict::kViolated);
+  EXPECT_TRUE(report.cycle.has_value());
+}
+
+TEST(DijkstraRingTest, PerpetualCirculationVisitsEveryNode) {
+  const auto tr = make_dijkstra_ring(6, 7);
+  RoundRobinDaemon d;
+  Simulator sim(tr.design.program, d);
+  State s = tr.design.program.initial_state();  // all zero: S state
+  ASSERT_TRUE(tr.design.S()(s));
+  RunOptions opts;
+  opts.max_steps = 500;
+  opts.record_snapshots = true;
+  opts.stop_when = [](const State&) { return false; };
+  const auto r = sim.run(s, opts);
+  std::vector<int> visits(6, 0);
+  for (const State& snap : r.trace.snapshots()) {
+    ASSERT_TRUE(tr.design.S()(snap));
+    ++visits[static_cast<std::size_t>(tr.first_privileged(snap))];
+  }
+  for (int j = 0; j < 6; ++j) {
+    EXPECT_GT(visits[static_cast<std::size_t>(j)], 0) << "node " << j;
+  }
+}
+
+TEST(DijkstraRingTest, ConvergesFromRandomStatesAtScale) {
+  for (const int n : {64, 256}) {
+    const auto tr = make_dijkstra_ring(n, n + 1);
+    RandomDaemon d(31);
+    Rng rng(37);
+    for (int trial = 0; trial < 3; ++trial) {
+      RunOptions opts;
+      opts.max_steps = 2'000'000;
+      const auto r =
+          converge(tr.design, tr.design.program.random_state(rng), d, opts);
+      EXPECT_TRUE(r.converged) << "n=" << n;
+      EXPECT_EQ(tr.privileges(r.final_state), 1);
+    }
+  }
+}
+
+TEST(DijkstraRingTest, UnfairDaemonStillConverges) {
+  // Section 8: the derived programs need no fairness. The adversarial
+  // daemon maximizes constraint violations yet cannot prevent convergence.
+  const auto tr = make_dijkstra_ring(6, 7);
+  AdversarialDaemon d(tr.design.invariant, 41);
+  Rng rng(43);
+  for (int trial = 0; trial < 20; ++trial) {
+    RunOptions opts;
+    opts.max_steps = 100'000;
+    const auto r =
+        converge(tr.design, tr.design.program.random_state(rng), d, opts);
+    EXPECT_TRUE(r.converged);
+  }
+}
+
+TEST(TokenRingTest, ConstructorValidation) {
+  EXPECT_THROW(make_token_ring_bounded(1, 3), std::invalid_argument);
+  EXPECT_THROW(make_token_ring_bounded(3, 0), std::invalid_argument);
+  EXPECT_THROW(make_dijkstra_ring(1, 3), std::invalid_argument);
+  EXPECT_THROW(make_dijkstra_ring(3, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nonmask
