@@ -30,7 +30,9 @@ void row(const char* name, const Design& d, std::size_t trials) {
   const auto r = run_experiment(d, config);
   std::cout << std::left << std::setw(26) << name << std::right
             << std::setw(9) << static_cast<int>(100 * r.converged_fraction)
-            << "%" << std::setw(11) << r.steps.mean << std::setw(9)
+            << "%" << std::setw(11) << r.steps.mean << std::setw(10)
+            << std::fixed << std::setprecision(1) << r.steps.stddev
+            << std::defaultfloat << std::setprecision(6) << std::setw(9)
             << r.steps.p50 << std::setw(9) << r.steps.p95 << std::setw(9)
             << r.steps.max << std::setw(10) << r.rounds.mean << "\n";
 }
@@ -45,9 +47,10 @@ int main(int argc, char** argv) {
             << trials << " trials\n\n"
             << std::left << std::setw(26) << "protocol" << std::right
             << std::setw(10) << "conv%" << std::setw(11) << "steps"
-            << std::setw(9) << "p50" << std::setw(9) << "p95" << std::setw(9)
-            << "max" << std::setw(10) << "rounds\n"
-            << std::string(84, '-') << "\n";
+            << std::setw(10) << "stddev" << std::setw(9) << "p50"
+            << std::setw(9) << "p95" << std::setw(9) << "max" << std::setw(10)
+            << "rounds\n"
+            << std::string(94, '-') << "\n";
 
   Rng rng(7);
   row("diffusing (binary, 63)",

@@ -1,12 +1,34 @@
 #!/usr/bin/env bash
 # Developer check: configure, build (warnings as errors), run the full test
 # suite, and smoke-run every benchmark briefly.
+#
+# Usage: check.sh [--jobs N | -j N]
+#   --jobs N   parallelism for the build and for ctest (default: the build
+#              tool's own default / serial ctest)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+jobs=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --jobs|-j)
+      jobs="$2"
+      shift 2
+      ;;
+    --jobs=*)
+      jobs="${1#--jobs=}"
+      shift
+      ;;
+    *)
+      echo "usage: $0 [--jobs N]" >&2
+      exit 2
+      ;;
+  esac
+done
+
 cmake -B build -G Ninja -DNONMASK_WERROR=ON
-cmake --build build
-ctest --test-dir build --output-on-failure
+cmake --build build ${jobs:+-j "$jobs"}
+ctest --test-dir build --output-on-failure ${jobs:+-j "$jobs"}
 
 for b in build/bench/bench_*; do
   echo "== ${b} =="

@@ -2,24 +2,27 @@
 
 namespace nonmask {
 
-ClosureReport check_closed(const StateSpace& space,
-                           const PredicateFn& predicate,
-                           const std::vector<std::size_t>& actions) {
+namespace detail {
+
+ClosureReport scan_closure_range(const StateSpace& space,
+                                 const PredicateFn& predicate,
+                                 const std::vector<std::size_t>& actions,
+                                 std::uint64_t begin, std::uint64_t end,
+                                 State& scratch) {
   const Program& p = space.program();
   ClosureReport report;
-  State s(p.num_variables());
-  for (std::uint64_t code = 0; code < space.size(); ++code) {
-    space.decode_into(code, s);
-    if (!predicate(s)) continue;
+  for (std::uint64_t code = begin; code < end; ++code) {
+    space.decode_into(code, scratch);
+    if (!predicate(scratch)) continue;
     ++report.states_checked;
     for (std::size_t idx : actions) {
       const Action& a = p.action(idx);
-      if (!a.enabled(s)) continue;
+      if (!a.enabled(scratch)) continue;
       ++report.transitions_checked;
-      State next = a.apply(s);
+      State next = a.apply(scratch);
       if (!predicate(next)) {
         report.closed = false;
-        report.violation = ClosureViolation{s, idx, std::move(next)};
+        report.violation = ClosureViolation{scratch, idx, std::move(next)};
         return report;
       }
     }
@@ -28,14 +31,20 @@ ClosureReport check_closed(const StateSpace& space,
   return report;
 }
 
+}  // namespace detail
+
+ClosureReport check_closed(const StateSpace& space,
+                           const PredicateFn& predicate,
+                           const std::vector<std::size_t>& actions) {
+  State scratch(space.program().num_variables());
+  return detail::scan_closure_range(space, predicate, actions, 0,
+                                    space.size(), scratch);
+}
+
 ClosureReport check_closed(const StateSpace& space,
                            const PredicateFn& predicate) {
-  const Program& p = space.program();
-  std::vector<std::size_t> actions;
-  for (std::size_t i = 0; i < p.num_actions(); ++i) {
-    if (p.action(i).kind() != ActionKind::kFault) actions.push_back(i);
-  }
-  return check_closed(space, predicate, actions);
+  return check_closed(space, predicate,
+                      non_fault_actions(space.program()));
 }
 
 }  // namespace nonmask

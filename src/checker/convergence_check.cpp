@@ -17,12 +17,28 @@ const char* to_string(ConvergenceVerdict v) noexcept {
   return "?";
 }
 
-namespace {
+ProgramSuccessors::ProgramSuccessors(const StateSpace& space,
+                                     std::vector<std::size_t> actions)
+    : space_(&space),
+      actions_(std::move(actions)),
+      scratch_(space.program().num_variables()) {}
 
-constexpr std::uint8_t kFlagS = 1;
-constexpr std::uint8_t kFlagT = 2;
+void ProgramSuccessors::successors(std::uint64_t code,
+                                   std::vector<std::uint64_t>& out) {
+  const Program& p = space_->program();
+  out.clear();
+  space_->decode_into(code, scratch_);
+  for (std::size_t idx : actions_) {
+    const Action& a = p.action(idx);
+    if (!a.enabled(scratch_)) continue;
+    out.push_back(space_->encode(a.apply(scratch_)));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
 
-/// Pass 1: evaluate S and T at every state; count them.
+namespace detail {
+
 std::vector<std::uint8_t> evaluate_flags(const StateSpace& space,
                                          const PredicateFn& S,
                                          const PredicateFn& T,
@@ -45,34 +61,7 @@ std::vector<std::uint8_t> evaluate_flags(const StateSpace& space,
   return flags;
 }
 
-std::vector<std::size_t> non_fault_actions(const Program& p) {
-  std::vector<std::size_t> out;
-  for (std::size_t i = 0; i < p.num_actions(); ++i) {
-    if (p.action(i).kind() != ActionKind::kFault) out.push_back(i);
-  }
-  return out;
-}
-
-/// Enumerate the distinct successor codes of `code`; returns false and sets
-/// report.deadlock when no action is enabled.
-bool successors_of(const StateSpace& space,
-                   const std::vector<std::size_t>& actions,
-                   std::uint64_t code, State& scratch,
-                   std::vector<std::uint64_t>& out) {
-  const Program& p = space.program();
-  out.clear();
-  space.decode_into(code, scratch);
-  bool any_enabled = false;
-  for (std::size_t idx : actions) {
-    const Action& a = p.action(idx);
-    if (!a.enabled(scratch)) continue;
-    any_enabled = true;
-    out.push_back(space.encode(a.apply(scratch)));
-  }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return any_enabled;
-}
+namespace {
 
 struct DfsFrame {
   std::uint64_t code;
@@ -82,21 +71,16 @@ struct DfsFrame {
 
 }  // namespace
 
-ConvergenceReport check_convergence(const StateSpace& space,
-                                    const PredicateFn& S,
-                                    const PredicateFn& T) {
-  const Program& p = space.program();
-  ConvergenceReport report;
-  const auto flags = evaluate_flags(space, S, T, report);
-  const auto actions = non_fault_actions(p);
-
+ConvergenceReport check_convergence_core(const StateSpace& space,
+                                         const std::vector<std::uint8_t>& flags,
+                                         SuccessorSource& succ,
+                                         ConvergenceReport report) {
   // Colors over the ¬S region: 0 = unvisited, 1 = on DFS stack, 2 = done.
   std::vector<std::uint8_t> color(space.size(), 0);
   std::vector<std::uint32_t> dist(space.size(), 0);
   // Position of each on-stack code within `path` (for cycle extraction).
   std::vector<std::int64_t> stack_pos(space.size(), -1);
 
-  State scratch(p.num_variables());
   std::vector<DfsFrame> frames;
   std::vector<std::uint64_t> path;
 
@@ -111,11 +95,10 @@ ConvergenceReport check_convergence(const StateSpace& space,
     auto push_node = [&](std::uint64_t code) -> bool {
       DfsFrame frame;
       frame.code = code;
-      const bool any = successors_of(space, actions, code, scratch,
-                                     frame.succs);
+      succ.successors(code, frame.succs);
       report.transitions += frame.succs.size();
       ++report.region_states;
-      if (!any) {
+      if (frame.succs.empty()) {  // no action enabled
         report.verdict = ConvergenceVerdict::kViolated;
         report.deadlock = space.decode(code);
         return false;
@@ -132,17 +115,17 @@ ConvergenceReport check_convergence(const StateSpace& space,
     while (!frames.empty()) {
       DfsFrame& frame = frames.back();
       if (frame.next < frame.succs.size()) {
-        const std::uint64_t succ = frame.succs[frame.next++];
-        if ((flags[succ] & kFlagS) != 0) {
+        const std::uint64_t next = frame.succs[frame.next++];
+        if ((flags[next] & kFlagS) != 0) {
           dist[frame.code] = std::max(dist[frame.code], 1u);
           continue;
         }
-        if (color[succ] == 0) {
-          if (!push_node(succ)) return report;
-        } else if (color[succ] == 1) {
-          // Cycle: extract path[stack_pos[succ] ..] as the counterexample.
+        if (color[next] == 0) {
+          if (!push_node(next)) return report;
+        } else if (color[next] == 1) {
+          // Cycle: extract path[stack_pos[next] ..] as the counterexample.
           std::vector<State> cycle;
-          for (std::size_t i = static_cast<std::size_t>(stack_pos[succ]);
+          for (std::size_t i = static_cast<std::size_t>(stack_pos[next]);
                i < path.size(); ++i) {
             cycle.push_back(space.decode(path[i]));
           }
@@ -151,7 +134,7 @@ ConvergenceReport check_convergence(const StateSpace& space,
           return report;
         } else {
           dist[frame.code] =
-              std::max(dist[frame.code], dist[succ] + 1);
+              std::max(dist[frame.code], dist[next] + 1);
         }
       } else {
         color[frame.code] = 2;
@@ -174,13 +157,11 @@ ConvergenceReport check_convergence(const StateSpace& space,
   return report;
 }
 
-ConvergenceReport check_convergence_weakly_fair(const StateSpace& space,
-                                                const PredicateFn& S,
-                                                const PredicateFn& T) {
+ConvergenceReport check_convergence_weakly_fair_core(
+    const StateSpace& space, const std::vector<std::uint8_t>& flags,
+    SuccessorSource& succ, const std::vector<std::size_t>& actions,
+    ConvergenceReport report) {
   const Program& p = space.program();
-  ConvergenceReport report;
-  const auto flags = evaluate_flags(space, S, T, report);
-  const auto actions = non_fault_actions(p);
 
   // Iterative Tarjan over the implicit ¬S region reachable from T ∧ ¬S.
   constexpr std::int32_t kUnvisited = -1;
@@ -208,11 +189,10 @@ ConvergenceReport check_convergence_weakly_fair(const StateSpace& space,
     auto push_node = [&](std::uint64_t code) -> bool {
       DfsFrame frame;
       frame.code = code;
-      const bool any = successors_of(space, actions, code, scratch,
-                                     frame.succs);
+      succ.successors(code, frame.succs);
       report.transitions += frame.succs.size();
       ++report.region_states;
-      if (!any) {
+      if (frame.succs.empty()) {  // no action enabled
         report.verdict = ConvergenceVerdict::kViolated;
         report.deadlock = space.decode(code);
         return false;
@@ -231,12 +211,12 @@ ConvergenceReport check_convergence_weakly_fair(const StateSpace& space,
     while (!frames.empty()) {
       DfsFrame& frame = frames.back();
       if (frame.next < frame.succs.size()) {
-        const std::uint64_t succ = frame.succs[frame.next++];
-        if (!in_region(succ)) continue;  // exits to S
-        if (index[succ] == kUnvisited) {
-          if (!push_node(succ)) return report;
-        } else if (on_stack[succ] != 0) {
-          lowlink[frame.code] = std::min(lowlink[frame.code], index[succ]);
+        const std::uint64_t next = frame.succs[frame.next++];
+        if (!in_region(next)) continue;  // exits to S
+        if (index[next] == kUnvisited) {
+          if (!push_node(next)) return report;
+        } else if (on_stack[next] != 0) {
+          lowlink[frame.code] = std::min(lowlink[frame.code], index[next]);
         }
       } else {
         const std::uint64_t v = frame.code;
@@ -263,7 +243,6 @@ ConvergenceReport check_convergence_weakly_fair(const StateSpace& space,
 
   // Analyze each SCC of the region.
   bool all_escape = true;
-  std::vector<std::uint64_t> succs;
   for (const auto& scc : members) {
     // Does the SCC contain an internal transition (size > 1, or self-loop)?
     bool nontrivial = scc.size() > 1;
@@ -292,8 +271,8 @@ ConvergenceReport check_convergence_weakly_fair(const StateSpace& space,
           candidate = false;
           break;
         }
-        const std::uint64_t succ = space.encode(a.apply(scratch));
-        if (in_region(succ) && component[succ] == component[code]) {
+        const std::uint64_t next = space.encode(a.apply(scratch));
+        if (in_region(next) && component[next] == component[code]) {
           candidate = false;
           break;
         }
@@ -313,8 +292,8 @@ ConvergenceReport check_convergence_weakly_fair(const StateSpace& space,
         for (std::size_t idx : actions) {
           const Action& a = p.action(idx);
           if (!a.enabled(scratch)) continue;
-          const std::uint64_t succ = space.encode(a.apply(scratch));
-          if (!in_region(succ) || component[succ] != component[code]) {
+          const std::uint64_t next = space.encode(a.apply(scratch));
+          if (!in_region(next) || component[next] != component[code]) {
             closed_scc = false;
             break;
           }
@@ -335,6 +314,30 @@ ConvergenceReport check_convergence_weakly_fair(const StateSpace& space,
   report.verdict = all_escape ? ConvergenceVerdict::kConverges
                               : ConvergenceVerdict::kUnknown;
   return report;
+}
+
+}  // namespace detail
+
+ConvergenceReport check_convergence(const StateSpace& space,
+                                    const PredicateFn& S,
+                                    const PredicateFn& T) {
+  ConvergenceReport report;
+  const auto flags = detail::evaluate_flags(space, S, T, report);
+  ProgramSuccessors succ(space, non_fault_actions(space.program()));
+  return detail::check_convergence_core(space, flags, succ,
+                                        std::move(report));
+}
+
+ConvergenceReport check_convergence_weakly_fair(const StateSpace& space,
+                                                const PredicateFn& S,
+                                                const PredicateFn& T) {
+  ConvergenceReport report;
+  const auto flags = detail::evaluate_flags(space, S, T, report);
+  const auto actions = non_fault_actions(space.program());
+  ProgramSuccessors succ(space, actions);
+  return detail::check_convergence_weakly_fair_core(space, flags, succ,
+                                                    actions,
+                                                    std::move(report));
 }
 
 ToleranceReport verify_tolerance(const StateSpace& space,

@@ -15,6 +15,28 @@ PredicateFn StateSet::as_predicate() const {
   };
 }
 
+namespace detail {
+
+void expand_reachable(const StateSpace& space,
+                      const std::vector<std::size_t>& actions,
+                      const FaultSpanOptions& opts, std::uint64_t code,
+                      State& scratch, std::vector<std::uint64_t>& out) {
+  const Program& p = space.program();
+  out.clear();
+  space.decode_into(code, scratch);
+  for (std::size_t idx : actions) {
+    const Action& a = p.action(idx);
+    const bool fire =
+        a.kind() == ActionKind::kFault && !opts.respect_fault_guards
+            ? true
+            : a.enabled(scratch);
+    if (!fire) continue;
+    out.push_back(space.encode(a.apply(scratch)));
+  }
+}
+
+}  // namespace detail
+
 StateSet compute_reachable(const StateSpace& space, const PredicateFn& start,
                            const std::vector<std::size_t>& actions,
                            const FaultSpanOptions& opts) {
@@ -33,18 +55,12 @@ StateSet compute_reachable(const StateSpace& space, const PredicateFn& start,
     }
   }
 
+  std::vector<std::uint64_t> succs;
   while (!frontier.empty() && set.size() < cap) {
     const std::uint64_t code = frontier.front();
     frontier.pop_front();
-    space.decode_into(code, s);
-    for (std::size_t idx : actions) {
-      const Action& a = p.action(idx);
-      const bool fire =
-          a.kind() == ActionKind::kFault && !opts.respect_fault_guards
-              ? true
-              : a.enabled(s);
-      if (!fire) continue;
-      const std::uint64_t succ = space.encode(a.apply(s));
+    detail::expand_reachable(space, actions, opts, code, s, succs);
+    for (std::uint64_t succ : succs) {
       if (!set.contains_code(succ)) {
         set.insert_code(succ);
         frontier.push_back(succ);
@@ -57,11 +73,7 @@ StateSet compute_reachable(const StateSpace& space, const PredicateFn& start,
 StateSet compute_fault_span(const StateSpace& space, const PredicateFn& S,
                             const std::vector<std::size_t>& fault_actions,
                             const FaultSpanOptions& opts) {
-  const Program& p = space.program();
-  std::vector<std::size_t> actions;
-  for (std::size_t i = 0; i < p.num_actions(); ++i) {
-    if (p.action(i).kind() != ActionKind::kFault) actions.push_back(i);
-  }
+  std::vector<std::size_t> actions = non_fault_actions(space.program());
   actions.insert(actions.end(), fault_actions.begin(), fault_actions.end());
   return compute_reachable(space, S, actions, opts);
 }

@@ -89,4 +89,18 @@ FaultClassReport verify_against_fault_class(
     const std::vector<std::size_t>& fault_actions,
     bool weakly_fair = false);
 
+namespace detail {
+
+/// Successor codes of `code` under `actions` with the fault-guard policy of
+/// `opts`, in action order (not deduplicated) — the exact expansion order
+/// of the serial BFS. The parallel sweep expands frontier nodes with the
+/// same helper and merges in node order, so the resulting sets (including
+/// `max_states`-capped ones) are identical.
+void expand_reachable(const StateSpace& space,
+                      const std::vector<std::size_t>& actions,
+                      const FaultSpanOptions& opts, std::uint64_t code,
+                      State& scratch, std::vector<std::uint64_t>& out);
+
+}  // namespace detail
+
 }  // namespace nonmask

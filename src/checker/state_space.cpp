@@ -46,4 +46,12 @@ bool fits_in_budget(const Program& program, std::uint64_t budget) {
   return count && *count <= budget;
 }
 
+std::vector<std::size_t> non_fault_actions(const Program& program) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < program.num_actions(); ++i) {
+    if (program.action(i).kind() != ActionKind::kFault) out.push_back(i);
+  }
+  return out;
+}
+
 }  // namespace nonmask

@@ -59,4 +59,8 @@ class StateSpace {
 bool fits_in_budget(const Program& program,
                     std::uint64_t budget = StateSpace::kDefaultBudget);
 
+/// Indices of `program`'s non-fault actions, in program order — the action
+/// set every checker module iterates.
+std::vector<std::size_t> non_fault_actions(const Program& program);
+
 }  // namespace nonmask

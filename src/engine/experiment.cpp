@@ -6,29 +6,52 @@
 
 namespace nonmask {
 
+std::vector<TrialSeeds> derive_trial_seeds(std::uint64_t seed,
+                                           std::size_t trials) {
+  Rng master(seed);
+  std::vector<TrialSeeds> seeds(trials);
+  for (auto& s : seeds) {
+    s.daemon = master();
+    s.start = master();
+  }
+  return seeds;
+}
+
+TrialOutcome run_trial(const Design& design,
+                       const ConvergenceExperiment& config, TrialSeeds seeds) {
+  DaemonPtr daemon = config.make_daemon
+                         ? config.make_daemon(seeds.daemon)
+                         : DaemonPtr(new RandomDaemon(seeds.daemon));
+  Rng start_rng(seeds.start);
+  State start = config.make_start
+                    ? config.make_start(design.program, start_rng)
+                    : design.program.random_state(start_rng);
+
+  RunOptions opts;
+  opts.max_steps = config.max_steps;
+  if (config.make_perturb) {
+    opts.perturb = config.make_perturb(design.program);
+  }
+  const RunResult r = converge(design, std::move(start), *daemon, opts);
+  TrialOutcome outcome;
+  outcome.converged = r.converged;
+  outcome.deadlocked = r.deadlocked;
+  outcome.exhausted = r.exhausted;
+  outcome.steps = r.steps;
+  outcome.rounds = r.rounds;
+  outcome.moves = r.moves;
+  return outcome;
+}
+
 ConvergenceResults run_experiment(const Design& design,
                                   const ConvergenceExperiment& config) {
   ConvergenceResults results;
   std::vector<double> steps, rounds, moves;
-  Rng master(config.seed);
+  const auto seeds = derive_trial_seeds(config.seed, config.trials);
 
   std::size_t converged = 0;
   for (std::size_t trial = 0; trial < config.trials; ++trial) {
-    const std::uint64_t trial_seed = master();
-    DaemonPtr daemon = config.make_daemon
-                           ? config.make_daemon(trial_seed)
-                           : DaemonPtr(new RandomDaemon(trial_seed));
-    Rng start_rng(master());
-    State start = config.make_start
-                      ? config.make_start(design.program, start_rng)
-                      : design.program.random_state(start_rng);
-
-    RunOptions opts;
-    opts.max_steps = config.max_steps;
-    if (config.make_perturb) {
-      opts.perturb = config.make_perturb(design.program);
-    }
-    const RunResult r = converge(design, std::move(start), *daemon, opts);
+    const TrialOutcome r = run_trial(design, config, seeds[trial]);
     if (r.converged) {
       ++converged;
       steps.push_back(static_cast<double>(r.steps));

@@ -39,4 +39,35 @@ struct ConvergenceResults {
 ConvergenceResults run_experiment(const Design& design,
                                   const ConvergenceExperiment& config);
 
+/// The two seeds a trial consumes from the master RNG stream.
+struct TrialSeeds {
+  std::uint64_t daemon = 0;  ///< passed to make_daemon / RandomDaemon
+  std::uint64_t start = 0;   ///< seeds the start-state Rng
+};
+
+/// The per-trial seeds exactly as run_experiment draws them from the master
+/// RNG seeded with `seed`. The parallel campaign runner (parallel/campaign)
+/// derives seeds up front with this function and hands whole trials to
+/// worker threads, so its results are bit-identical to the serial path at
+/// any thread count.
+std::vector<TrialSeeds> derive_trial_seeds(std::uint64_t seed,
+                                           std::size_t trials);
+
+/// Outcome of a single trial.
+struct TrialOutcome {
+  bool converged = false;
+  bool deadlocked = false;
+  bool exhausted = false;
+  std::uint64_t steps = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t moves = 0;
+};
+
+/// Run one trial of `config` against `design` with explicit seeds. Pure
+/// given its inputs: safe to call concurrently from several threads as long
+/// as the config's factories and the design's predicates are thread-safe
+/// (all shipped protocols and daemons are).
+TrialOutcome run_trial(const Design& design,
+                       const ConvergenceExperiment& config, TrialSeeds seeds);
+
 }  // namespace nonmask

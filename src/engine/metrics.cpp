@@ -25,7 +25,11 @@ SampleStats summarize(std::vector<double> samples) {
   stats.max = samples.back();
   double sum = 0.0;
   for (double v : samples) sum += v;
+  stats.sum = sum;
   stats.mean = sum / static_cast<double>(samples.size());
+  double sq = 0.0;
+  for (double v : samples) sq += (v - stats.mean) * (v - stats.mean);
+  stats.stddev = std::sqrt(sq / static_cast<double>(samples.size()));
   stats.p50 = percentile(samples, 0.50);
   stats.p95 = percentile(samples, 0.95);
   stats.p99 = percentile(samples, 0.99);

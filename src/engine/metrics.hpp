@@ -9,7 +9,9 @@ namespace nonmask {
 
 struct SampleStats {
   std::size_t count = 0;
+  double sum = 0.0;     ///< total over all samples
   double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
   double min = 0.0;
   double max = 0.0;
   double p50 = 0.0;

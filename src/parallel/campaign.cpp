@@ -1,0 +1,124 @@
+#include "parallel/campaign.hpp"
+
+#include <mutex>
+#include <ostream>
+
+#include "parallel/thread_pool.hpp"
+
+namespace nonmask {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+/// Flushes completed trial records to the JSONL sink in trial order: each
+/// completion is buffered until every earlier trial has been written.
+class JsonlStreamer {
+ public:
+  JsonlStreamer(std::ostream* sink, const std::string& design_name,
+                const std::vector<TrialRecord>* records)
+      : sink_(sink), design_name_(design_name), records_(records) {
+    if (sink_ != nullptr) done_.resize(records->size(), 0);
+  }
+
+  void on_complete(std::size_t trial) {
+    if (sink_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_[trial] = 1;
+    while (cursor_ < done_.size() && done_[cursor_] != 0) {
+      *sink_ << to_jsonl(design_name_, (*records_)[cursor_]) << '\n';
+      ++cursor_;
+    }
+  }
+
+ private:
+  std::ostream* sink_;
+  std::string design_name_;
+  const std::vector<TrialRecord>* records_;
+  std::mutex mutex_;
+  std::vector<std::uint8_t> done_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+std::string to_jsonl(const std::string& design_name,
+                     const TrialRecord& record) {
+  std::string out = "{\"design\":\"";
+  append_escaped(out, design_name);
+  out += "\",\"trial\":" + std::to_string(record.trial);
+  out += ",\"daemon_seed\":" + std::to_string(record.seeds.daemon);
+  out += ",\"start_seed\":" + std::to_string(record.seeds.start);
+  out += record.outcome.converged ? ",\"converged\":true"
+                                  : ",\"converged\":false";
+  out += record.outcome.deadlocked ? ",\"deadlocked\":true"
+                                   : ",\"deadlocked\":false";
+  out += record.outcome.exhausted ? ",\"exhausted\":true"
+                                  : ",\"exhausted\":false";
+  out += ",\"steps\":" + std::to_string(record.outcome.steps);
+  out += ",\"rounds\":" + std::to_string(record.outcome.rounds);
+  out += ",\"moves\":" + std::to_string(record.outcome.moves);
+  out += "}";
+  return out;
+}
+
+CampaignResults run_campaign(const Design& design,
+                             const ConvergenceExperiment& config,
+                             const CampaignOptions& opts) {
+  CampaignResults results;
+  results.trials.resize(config.trials);
+  const auto seeds = derive_trial_seeds(config.seed, config.trials);
+  for (std::size_t i = 0; i < config.trials; ++i) {
+    results.trials[i].trial = i;
+    results.trials[i].seeds = seeds[i];
+  }
+
+  JsonlStreamer streamer(opts.jsonl, design.name, &results.trials);
+  const unsigned threads =
+      opts.threads == 0 ? default_threads() : opts.threads;
+  if (threads <= 1 || config.trials <= 1) {
+    for (std::size_t i = 0; i < config.trials; ++i) {
+      results.trials[i].outcome = run_trial(design, config, seeds[i]);
+      streamer.on_complete(i);
+    }
+  } else {
+    ThreadPool pool(threads);
+    parallel_for_chunked(
+        pool, 0, config.trials, 1,
+        [&](std::size_t chunk, std::uint64_t lo, std::uint64_t hi,
+            unsigned worker) {
+          (void)hi;
+          (void)worker;
+          results.trials[chunk].outcome =
+              run_trial(design, config, seeds[static_cast<std::size_t>(lo)]);
+          streamer.on_complete(chunk);
+        });
+  }
+
+  // Aggregate exactly as run_experiment does: converged trials in trial
+  // order.
+  std::vector<double> steps, rounds, moves;
+  std::size_t converged = 0;
+  for (const TrialRecord& r : results.trials) {
+    if (!r.outcome.converged) continue;
+    ++converged;
+    steps.push_back(static_cast<double>(r.outcome.steps));
+    rounds.push_back(static_cast<double>(r.outcome.rounds));
+    moves.push_back(static_cast<double>(r.outcome.moves));
+  }
+  results.aggregate.converged_fraction =
+      config.trials == 0
+          ? 0.0
+          : static_cast<double>(converged) / static_cast<double>(config.trials);
+  results.aggregate.steps = summarize(std::move(steps));
+  results.aggregate.rounds = summarize(std::move(rounds));
+  results.aggregate.moves = summarize(std::move(moves));
+  return results;
+}
+
+}  // namespace nonmask

@@ -1,0 +1,55 @@
+// Parallel experiment campaigns: run the trials of a ConvergenceExperiment
+// across a thread pool and stream per-trial records to JSONL.
+//
+// Determinism: the per-trial seed pairs are derived up front from the
+// master seed with derive_trial_seeds — the exact stream run_experiment
+// consumes — and each trial is a pure function of its seeds. Results are
+// therefore bit-identical to run_experiment at any thread count, and the
+// JSONL stream (flushed in trial order) is byte-identical too.
+//
+// Concurrency contract: the config's factories (make_daemon, make_start,
+// make_perturb) and the design's predicates are invoked concurrently and
+// must be thread-safe. All shipped protocols and daemons qualify: each
+// trial gets its own daemon and Rng, and the predicates are pure.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "engine/experiment.hpp"
+
+namespace nonmask {
+
+struct CampaignOptions {
+  /// Worker threads; 0 = NONMASK_THREADS env override, else hardware
+  /// concurrency. 1 = run trials inline, serially.
+  unsigned threads = 0;
+  /// Optional JSONL sink: one record per trial, streamed in trial order as
+  /// trials complete. The stream must outlive run_campaign.
+  std::ostream* jsonl = nullptr;
+};
+
+struct TrialRecord {
+  std::size_t trial = 0;
+  TrialSeeds seeds;
+  TrialOutcome outcome;
+};
+
+struct CampaignResults {
+  /// Aggregate statistics, bit-identical to run_experiment(design, config).
+  ConvergenceResults aggregate;
+  /// Every trial's record, in trial order.
+  std::vector<TrialRecord> trials;
+};
+
+/// One JSONL line (no trailing newline) for a trial record.
+std::string to_jsonl(const std::string& design_name,
+                     const TrialRecord& record);
+
+/// Run `config.trials` trials of `design` across `opts.threads` workers.
+CampaignResults run_campaign(const Design& design,
+                             const ConvergenceExperiment& config,
+                             const CampaignOptions& opts = {});
+
+}  // namespace nonmask

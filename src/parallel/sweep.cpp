@@ -1,0 +1,317 @@
+#include "parallel/sweep.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
+
+namespace nonmask {
+
+namespace {
+
+unsigned resolve_threads(const SweepOptions& opts) {
+  return opts.threads == 0 ? default_threads() : opts.threads;
+}
+
+std::size_t chunk_count(std::uint64_t size, std::uint64_t grain) {
+  return static_cast<std::size_t>((size + grain - 1) / grain);
+}
+
+/// Sharded pass 1 of the convergence checks: same flags array and
+/// states_in_S / states_in_T counts as detail::evaluate_flags.
+std::vector<std::uint8_t> evaluate_flags_parallel(ThreadPool& pool,
+                                                  const StateSpace& space,
+                                                  const PredicateFn& S,
+                                                  const PredicateFn& T,
+                                                  std::uint64_t grain,
+                                                  ConvergenceReport& report) {
+  const Program& p = space.program();
+  std::vector<std::uint8_t> flags(space.size(), 0);
+  struct Counts {
+    std::uint64_t in_S = 0;
+    std::uint64_t in_T = 0;
+  };
+  std::vector<Counts> counts(chunk_count(space.size(), grain));
+  std::vector<State> scratch(pool.size(), State(p.num_variables()));
+
+  parallel_for_chunked(
+      pool, 0, space.size(), grain,
+      [&](std::size_t chunk, std::uint64_t lo, std::uint64_t hi,
+          unsigned worker) {
+        State& s = scratch[worker];
+        Counts c;
+        for (std::uint64_t code = lo; code < hi; ++code) {
+          space.decode_into(code, s);
+          std::uint8_t f = 0;
+          const bool in_T = T(s);
+          if (in_T) f |= detail::kFlagT;
+          if (S(s)) {
+            f |= detail::kFlagS;
+            if (in_T) ++c.in_S;
+          }
+          if (in_T) ++c.in_T;
+          flags[code] = f;
+        }
+        counts[chunk] = c;
+      });
+
+  for (const Counts& c : counts) {
+    report.states_in_S += c.in_S;
+    report.states_in_T += c.in_T;
+  }
+  return flags;
+}
+
+/// Precomputed region adjacency in CSR form: the sorted distinct successor
+/// codes of every ¬S state, exactly as ProgramSuccessors would produce
+/// them on the fly.
+class CsrSuccessors final : public SuccessorSource {
+ public:
+  CsrSuccessors(std::vector<std::uint64_t> offsets,
+                std::vector<std::uint64_t> succs)
+      : offsets_(std::move(offsets)), succs_(std::move(succs)) {}
+
+  void successors(std::uint64_t code,
+                  std::vector<std::uint64_t>& out) override {
+    out.assign(succs_.begin() + static_cast<std::ptrdiff_t>(offsets_[code]),
+               succs_.begin() +
+                   static_cast<std::ptrdiff_t>(offsets_[code + 1]));
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;  // size() + 1 entries
+  std::vector<std::uint64_t> succs_;
+};
+
+/// Sharded pass 2a: build the ¬S-region adjacency. This is the hot ~90% of
+/// a convergence check (decode + guard evaluation + apply + encode per
+/// transition); the DFS/SCC passes then consume it serially.
+CsrSuccessors build_region_adjacency(ThreadPool& pool, const StateSpace& space,
+                                     const std::vector<std::uint8_t>& flags,
+                                     const std::vector<std::size_t>& actions,
+                                     std::uint64_t grain) {
+  struct ChunkAdj {
+    std::vector<std::uint32_t> degree;  // per code in the chunk
+    std::vector<std::uint64_t> data;    // concatenated successor lists
+  };
+  std::vector<ChunkAdj> chunks(chunk_count(space.size(), grain));
+  std::vector<ProgramSuccessors> sources;
+  sources.reserve(pool.size());
+  for (unsigned i = 0; i < pool.size(); ++i) {
+    sources.emplace_back(space, actions);
+  }
+
+  parallel_for_chunked(
+      pool, 0, space.size(), grain,
+      [&](std::size_t chunk, std::uint64_t lo, std::uint64_t hi,
+          unsigned worker) {
+        ChunkAdj& adj = chunks[chunk];
+        adj.degree.reserve(static_cast<std::size_t>(hi - lo));
+        std::vector<std::uint64_t> succs;
+        for (std::uint64_t code = lo; code < hi; ++code) {
+          if ((flags[code] & detail::kFlagS) != 0) {
+            adj.degree.push_back(0);  // in S: the DFS never expands it
+            continue;
+          }
+          sources[worker].successors(code, succs);
+          adj.degree.push_back(static_cast<std::uint32_t>(succs.size()));
+          adj.data.insert(adj.data.end(), succs.begin(), succs.end());
+        }
+      });
+
+  std::size_t total = 0;
+  for (const ChunkAdj& adj : chunks) total += adj.data.size();
+  std::vector<std::uint64_t> offsets(space.size() + 1, 0);
+  std::vector<std::uint64_t> data;
+  data.reserve(total);
+  std::uint64_t code = 0;
+  for (const ChunkAdj& adj : chunks) {
+    for (std::uint32_t deg : adj.degree) {
+      offsets[code + 1] = offsets[code] + deg;
+      ++code;
+    }
+    data.insert(data.end(), adj.data.begin(), adj.data.end());
+  }
+  return CsrSuccessors(std::move(offsets), std::move(data));
+}
+
+}  // namespace
+
+ClosureReport check_closed_parallel(const StateSpace& space,
+                                    const PredicateFn& predicate,
+                                    const std::vector<std::size_t>& actions,
+                                    const SweepOptions& opts) {
+  const unsigned threads = resolve_threads(opts);
+  if (threads <= 1 || space.size() <= opts.grain) {
+    return check_closed(space, predicate, actions);
+  }
+  ThreadPool pool(threads);
+  std::vector<ClosureReport> chunks(chunk_count(space.size(), opts.grain));
+  std::vector<State> scratch(pool.size(),
+                             State(space.program().num_variables()));
+  parallel_for_chunked(
+      pool, 0, space.size(), opts.grain,
+      [&](std::size_t chunk, std::uint64_t lo, std::uint64_t hi,
+          unsigned worker) {
+        chunks[chunk] = detail::scan_closure_range(space, predicate, actions,
+                                                   lo, hi, scratch[worker]);
+      });
+
+  // In-order reduction: replay the serial scan's early exit at the first
+  // violating chunk, so counts match the serial report bit-for-bit.
+  ClosureReport report;
+  for (ClosureReport& c : chunks) {
+    report.states_checked += c.states_checked;
+    report.transitions_checked += c.transitions_checked;
+    if (!c.closed) {
+      report.closed = false;
+      report.violation = std::move(c.violation);
+      return report;
+    }
+  }
+  report.closed = true;
+  return report;
+}
+
+ClosureReport check_closed_parallel(const StateSpace& space,
+                                    const PredicateFn& predicate,
+                                    const SweepOptions& opts) {
+  return check_closed_parallel(space, predicate,
+                               non_fault_actions(space.program()), opts);
+}
+
+ConvergenceReport check_convergence_parallel(const StateSpace& space,
+                                             const PredicateFn& S,
+                                             const PredicateFn& T,
+                                             const SweepOptions& opts) {
+  const unsigned threads = resolve_threads(opts);
+  if (threads <= 1 || space.size() <= opts.grain) {
+    return check_convergence(space, S, T);
+  }
+  ThreadPool pool(threads);
+  ConvergenceReport report;
+  const auto flags =
+      evaluate_flags_parallel(pool, space, S, T, opts.grain, report);
+  CsrSuccessors succ = build_region_adjacency(
+      pool, space, flags, non_fault_actions(space.program()), opts.grain);
+  return detail::check_convergence_core(space, flags, succ,
+                                        std::move(report));
+}
+
+ConvergenceReport check_convergence_weakly_fair_parallel(
+    const StateSpace& space, const PredicateFn& S, const PredicateFn& T,
+    const SweepOptions& opts) {
+  const unsigned threads = resolve_threads(opts);
+  if (threads <= 1 || space.size() <= opts.grain) {
+    return check_convergence_weakly_fair(space, S, T);
+  }
+  ThreadPool pool(threads);
+  ConvergenceReport report;
+  const auto flags =
+      evaluate_flags_parallel(pool, space, S, T, opts.grain, report);
+  const auto actions = non_fault_actions(space.program());
+  CsrSuccessors succ =
+      build_region_adjacency(pool, space, flags, actions, opts.grain);
+  return detail::check_convergence_weakly_fair_core(space, flags, succ,
+                                                    actions,
+                                                    std::move(report));
+}
+
+StateSet compute_reachable_parallel(const StateSpace& space,
+                                    const PredicateFn& start,
+                                    const std::vector<std::size_t>& actions,
+                                    const FaultSpanOptions& span_opts,
+                                    const SweepOptions& opts) {
+  const unsigned threads = resolve_threads(opts);
+  if (threads <= 1 || space.size() <= opts.grain) {
+    return compute_reachable(space, start, actions, span_opts);
+  }
+  ThreadPool pool(threads);
+  const Program& p = space.program();
+  StateSet set(space);
+  const std::uint64_t cap =
+      span_opts.max_states == 0 ? space.size() : span_opts.max_states;
+
+  // Seed scan: evaluate `start` in parallel, insert in code order.
+  std::vector<std::vector<std::uint64_t>> seed_chunks(
+      chunk_count(space.size(), opts.grain));
+  std::vector<State> scratch(pool.size(), State(p.num_variables()));
+  parallel_for_chunked(
+      pool, 0, space.size(), opts.grain,
+      [&](std::size_t chunk, std::uint64_t lo, std::uint64_t hi,
+          unsigned worker) {
+        State& s = scratch[worker];
+        for (std::uint64_t code = lo; code < hi; ++code) {
+          space.decode_into(code, s);
+          if (start(s)) seed_chunks[chunk].push_back(code);
+        }
+      });
+  std::vector<std::uint64_t> frontier;
+  for (const auto& chunk : seed_chunks) {
+    for (std::uint64_t code : chunk) {
+      set.insert_code(code);
+      frontier.push_back(code);
+    }
+  }
+
+  // Level-synchronous BFS. Each level's nodes expand in parallel; the
+  // per-node successor lists (which depend only on the node) merge in the
+  // serial pop order, reproducing its insertion sequence and cap handling.
+  struct NodeSuccs {
+    std::vector<std::uint32_t> degree;  // per node in the chunk
+    std::vector<std::uint64_t> data;    // concatenated, in expansion order
+  };
+  while (!frontier.empty() && set.size() < cap) {
+    const std::uint64_t level_grain = std::max<std::uint64_t>(
+        1, frontier.size() / (std::uint64_t{pool.size()} * 8));
+    std::vector<NodeSuccs> level(chunk_count(frontier.size(), level_grain));
+    parallel_for_chunked(
+        pool, 0, frontier.size(), level_grain,
+        [&](std::size_t chunk, std::uint64_t lo, std::uint64_t hi,
+            unsigned worker) {
+          NodeSuccs& out = level[chunk];
+          std::vector<std::uint64_t> succs;
+          for (std::uint64_t i = lo; i < hi; ++i) {
+            detail::expand_reachable(space, actions, span_opts, frontier[i],
+                                     scratch[worker], succs);
+            out.degree.push_back(static_cast<std::uint32_t>(succs.size()));
+            out.data.insert(out.data.end(), succs.begin(), succs.end());
+          }
+        });
+
+    std::vector<std::uint64_t> next;
+    bool capped = false;
+    for (const NodeSuccs& chunk : level) {
+      std::size_t offset = 0;
+      for (std::uint32_t deg : chunk.degree) {
+        if (set.size() >= cap) {  // the serial loop stops popping here
+          capped = true;
+          break;
+        }
+        for (std::uint32_t k = 0; k < deg; ++k) {
+          const std::uint64_t succ = chunk.data[offset + k];
+          if (!set.contains_code(succ)) {
+            set.insert_code(succ);
+            next.push_back(succ);
+          }
+        }
+        offset += deg;
+      }
+      if (capped) break;
+    }
+    if (capped) break;
+    frontier = std::move(next);
+  }
+  return set;
+}
+
+StateSet compute_fault_span_parallel(
+    const StateSpace& space, const PredicateFn& S,
+    const std::vector<std::size_t>& fault_actions,
+    const FaultSpanOptions& span_opts, const SweepOptions& opts) {
+  std::vector<std::size_t> actions = non_fault_actions(space.program());
+  actions.insert(actions.end(), fault_actions.begin(), fault_actions.end());
+  return compute_reachable_parallel(space, S, actions, span_opts, opts);
+}
+
+}  // namespace nonmask

@@ -1,0 +1,84 @@
+// Sharded state-space sweeps: multi-threaded versions of the checker's
+// exhaustive passes (closure, convergence, fault-span reachability).
+//
+// Sharding scheme. A StateSpace is a mixed-radix code range
+// [0, space.size()), so it shards into chunks of `grain` consecutive codes
+// with no coordination: every worker gets its own decoded-state scratch
+// buffer and chunk results are reduced in chunk order.
+//
+// Determinism guarantee: every function here returns a report that is
+// bit-identical to its serial counterpart in src/checker/, at any thread
+// count, because
+//   - closure slices reuse detail::scan_closure_range, and the serial scan
+//     is the in-order concatenation of slices (the reduction replays the
+//     serial early-exit at the first violating chunk);
+//   - convergence parallelizes only the S/T flag evaluation and successor
+//     (transition) construction — the hot ~90% — into a precomputed
+//     adjacency, then runs the *same* serial DFS / SCC core over it;
+//   - reachability expands each BFS level in parallel but merges per-node
+//     successor lists in the serial pop order (expansion depends only on
+//     the node, so the insertion sequence — and any max_states truncation —
+//     is reproduced exactly).
+// With resolved threads == 1 the serial checker is called directly.
+//
+// Concurrency contract: the predicates (S, T, start) are evaluated from
+// several threads at once and must be thread-safe; every PredicateFn built
+// by the core DSL and the shipped protocols is a pure function of the
+// state and qualifies.
+#pragma once
+
+#include "checker/closure_check.hpp"
+#include "checker/convergence_check.hpp"
+#include "checker/fault_span.hpp"
+#include "checker/state_space.hpp"
+
+namespace nonmask {
+
+struct SweepOptions {
+  /// Worker threads; 0 = NONMASK_THREADS env override, else hardware
+  /// concurrency. 1 = run the serial checker directly.
+  unsigned threads = 0;
+  /// Codes per chunk. Results never depend on the grain; it only trades
+  /// scheduling overhead against load balance.
+  std::uint64_t grain = 1 << 14;
+};
+
+/// Parallel check_closed over the given action indices.
+ClosureReport check_closed_parallel(const StateSpace& space,
+                                    const PredicateFn& predicate,
+                                    const std::vector<std::size_t>& actions,
+                                    const SweepOptions& opts = {});
+
+/// Parallel check_closed over all non-fault actions.
+ClosureReport check_closed_parallel(const StateSpace& space,
+                                    const PredicateFn& predicate,
+                                    const SweepOptions& opts = {});
+
+/// Parallel check_convergence (exact, unfair daemon). Flag evaluation and
+/// transition construction are sharded; the cycle/deadlock DFS runs
+/// serially over the precomputed adjacency.
+ConvergenceReport check_convergence_parallel(const StateSpace& space,
+                                             const PredicateFn& S,
+                                             const PredicateFn& T,
+                                             const SweepOptions& opts = {});
+
+/// Parallel check_convergence_weakly_fair: sharded flags + transitions,
+/// serial Tarjan SCC and fair-escape analysis.
+ConvergenceReport check_convergence_weakly_fair_parallel(
+    const StateSpace& space, const PredicateFn& S, const PredicateFn& T,
+    const SweepOptions& opts = {});
+
+/// Parallel compute_reachable (level-synchronous BFS, deterministic merge).
+StateSet compute_reachable_parallel(const StateSpace& space,
+                                    const PredicateFn& start,
+                                    const std::vector<std::size_t>& actions,
+                                    const FaultSpanOptions& span_opts = {},
+                                    const SweepOptions& opts = {});
+
+/// Parallel compute_fault_span: reach(S) under program + fault actions.
+StateSet compute_fault_span_parallel(
+    const StateSpace& space, const PredicateFn& S,
+    const std::vector<std::size_t>& fault_actions,
+    const FaultSpanOptions& span_opts = {}, const SweepOptions& opts = {});
+
+}  // namespace nonmask

@@ -1,12 +1,15 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace nonmask {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
-std::ostream* g_sink = nullptr;
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+std::atomic<std::ostream*> g_sink{nullptr};
+std::mutex g_write_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,16 +24,25 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void Log::set_level(LogLevel level) noexcept { g_level = level; }
-LogLevel Log::level() noexcept { return g_level; }
-void Log::set_sink(std::ostream* sink) noexcept { g_sink = sink; }
+void Log::set_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel Log::level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+void Log::set_sink(std::ostream* sink) noexcept {
+  g_sink.store(sink, std::memory_order_release);
+}
 bool Log::enabled(LogLevel level) noexcept {
-  return static_cast<int>(level) >= static_cast<int>(g_level) &&
-         g_level != LogLevel::kOff;
+  const LogLevel current = g_level.load(std::memory_order_relaxed);
+  return static_cast<int>(level) >= static_cast<int>(current) &&
+         current != LogLevel::kOff;
 }
 
 void Log::write(LogLevel level, std::string_view msg) {
-  std::ostream& out = g_sink != nullptr ? *g_sink : std::clog;
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::ostream* sink = g_sink.load(std::memory_order_acquire);
+  std::ostream& out = sink != nullptr ? *sink : std::clog;
   out << "[" << level_name(level) << "] " << msg << '\n';
 }
 

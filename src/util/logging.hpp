@@ -1,6 +1,9 @@
 // Minimal leveled logger. Off by default; enabled per-binary for the
-// examples' live traces. Not thread-aware by design: the simulation engine
-// is single-threaded (the paper's interleaving semantics).
+// examples' live traces. Thread-safe: level and sink are atomics and sink
+// writes are serialized under a mutex, so concurrent NONMASK_LOG lines from
+// the parallel sweep and campaign workers (src/parallel/) never interleave
+// mid-line. Reconfiguring level/sink while workers log is safe but takes
+// effect per-line.
 #pragma once
 
 #include <iosfwd>

@@ -3,6 +3,8 @@
 // violation timelines, and simultaneous-firing semantics.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/builder.hpp"
 #include "engine/metrics.hpp"
 #include "engine/simulator.hpp"
@@ -241,7 +243,13 @@ TEST(MetricsTest, SummaryStatistics) {
   EXPECT_DOUBLE_EQ(stats.min, 1.0);
   EXPECT_DOUBLE_EQ(stats.max, 5.0);
   EXPECT_DOUBLE_EQ(stats.p50, 3.0);
-  EXPECT_EQ(summarize({}).count, 0u);
+  EXPECT_DOUBLE_EQ(stats.sum, 15.0);
+  // Population stddev of {1..5}: sqrt(((-2)^2+1+0+1+4)/5) = sqrt(2).
+  EXPECT_DOUBLE_EQ(stats.stddev, std::sqrt(2.0));
+  const auto empty = summarize({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.sum, 0.0);
+  EXPECT_DOUBLE_EQ(empty.stddev, 0.0);
 }
 
 }  // namespace

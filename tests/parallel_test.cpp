@@ -1,0 +1,419 @@
+// Tests for the parallel verification & campaign subsystem: the thread
+// pool primitive, parallel-vs-serial bit-equivalence of every sweep, the
+// campaign runner, and logging thread-safety.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checker/closure_check.hpp"
+#include "checker/convergence_check.hpp"
+#include "checker/fault_span.hpp"
+#include "checker/state_space.hpp"
+#include "engine/experiment.hpp"
+#include "parallel/campaign.hpp"
+#include "parallel/sweep.hpp"
+#include "parallel/thread_pool.hpp"
+#include "protocols/coloring.hpp"
+#include "protocols/diffusing.hpp"
+#include "protocols/running_example.hpp"
+#include "protocols/token_ring.hpp"
+#include "protocols/token_ring_small.hpp"
+#include "util/logging.hpp"
+
+namespace nonmask {
+namespace {
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_chunked(pool, 0, 1000, 7,
+                       [&](std::size_t, std::uint64_t lo, std::uint64_t hi,
+                           unsigned) {
+                         for (std::uint64_t i = lo; i < hi; ++i) ++hits[i];
+                       });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ChunkNumberingMatchesRangeOrder) {
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> lo_of_chunk(10, ~std::uint64_t{0});
+  parallel_for_chunked(pool, 0, 100, 10,
+                       [&](std::size_t chunk, std::uint64_t lo, std::uint64_t,
+                           unsigned) { lo_of_chunk[chunk] = lo; });
+  for (std::size_t c = 0; c < lo_of_chunk.size(); ++c) {
+    EXPECT_EQ(lo_of_chunk[c], c * 10);
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeAndOversizedGrain) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for_chunked(pool, 5, 5, 10,
+                       [&](std::size_t, std::uint64_t, std::uint64_t,
+                           unsigned) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for_chunked(pool, 0, 3, 100,
+                       [&](std::size_t chunk, std::uint64_t lo,
+                           std::uint64_t hi, unsigned) {
+                         ++calls;
+                         EXPECT_EQ(chunk, 0u);
+                         EXPECT_EQ(lo, 0u);
+                         EXPECT_EQ(hi, 3u);
+                       });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, PropagatesTaskException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for_chunked(pool, 0, 100, 1,
+                           [&](std::size_t chunk, std::uint64_t,
+                               std::uint64_t, unsigned) {
+                             if (chunk == 42) throw std::runtime_error("boom");
+                           }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, WorkerIndicesStayInRange) {
+  ThreadPool pool(3);
+  std::atomic<bool> ok{true};
+  parallel_for_chunked(pool, 0, 200, 1,
+                       [&](std::size_t, std::uint64_t, std::uint64_t,
+                           unsigned worker) {
+                         if (worker >= pool.size()) ok = false;
+                       });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPoolTest, EnvOverrideControlsDefaultThreads) {
+  setenv("NONMASK_THREADS", "3", 1);
+  EXPECT_EQ(default_threads(), 3u);
+  unsetenv("NONMASK_THREADS");
+  EXPECT_GE(default_threads(), 1u);
+}
+
+// ----------------------------------------------------- sweep equivalence
+
+void expect_same_closure(const ClosureReport& a, const ClosureReport& b) {
+  EXPECT_EQ(a.closed, b.closed);
+  EXPECT_EQ(a.states_checked, b.states_checked);
+  EXPECT_EQ(a.transitions_checked, b.transitions_checked);
+  ASSERT_EQ(a.violation.has_value(), b.violation.has_value());
+  if (a.violation) {
+    EXPECT_EQ(a.violation->state, b.violation->state);
+    EXPECT_EQ(a.violation->action, b.violation->action);
+    EXPECT_EQ(a.violation->successor, b.violation->successor);
+  }
+}
+
+void expect_same_convergence(const ConvergenceReport& a,
+                             const ConvergenceReport& b) {
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_EQ(a.states_in_T, b.states_in_T);
+  EXPECT_EQ(a.states_in_S, b.states_in_S);
+  EXPECT_EQ(a.region_states, b.region_states);
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.max_steps_to_S, b.max_steps_to_S);
+  ASSERT_EQ(a.cycle.has_value(), b.cycle.has_value());
+  if (a.cycle) {
+    EXPECT_EQ(*a.cycle, *b.cycle);
+  }
+  ASSERT_EQ(a.deadlock.has_value(), b.deadlock.has_value());
+  if (a.deadlock) {
+    EXPECT_EQ(*a.deadlock, *b.deadlock);
+  }
+}
+
+SweepOptions sweep_opts(unsigned threads) {
+  SweepOptions opts;
+  opts.threads = threads;
+  opts.grain = 64;  // small grain so several chunks exist even on tiny spaces
+  return opts;
+}
+
+TEST(SweepTest, ClosureMatchesSerialAcrossThreadCounts) {
+  const auto dd = make_diffusing(RootedTree::balanced(7, 2), true);
+  StateSpace space(dd.design.program);
+  const auto serial = check_closed(space, dd.design.S());
+  for (unsigned threads : {1u, 2u, 8u}) {
+    expect_same_closure(
+        serial,
+        check_closed_parallel(space, dd.design.S(), sweep_opts(threads)));
+  }
+}
+
+TEST(SweepTest, ClosureViolationMatchesSerial) {
+  // x != y alone is not closed under the write-x-both variant (fix-leq sets
+  // x := z, which can land on y), so the first violating (state, action,
+  // successor) triple must match exactly.
+  const Design d = make_running_example(RunningExampleVariant::kWriteXBoth);
+  StateSpace space(d.program);
+  const VarId x = d.program.find_variable("x");
+  const VarId y = d.program.find_variable("y");
+  const PredicateFn only_first = [x, y](const State& s) {
+    return s.get(x) != s.get(y);
+  };
+  const auto serial = check_closed(space, only_first);
+  ASSERT_FALSE(serial.closed);
+  for (unsigned threads : {2u, 8u}) {
+    expect_same_closure(
+        serial, check_closed_parallel(space, only_first, sweep_opts(threads)));
+  }
+}
+
+TEST(SweepTest, ConvergenceMatchesSerialOnShippedProtocols) {
+  struct Case {
+    std::string name;
+    Design design;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"running-example",
+                   make_running_example(RunningExampleVariant::kWriteYZ)});
+  cases.push_back(
+      {"diffusing", make_diffusing(RootedTree::balanced(7, 2), true).design});
+  cases.push_back({"dijkstra-ring", make_dijkstra_ring(4, 5).design});
+  cases.push_back(
+      {"bounded-ring", make_token_ring_bounded(4, 3, true).design});
+  cases.push_back(
+      {"three-state-ring", make_dijkstra_three_state(4).design});
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    StateSpace space(c.design.program);
+    const auto serial =
+        check_convergence(space, c.design.S(), c.design.T());
+    for (unsigned threads : {1u, 2u, 8u}) {
+      expect_same_convergence(
+          serial, check_convergence_parallel(space, c.design.S(),
+                                             c.design.T(),
+                                             sweep_opts(threads)));
+    }
+  }
+}
+
+TEST(SweepTest, ConvergenceViolationMatchesSerial) {
+  // The kWriteXBoth variant livelocks: verdicts and the extracted
+  // counterexample must agree.
+  const Design d = make_running_example(RunningExampleVariant::kWriteXBoth);
+  StateSpace space(d.program);
+  const auto serial = check_convergence(space, d.S(), d.T());
+  ASSERT_EQ(serial.verdict, ConvergenceVerdict::kViolated);
+  for (unsigned threads : {2u, 8u}) {
+    expect_same_convergence(
+        serial,
+        check_convergence_parallel(space, d.S(), d.T(), sweep_opts(threads)));
+  }
+}
+
+TEST(SweepTest, WeaklyFairMatchesSerial) {
+  const auto tr = make_dijkstra_ring(4, 5);
+  StateSpace space(tr.design.program);
+  const auto serial =
+      check_convergence_weakly_fair(space, tr.design.S(), tr.design.T());
+  for (unsigned threads : {2u, 8u}) {
+    expect_same_convergence(
+        serial,
+        check_convergence_weakly_fair_parallel(
+            space, tr.design.S(), tr.design.T(), sweep_opts(threads)));
+  }
+}
+
+TEST(SweepTest, FaultSpanMatchesSerial) {
+  const auto dd = make_diffusing(RootedTree::chain(6), true);
+  StateSpace space(dd.design.program);
+  const auto serial = compute_fault_span(space, dd.design.S(), {});
+  for (unsigned threads : {2u, 8u}) {
+    const auto par = compute_fault_span_parallel(space, dd.design.S(), {},
+                                                 {}, sweep_opts(threads));
+    EXPECT_EQ(par.size(), serial.size());
+    for (std::uint64_t code = 0; code < space.size(); ++code) {
+      ASSERT_EQ(par.contains_code(code), serial.contains_code(code))
+          << "code " << code;
+    }
+  }
+}
+
+TEST(SweepTest, CappedReachabilityMatchesSerial) {
+  const auto dd = make_diffusing(RootedTree::chain(6), true);
+  StateSpace space(dd.design.program);
+  FaultSpanOptions span_opts;
+  span_opts.max_states = 37;  // force mid-BFS truncation
+  const auto actions = non_fault_actions(dd.design.program);
+  const auto serial =
+      compute_reachable(space, dd.design.S(), actions, span_opts);
+  for (unsigned threads : {2u, 8u}) {
+    const auto par = compute_reachable_parallel(
+        space, dd.design.S(), actions, span_opts, sweep_opts(threads));
+    EXPECT_EQ(par.size(), serial.size());
+    for (std::uint64_t code = 0; code < space.size(); ++code) {
+      ASSERT_EQ(par.contains_code(code), serial.contains_code(code))
+          << "code " << code;
+    }
+  }
+}
+
+TEST(SweepTest, StateSpaceTooLargeBoundary) {
+  const auto dd = make_diffusing(RootedTree::balanced(7, 2), true);
+  const auto count = dd.design.program.state_count();
+  ASSERT_TRUE(count.has_value());
+  // Exactly at budget: constructible and sweepable.
+  StateSpace exact(dd.design.program, *count);
+  EXPECT_TRUE(
+      check_closed_parallel(exact, dd.design.S(), sweep_opts(2)).closed);
+  // One below budget: the parallel paths see the same exception the serial
+  // ones do, at construction time.
+  try {
+    StateSpace too_small(dd.design.program, *count - 1);
+    FAIL() << "expected StateSpaceTooLarge";
+  } catch (const StateSpaceTooLarge& e) {
+    EXPECT_EQ(e.requested(), *count);
+    EXPECT_EQ(e.budget(), *count - 1);
+  }
+}
+
+// ------------------------------------------------------------- campaign
+
+void expect_same_stats(const SampleStats& a, const SampleStats& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.sum, b.sum);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+  EXPECT_DOUBLE_EQ(a.p50, b.p50);
+  EXPECT_DOUBLE_EQ(a.p95, b.p95);
+  EXPECT_DOUBLE_EQ(a.p99, b.p99);
+}
+
+void expect_same_results(const ConvergenceResults& a,
+                         const ConvergenceResults& b) {
+  EXPECT_DOUBLE_EQ(a.converged_fraction, b.converged_fraction);
+  expect_same_stats(a.steps, b.steps);
+  expect_same_stats(a.rounds, b.rounds);
+  expect_same_stats(a.moves, b.moves);
+}
+
+TEST(CampaignTest, MatchesRunExperimentAcrossProtocolsAndThreadCounts) {
+  struct Case {
+    std::string name;
+    Design design;
+  };
+  std::vector<Case> cases;
+  cases.push_back(
+      {"diffusing", make_diffusing(RootedTree::balanced(7, 2), true).design});
+  cases.push_back({"dijkstra-ring", make_dijkstra_ring(5, 6).design});
+  cases.push_back(
+      {"bounded-ring", make_token_ring_bounded(4, 3, true).design});
+  cases.push_back(
+      {"coloring", make_coloring(UndirectedGraph::cycle(6)).design});
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    ConvergenceExperiment config;
+    config.trials = 24;
+    config.seed = 5;
+    config.max_steps = 200'000;
+    const auto serial = run_experiment(c.design, config);
+    for (unsigned threads : {1u, 2u, 8u}) {
+      CampaignOptions opts;
+      opts.threads = threads;
+      const auto campaign = run_campaign(c.design, config, opts);
+      expect_same_results(serial, campaign.aggregate);
+    }
+  }
+}
+
+TEST(CampaignTest, SeedDerivationMatchesMasterStream) {
+  Rng master(9);
+  const auto seeds = derive_trial_seeds(9, 3);
+  ASSERT_EQ(seeds.size(), 3u);
+  for (const auto& s : seeds) {
+    EXPECT_EQ(s.daemon, master());
+    EXPECT_EQ(s.start, master());
+  }
+}
+
+TEST(CampaignTest, JsonlIsStreamedInTrialOrderAndThreadInvariant) {
+  const auto dd = make_diffusing(RootedTree::chain(5), true);
+  ConvergenceExperiment config;
+  config.trials = 16;
+  config.seed = 3;
+
+  auto render = [&](unsigned threads) {
+    std::ostringstream out;
+    CampaignOptions opts;
+    opts.threads = threads;
+    opts.jsonl = &out;
+    run_campaign(dd.design, config, opts);
+    return out.str();
+  };
+  const std::string serial = render(1);
+  // One line per trial, in trial order.
+  std::istringstream lines(serial);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_NE(line.find("\"trial\":" + std::to_string(n)),
+              std::string::npos);
+    EXPECT_NE(line.find("\"design\":\""), std::string::npos);
+    EXPECT_NE(line.find("\"steps\":"), std::string::npos);
+    ++n;
+  }
+  EXPECT_EQ(n, config.trials);
+  // Byte-identical at any thread count.
+  EXPECT_EQ(render(2), serial);
+  EXPECT_EQ(render(8), serial);
+}
+
+TEST(CampaignTest, RecordsCarrySeedsAndOutcomes) {
+  const auto dd = make_diffusing(RootedTree::chain(4), true);
+  ConvergenceExperiment config;
+  config.trials = 8;
+  config.seed = 21;
+  CampaignOptions opts;
+  opts.threads = 4;
+  const auto campaign = run_campaign(dd.design, config, opts);
+  ASSERT_EQ(campaign.trials.size(), 8u);
+  const auto seeds = derive_trial_seeds(config.seed, config.trials);
+  for (std::size_t i = 0; i < campaign.trials.size(); ++i) {
+    EXPECT_EQ(campaign.trials[i].trial, i);
+    EXPECT_EQ(campaign.trials[i].seeds.daemon, seeds[i].daemon);
+    EXPECT_EQ(campaign.trials[i].seeds.start, seeds[i].start);
+    EXPECT_TRUE(campaign.trials[i].outcome.converged);
+  }
+}
+
+// ------------------------------------------------------ logging safety
+
+TEST(ParallelLoggingTest, ConcurrentWritersNeverInterleaveMidLine) {
+  std::ostringstream sink;
+  Log::set_sink(&sink);
+  Log::set_level(LogLevel::kInfo);
+  {
+    ThreadPool pool(8);
+    parallel_for_chunked(pool, 0, 400, 1,
+                         [](std::size_t chunk, std::uint64_t, std::uint64_t,
+                            unsigned) {
+                           NONMASK_INFO() << "line-" << chunk << "-end";
+                         });
+  }
+  Log::set_level(LogLevel::kOff);
+  Log::set_sink(nullptr);
+
+  std::istringstream lines(sink.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.find("[INFO ] line-"), 0u) << line;
+    EXPECT_EQ(line.rfind("-end"), line.size() - 4) << line;
+    ++n;
+  }
+  EXPECT_EQ(n, 400u);
+}
+
+}  // namespace
+}  // namespace nonmask
