@@ -7,6 +7,8 @@
 //   A4: per-step price of the engine's optional contract checking.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include <memory>
 
 #include "engine/simulator.hpp"
@@ -100,4 +102,4 @@ BENCHMARK(BM_DistributedFiringProbability)
 BENCHMARK(BM_WeakFairnessPatience)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 BENCHMARK(BM_ContractCheckingOverhead)->Arg(0)->Arg(1);
 
-BENCHMARK_MAIN();
+NONMASK_BENCHMARK_MAIN("bench_ablation");

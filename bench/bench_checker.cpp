@@ -3,6 +3,8 @@
 // space grows. (Infrastructure scaling, not a paper claim.)
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "checker/closure_check.hpp"
 #include "checker/convergence_check.hpp"
 #include "checker/state_space.hpp"
@@ -143,4 +145,4 @@ BENCHMARK(BM_SynchronousCheck)->Arg(5)->Arg(7)->Arg(9)
 BENCHMARK(BM_Falsify)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EncodeDecode);
 
-BENCHMARK_MAIN();
+NONMASK_BENCHMARK_MAIN("bench_checker");

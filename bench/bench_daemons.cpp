@@ -6,6 +6,8 @@
 // the Dijkstra ring, measuring steps to converge from random corruption.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include <memory>
 
 #include "engine/simulator.hpp"
@@ -89,4 +91,4 @@ void BM_DijkstraUnderDaemon(benchmark::State& state) {
 BENCHMARK(BM_DiffusingUnderDaemon)->DenseRange(0, 6, 1);
 BENCHMARK(BM_DijkstraUnderDaemon)->DenseRange(0, 6, 1);
 
-BENCHMARK_MAIN();
+NONMASK_BENCHMARK_MAIN("bench_daemons");

@@ -7,6 +7,8 @@
 //   * the fault-free wave period in S (one full red+green sweep), vs N.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "engine/simulator.hpp"
 #include "protocols/diffusing.hpp"
 #include "sched/daemons.hpp"
@@ -108,4 +110,4 @@ BENCHMARK(BM_Converge)
 BENCHMARK(BM_WavePeriod)
     ->ArgsProduct({{kChain, kStar, kBinary}, {15, 63, 255}});
 
-BENCHMARK_MAIN();
+NONMASK_BENCHMARK_MAIN("bench_diffusing");

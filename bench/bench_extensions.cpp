@@ -3,6 +3,8 @@
 // vs problem size, under the random central daemon.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "engine/simulator.hpp"
 #include "protocols/aggregation.hpp"
 #include "protocols/coloring.hpp"
@@ -98,4 +100,4 @@ BENCHMARK(BM_DistributedReset)->Arg(15)->Arg(63)->Arg(255);
 BENCHMARK(BM_IndependentSet)->Arg(16)->Arg(64)->Arg(256);
 BENCHMARK(BM_Aggregation)->Arg(15)->Arg(63)->Arg(255);
 
-BENCHMARK_MAIN();
+NONMASK_BENCHMARK_MAIN("bench_extensions");

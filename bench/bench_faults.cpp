@@ -7,6 +7,8 @@
 //     race for low rates, loses for high ones (converged% drops).
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include <memory>
 
 #include "engine/simulator.hpp"
@@ -118,4 +120,4 @@ BENCHMARK(BM_DiffusingRepairVsProcesses)->Arg(1)->Arg(2)->Arg(4)->Arg(16);
 BENCHMARK(BM_DiffusingUnderSustainedFaults)
     ->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
 
-BENCHMARK_MAIN();
+NONMASK_BENCHMARK_MAIN("bench_faults");

@@ -7,6 +7,8 @@
 //   * corruption vs loss: which fault class hurts more.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "engine/simulator.hpp"
 #include "msg/mp_diffusing.hpp"
 #include "msg/mp_token_ring.hpp"
@@ -101,4 +103,4 @@ BENCHMARK(BM_LossRace)->Arg(0)->Arg(10)->Arg(50)->Arg(200)->Arg(500);
 BENCHMARK(BM_CorruptionRace)->Arg(0)->Arg(10)->Arg(50)->Arg(200)->Arg(500);
 BENCHMARK(BM_MpDiffusingConverge)->Arg(15)->Arg(63)->Arg(255);
 
-BENCHMARK_MAIN();
+NONMASK_BENCHMARK_MAIN("bench_msg_ring");

@@ -4,6 +4,8 @@
 // so `--benchmark_filter=Sweep` prints a direct scaling table.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "checker/state_space.hpp"
 #include "engine/experiment.hpp"
 #include "parallel/campaign.hpp"
@@ -134,4 +136,4 @@ BENCHMARK(BM_CampaignTokenRing)->Arg(1)->Arg(2)->Arg(4)
 BENCHMARK(BM_CampaignDiffusing)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+NONMASK_BENCHMARK_MAIN("bench_parallel");

@@ -1,0 +1,30 @@
+// Shared main() for the bench binaries: the standard google-benchmark
+// driver plus a machine-readable run-report sidecar. When the environment
+// variable NONMASK_REPORT_OUT names a path, the process writes a RunReport
+// JSON there on exit (tool name, timestamp, wall time, and the metrics
+// snapshot — populated when NONMASK_METRICS=1 enables collection), so a
+// benchmark trajectory can carry a self-describing telemetry document next
+// to google-benchmark's own --benchmark_out file.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+#define NONMASK_BENCHMARK_MAIN(tool)                                       \
+  int main(int argc, char** argv) {                                        \
+    if (const char* env = std::getenv("NONMASK_METRICS");                  \
+        env != nullptr && env[0] == '1') {                                 \
+      ::nonmask::obs::Metrics::set_enabled(true);                          \
+    }                                                                      \
+    ::benchmark::Initialize(&argc, argv);                                  \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;    \
+    ::benchmark::RunSpecifiedBenchmarks();                                 \
+    ::benchmark::Shutdown();                                               \
+    ::nonmask::obs::write_env_report(tool);                                \
+    return 0;                                                              \
+  }                                                                       \
+  static_assert(true, "require a trailing semicolon")

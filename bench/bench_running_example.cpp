@@ -7,6 +7,8 @@
 // Also times the exact checker on each variant.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "checker/convergence_check.hpp"
 #include "checker/state_space.hpp"
 #include "engine/simulator.hpp"
@@ -67,4 +69,4 @@ BENCHMARK(BM_WriteXBoth)->Arg(7)->Arg(63);
 BENCHMARK(BM_DecreaseX)->Arg(7)->Arg(63);
 BENCHMARK(BM_ExactCheck)->DenseRange(0, 2, 1);
 
-BENCHMARK_MAIN();
+NONMASK_BENCHMARK_MAIN("bench_running_example");

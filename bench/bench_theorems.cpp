@@ -8,6 +8,8 @@
 //   * constraint-graph inference time vs action count.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "cgraph/theorems.hpp"
 #include "checker/state_space.hpp"
 #include "protocols/coloring.hpp"
@@ -99,4 +101,4 @@ BENCHMARK(BM_Theorem3TokenRing)->Arg(3)->Arg(4)
 BENCHMARK(BM_Theorem3Coloring)->Arg(8)->Arg(16);
 BENCHMARK(BM_GraphInference)->Arg(15)->Arg(127)->Arg(1023);
 
-BENCHMARK_MAIN();
+NONMASK_BENCHMARK_MAIN("bench_theorems");

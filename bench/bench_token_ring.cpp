@@ -8,6 +8,8 @@
 //   * the paper's bounded design: worst-case steps-to-S via the checker.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "checker/convergence_check.hpp"
 #include "checker/state_space.hpp"
 #include "engine/simulator.hpp"
@@ -158,4 +160,4 @@ BENCHMARK(BM_BoundedWorstCase)
     ->ArgsProduct({{3, 4}, {3, 5}})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+NONMASK_BENCHMARK_MAIN("bench_token_ring");

@@ -10,12 +10,24 @@
 //   threads  0 = NONMASK_THREADS env / hardware  (default: 0)
 //   seed     master seed                         (default: 1)
 //   jsonl    output path for per-trial records   (default: none)
+//
+// Observability flags (may be mixed with the positional arguments):
+//   --trace-out=PATH    Chrome trace-event JSON of the run (per-trial spans)
+//   --metrics-out=PATH  metrics-registry snapshot JSON
+//   --report-out=PATH   self-describing run-report JSON
+//   --progress          rate-limited progress lines on stderr
+//   --threads=N         same as the positional threads argument
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "parallel/campaign.hpp"
 #include "parallel/thread_pool.hpp"
 #include "protocols/coloring.hpp"
@@ -58,23 +70,72 @@ void print_stats(const char* label, const SampleStats& s) {
             << s.max << "  sum " << s.sum << "\n";
 }
 
+bool flag_value(const std::string& arg, const char* name, std::string* out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string name = argc > 1 ? argv[1] : "diffusing";
+  // Split --flags from the positional arguments so existing invocations
+  // (tests, EXPERIMENTS.md recipes) keep working unchanged.
+  std::vector<std::string> pos;
+  std::string trace_out, metrics_out, report_out, flag_threads;
+  bool progress = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: parallel_campaign [design] [trials] [threads] "
+                   "[seed] [jsonl-path]\n"
+                   "       [--threads=N] [--trace-out=PATH] "
+                   "[--metrics-out=PATH] [--report-out=PATH] [--progress]\n";
+      return 0;
+    } else if (arg == "--progress") {
+      progress = true;
+    } else if (flag_value(arg, "--threads", &value)) {
+      flag_threads = value;
+    } else if (flag_value(arg, "--trace-out", &value)) {
+      trace_out = value;
+    } else if (flag_value(arg, "--metrics-out", &value)) {
+      metrics_out = value;
+    } else if (flag_value(arg, "--report-out", &value)) {
+      report_out = value;
+    } else {
+      pos.push_back(arg);
+    }
+  }
+
+  const std::string name = pos.size() > 0 ? pos[0] : "diffusing";
   ConvergenceExperiment config;
   config.trials =
-      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 200;
+      pos.size() > 1 ? static_cast<std::size_t>(std::atoll(pos[1].c_str()))
+                     : 200;
   CampaignOptions opts;
-  opts.threads = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 0;
-  config.seed = argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 1;
+  opts.threads =
+      pos.size() > 2 ? static_cast<unsigned>(std::atoi(pos[2].c_str())) : 0;
+  if (!flag_threads.empty()) {
+    opts.threads = static_cast<unsigned>(std::atoi(flag_threads.c_str()));
+  }
+  config.seed = pos.size() > 3
+                    ? static_cast<std::uint64_t>(std::atoll(pos[3].c_str()))
+                    : 1;
   config.max_steps = 2'000'000;
 
+  if (!trace_out.empty()) obs::Trace::set_enabled(true);
+  if (!metrics_out.empty() || !report_out.empty()) {
+    obs::Metrics::set_enabled(true);
+  }
+  if (progress) obs::Progress::enable(&std::cerr);
+
   std::ofstream jsonl_file;
-  if (argc > 5) {
-    jsonl_file.open(argv[5]);
+  if (pos.size() > 4) {
+    jsonl_file.open(pos[4]);
     if (!jsonl_file) {
-      std::cerr << "cannot open " << argv[5] << " for writing\n";
+      std::cerr << "cannot open " << pos[4] << " for writing\n";
       return 2;
     }
     opts.jsonl = &jsonl_file;
@@ -97,7 +158,39 @@ int main(int argc, char** argv) {
   print_stats("rounds", results.aggregate.rounds);
   print_stats("moves", results.aggregate.moves);
   if (opts.jsonl != nullptr) {
-    std::cout << config.trials << " records written to " << argv[5] << "\n";
+    std::cout << config.trials << " records written to " << pos[4] << "\n";
   }
+
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::cerr << "cannot open " << trace_out << " for writing\n";
+      return 2;
+    }
+    obs::Trace::write_chrome_trace(out);
+    std::cout << obs::Trace::event_count() << " trace events written to "
+              << trace_out << "\n";
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::cerr << "cannot open " << metrics_out << " for writing\n";
+      return 2;
+    }
+    out << obs::metrics_to_json() << "\n";
+  }
+  if (!report_out.empty()) {
+    std::ofstream out(report_out);
+    if (!out) {
+      std::cerr << "cannot open " << report_out << " for writing\n";
+      return 2;
+    }
+    obs::RunReport report("parallel_campaign", design.name);
+    report.add_number("trials", std::uint64_t{config.trials});
+    report.add_number("seed", config.seed);
+    report.add("campaign", obs::to_json(results.aggregate));
+    report.write(out);
+  }
+  if (progress) obs::Progress::disable();
   return 0;
 }

@@ -34,3 +34,25 @@ for b in build/bench/bench_*; do
   echo "== ${b} =="
   "${b}" --benchmark_min_time=0.01
 done
+
+# Observability smoke: the trace/metrics/report JSON must stay parseable.
+echo "== trace_report smoke =="
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "${obs_dir}"' EXIT
+NONMASK_THREADS=4 ./build/examples/trace_report \
+  --design=dijkstra --grain=1024 \
+  --trace-out="${obs_dir}/trace.json" \
+  --metrics-out="${obs_dir}/metrics.json" \
+  --report-out="${obs_dir}/report.json"
+if command -v python3 >/dev/null; then
+  python3 - "${obs_dir}" <<'EOF'
+import json, sys
+d = sys.argv[1]
+events = json.load(open(f"{d}/trace.json"))["traceEvents"]
+tids = {e["tid"] for e in events if e["name"].startswith("sweep.")}
+assert len(tids) >= 2, f"expected >= 2 sweep workers, got {tids}"
+json.load(open(f"{d}/metrics.json"))
+json.load(open(f"{d}/report.json"))
+print(f"ok: {len(events)} trace events, {len(tids)} sweep workers")
+EOF
+fi

@@ -1,5 +1,11 @@
 #include "checker/closure_check.hpp"
 
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/span.hpp"
+
 namespace nonmask {
 
 namespace detail {
@@ -31,14 +37,45 @@ ClosureReport scan_closure_range(const StateSpace& space,
   return report;
 }
 
+void record_closure_metrics(const ClosureReport& report) {
+  if (!obs::Metrics::enabled()) return;
+  auto& registry = obs::Registry::instance();
+  registry.counter("checker.closure.checks").add(1);
+  registry.counter("checker.closure.states").add(report.states_checked);
+  registry.counter("checker.closure.transitions")
+      .add(report.transitions_checked);
+}
+
 }  // namespace detail
 
 ClosureReport check_closed(const StateSpace& space,
                            const PredicateFn& predicate,
                            const std::vector<std::size_t>& actions) {
+  obs::Span span("checker.closure");
+  obs::ProgressMeter meter("closure", space.size());
   State scratch(space.program().num_variables());
-  return detail::scan_closure_range(space, predicate, actions, 0,
-                                    space.size(), scratch);
+
+  // The serial scan is the in-order concatenation of slices (the same
+  // property the parallel sweep's reduction relies on), so slicing here for
+  // progress ticks changes nothing observable.
+  constexpr std::uint64_t kSlice = 1 << 18;
+  ClosureReport report;
+  report.closed = true;
+  for (std::uint64_t lo = 0; lo < space.size() && report.closed;
+       lo += kSlice) {
+    const std::uint64_t hi = std::min(space.size(), lo + kSlice);
+    ClosureReport slice = detail::scan_closure_range(space, predicate,
+                                                     actions, lo, hi, scratch);
+    report.states_checked += slice.states_checked;
+    report.transitions_checked += slice.transitions_checked;
+    if (!slice.closed) {
+      report.closed = false;
+      report.violation = std::move(slice.violation);
+    }
+    meter.add(hi - lo);
+  }
+  detail::record_closure_metrics(report);
+  return report;
 }
 
 ClosureReport check_closed(const StateSpace& space,

@@ -47,6 +47,10 @@ ClosureReport scan_closure_range(const StateSpace& space,
                                  std::uint64_t begin, std::uint64_t end,
                                  State& scratch);
 
+/// Bump the checker.closure.* counters from a finished report (shared by
+/// the serial check and the parallel sweep's reduction).
+void record_closure_metrics(const ClosureReport& report);
+
 }  // namespace detail
 
 }  // namespace nonmask

@@ -5,6 +5,9 @@
 
 #include "checker/closure_check.hpp"
 #include "core/candidate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/span.hpp"
 
 namespace nonmask {
 
@@ -43,22 +46,38 @@ std::vector<std::uint8_t> evaluate_flags(const StateSpace& space,
                                          const PredicateFn& S,
                                          const PredicateFn& T,
                                          ConvergenceReport& report) {
+  obs::Span span("checker.flags");
+  obs::ProgressMeter meter("flags", space.size());
   const Program& p = space.program();
   std::vector<std::uint8_t> flags(space.size(), 0);
   State s(p.num_variables());
-  for (std::uint64_t code = 0; code < space.size(); ++code) {
-    space.decode_into(code, s);
-    std::uint8_t f = 0;
-    const bool in_T = T(s);
-    if (in_T) f |= kFlagT;
-    if (S(s)) {
-      f |= kFlagS;
-      if (in_T) ++report.states_in_S;
+  constexpr std::uint64_t kSlice = 1 << 18;
+  for (std::uint64_t lo = 0; lo < space.size(); lo += kSlice) {
+    const std::uint64_t hi = std::min(space.size(), lo + kSlice);
+    for (std::uint64_t code = lo; code < hi; ++code) {
+      space.decode_into(code, s);
+      std::uint8_t f = 0;
+      const bool in_T = T(s);
+      if (in_T) f |= kFlagT;
+      if (S(s)) {
+        f |= kFlagS;
+        if (in_T) ++report.states_in_S;
+      }
+      if (in_T) ++report.states_in_T;
+      flags[code] = f;
     }
-    if (in_T) ++report.states_in_T;
-    flags[code] = f;
+    meter.add(hi - lo);
   }
   return flags;
+}
+
+void record_convergence_metrics(const ConvergenceReport& report) {
+  if (!obs::Metrics::enabled()) return;
+  auto& registry = obs::Registry::instance();
+  registry.counter("checker.convergence.checks").add(1);
+  registry.counter("checker.convergence.region_states")
+      .add(report.region_states);
+  registry.counter("checker.convergence.transitions").add(report.transitions);
 }
 
 namespace {
@@ -75,6 +94,8 @@ ConvergenceReport check_convergence_core(const StateSpace& space,
                                          const std::vector<std::uint8_t>& flags,
                                          SuccessorSource& succ,
                                          ConvergenceReport report) {
+  obs::Span dfs_span("checker.dfs");
+  obs::ProgressMeter meter("convergence-dfs");
   // Colors over the ¬S region: 0 = unvisited, 1 = on DFS stack, 2 = done.
   std::vector<std::uint8_t> color(space.size(), 0);
   std::vector<std::uint32_t> dist(space.size(), 0);
@@ -98,6 +119,7 @@ ConvergenceReport check_convergence_core(const StateSpace& space,
       succ.successors(code, frame.succs);
       report.transitions += frame.succs.size();
       ++report.region_states;
+      meter.add(1);
       if (frame.succs.empty()) {  // no action enabled
         report.verdict = ConvergenceVerdict::kViolated;
         report.deadlock = space.decode(code);
@@ -110,7 +132,10 @@ ConvergenceReport check_convergence_core(const StateSpace& space,
       return true;
     };
 
-    if (!push_node(start)) return report;
+    if (!push_node(start)) {
+      record_convergence_metrics(report);
+      return report;
+    }
 
     while (!frames.empty()) {
       DfsFrame& frame = frames.back();
@@ -121,7 +146,10 @@ ConvergenceReport check_convergence_core(const StateSpace& space,
           continue;
         }
         if (color[next] == 0) {
-          if (!push_node(next)) return report;
+          if (!push_node(next)) {
+            record_convergence_metrics(report);
+            return report;
+          }
         } else if (color[next] == 1) {
           // Cycle: extract path[stack_pos[next] ..] as the counterexample.
           std::vector<State> cycle;
@@ -131,6 +159,7 @@ ConvergenceReport check_convergence_core(const StateSpace& space,
           }
           report.verdict = ConvergenceVerdict::kViolated;
           report.cycle = std::move(cycle);
+          record_convergence_metrics(report);
           return report;
         } else {
           dist[frame.code] =
@@ -154,6 +183,7 @@ ConvergenceReport check_convergence_core(const StateSpace& space,
   }
 
   report.verdict = ConvergenceVerdict::kConverges;
+  record_convergence_metrics(report);
   return report;
 }
 
@@ -161,6 +191,8 @@ ConvergenceReport check_convergence_weakly_fair_core(
     const StateSpace& space, const std::vector<std::uint8_t>& flags,
     SuccessorSource& succ, const std::vector<std::size_t>& actions,
     ConvergenceReport report) {
+  obs::Span scc_span("checker.scc");
+  obs::ProgressMeter meter("convergence-scc");
   const Program& p = space.program();
 
   // Iterative Tarjan over the implicit ¬S region reachable from T ∧ ¬S.
@@ -192,6 +224,7 @@ ConvergenceReport check_convergence_weakly_fair_core(
       succ.successors(code, frame.succs);
       report.transitions += frame.succs.size();
       ++report.region_states;
+      meter.add(1);
       if (frame.succs.empty()) {  // no action enabled
         report.verdict = ConvergenceVerdict::kViolated;
         report.deadlock = space.decode(code);
@@ -206,7 +239,10 @@ ConvergenceReport check_convergence_weakly_fair_core(
       return true;
     };
 
-    if (!push_node(start)) return report;
+    if (!push_node(start)) {
+      record_convergence_metrics(report);
+      return report;
+    }
 
     while (!frames.empty()) {
       DfsFrame& frame = frames.back();
@@ -214,7 +250,10 @@ ConvergenceReport check_convergence_weakly_fair_core(
         const std::uint64_t next = frame.succs[frame.next++];
         if (!in_region(next)) continue;  // exits to S
         if (index[next] == kUnvisited) {
-          if (!push_node(next)) return report;
+          if (!push_node(next)) {
+            record_convergence_metrics(report);
+            return report;
+          }
         } else if (on_stack[next] != 0) {
           lowlink[frame.code] = std::min(lowlink[frame.code], index[next]);
         }
@@ -242,6 +281,12 @@ ConvergenceReport check_convergence_weakly_fair_core(
   }
 
   // Analyze each SCC of the region.
+  meter.aux("sccs", members.size());
+  if (obs::Metrics::enabled()) {
+    obs::Registry::instance()
+        .counter("checker.scc.components")
+        .add(members.size());
+  }
   bool all_escape = true;
   for (const auto& scc : members) {
     // Does the SCC contain an internal transition (size > 1, or self-loop)?
@@ -305,6 +350,7 @@ ConvergenceReport check_convergence_weakly_fair_core(
         for (std::uint64_t code : scc) cycle.push_back(space.decode(code));
         report.verdict = ConvergenceVerdict::kViolated;
         report.cycle = std::move(cycle);
+        record_convergence_metrics(report);
         return report;
       }
       all_escape = false;
@@ -313,6 +359,7 @@ ConvergenceReport check_convergence_weakly_fair_core(
 
   report.verdict = all_escape ? ConvergenceVerdict::kConverges
                               : ConvergenceVerdict::kUnknown;
+  record_convergence_metrics(report);
   return report;
 }
 

@@ -148,6 +148,10 @@ ConvergenceReport check_convergence_weakly_fair_core(
     SuccessorSource& succ, const std::vector<std::size_t>& actions,
     ConvergenceReport report);
 
+/// Bump the checker.convergence.* counters from a finished report (called
+/// by both cores, so the serial checks and the parallel sweeps share it).
+void record_convergence_metrics(const ConvergenceReport& report);
+
 }  // namespace detail
 
 }  // namespace nonmask

@@ -4,6 +4,9 @@
 
 #include "checker/convergence_check.hpp"
 #include "core/candidate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/span.hpp"
 
 namespace nonmask {
 
@@ -40,10 +43,12 @@ void expand_reachable(const StateSpace& space,
 StateSet compute_reachable(const StateSpace& space, const PredicateFn& start,
                            const std::vector<std::size_t>& actions,
                            const FaultSpanOptions& opts) {
+  obs::Span span("checker.reach");
   const Program& p = space.program();
   StateSet set(space);
   const std::uint64_t cap =
       opts.max_states == 0 ? space.size() : opts.max_states;
+  obs::ProgressMeter meter("reach", cap);
 
   std::deque<std::uint64_t> frontier;
   State s(p.num_variables());
@@ -56,6 +61,7 @@ StateSet compute_reachable(const StateSpace& space, const PredicateFn& start,
   }
 
   std::vector<std::uint64_t> succs;
+  std::uint64_t expanded = 0;
   while (!frontier.empty() && set.size() < cap) {
     const std::uint64_t code = frontier.front();
     frontier.pop_front();
@@ -66,6 +72,15 @@ StateSet compute_reachable(const StateSpace& space, const PredicateFn& start,
         frontier.push_back(succ);
       }
     }
+    if (((++expanded) & 0x3FF) == 0) {  // batch the progress bookkeeping
+      meter.aux("frontier", frontier.size());
+      meter.add(set.size() - meter.done());
+    }
+  }
+  if (obs::Metrics::enabled()) {
+    auto& registry = obs::Registry::instance();
+    registry.counter("checker.reach.expanded").add(expanded);
+    registry.counter("checker.reach.states").add(set.size());
   }
   return set;
 }

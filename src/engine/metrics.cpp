@@ -6,6 +6,8 @@
 namespace nonmask {
 
 namespace {
+/// Type-7 percentile: interpolate between the order statistics flanking
+/// fractional rank q*(n-1). With n == 1 both flanks are the sample itself.
 double percentile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
   const double pos = q * static_cast<double>(sorted.size() - 1);

@@ -19,7 +19,17 @@ struct SampleStats {
   double p99 = 0.0;
 };
 
-/// Summary statistics of a sample vector (empty input -> zeroed stats).
+/// Summary statistics of a sample vector.
+///
+/// Percentile rule: linear interpolation between the order statistics at
+/// fractional rank q*(count-1) — the "type 7" estimator NumPy and R default
+/// to. Small-count behavior is pinned down (and tested) explicitly:
+///   - summarize({})    -> every field zero, count == 0;
+///   - summarize({x})   -> min = max = mean = p50 = p95 = p99 = x,
+///                         stddev = 0 (rank 0 is the only order statistic);
+///   - summarize({a,b}) -> p50 is the midpoint and p95/p99 interpolate
+///                         toward max, e.g. p95 = a + 0.95*(b-a) for a <= b.
+/// Percentiles are therefore never outside [min, max].
 SampleStats summarize(std::vector<double> samples);
 
 }  // namespace nonmask

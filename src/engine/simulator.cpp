@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "util/logging.hpp"
 
 namespace nonmask {
@@ -43,8 +45,11 @@ RunResult Simulator::run(State start, const RunOptions& opts) {
   };
 
   bool round_initialized = false;
+  obs::ProgressMeter meter("simulator", opts.max_steps);
 
   for (std::size_t step = 0; step < opts.max_steps; ++step) {
+    // Batched so the per-step cost stays one mask test even when active.
+    if ((step & 0x1FFF) == 0x1FFF) meter.add(0x2000);
     if (opts.perturb) opts.perturb(step, s);
 
     if (opts.track_violations != nullptr) {
@@ -115,6 +120,13 @@ RunResult Simulator::run(State start, const RunOptions& opts) {
     }
   }
   result.final_state = std::move(s);
+  if (obs::Metrics::enabled()) {
+    auto& registry = obs::Registry::instance();
+    registry.counter("engine.sim.runs").add(1);
+    registry.counter("engine.sim.steps").add(result.steps);
+    registry.counter("engine.sim.moves").add(result.moves);
+    registry.counter("engine.sim.rounds").add(result.rounds);
+  }
   return result;
 }
 

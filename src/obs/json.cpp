@@ -1,0 +1,115 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace nonmask::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_->push_back(',');
+    has_element_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  out_->push_back('{');
+  has_element_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  has_element_.pop_back();
+  out_->push_back('}');
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  out_->push_back('[');
+  has_element_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  has_element_.pop_back();
+  out_->push_back(']');
+}
+
+void JsonWriter::key(std::string_view k) {
+  separate();
+  out_->push_back('"');
+  *out_ += json_escape(k);
+  *out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  separate();
+  out_->push_back('"');
+  *out_ += json_escape(v);
+  out_->push_back('"');
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separate();
+  *out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separate();
+  *out_ += std::to_string(v);
+}
+
+void JsonWriter::value(double v) {
+  separate();
+  if (!std::isfinite(v)) {
+    *out_ += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out_ += buf;
+}
+
+void JsonWriter::value(bool v) {
+  separate();
+  *out_ += v ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  separate();
+  *out_ += "null";
+}
+
+void JsonWriter::raw(std::string_view json) {
+  separate();
+  *out_ += json;
+}
+
+}  // namespace nonmask::obs

@@ -1,0 +1,48 @@
+// Minimal streaming JSON writer for the observability exports (metrics
+// snapshots, Chrome trace events, run reports). Handles comma insertion and
+// string escaping; callers are responsible for pairing begin/end calls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nonmask::obs {
+
+/// `s` with JSON string escapes applied (quotes, backslash, control chars).
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  /// Appends to `out`; the string must outlive the writer.
+  explicit JsonWriter(std::string* out) : out_(out) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object key; must be followed by exactly one value or container.
+  void key(std::string_view k);
+
+  void value(std::string_view v);  ///< quoted + escaped
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(double v);  ///< non-finite values serialize as null
+  void value(bool v);
+  void null();
+  /// Splice a pre-rendered JSON value verbatim.
+  void raw(std::string_view json);
+
+ private:
+  void separate();
+
+  std::string* out_;
+  // One frame per open container: true once the first element was written.
+  std::vector<bool> has_element_;
+  bool after_key_ = false;
+};
+
+}  // namespace nonmask::obs

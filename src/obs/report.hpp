@@ -1,0 +1,60 @@
+// Machine-readable run reports: one JSON document that bundles checker
+// reports, experiment SampleStats, and the metrics-registry snapshot, so a
+// verification or campaign run is self-describing (tool, design, config,
+// results, metrics, wall-clock).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "checker/closure_check.hpp"
+#include "checker/convergence_check.hpp"
+#include "engine/experiment.hpp"
+#include "engine/metrics.hpp"
+#include "obs/metrics.hpp"
+
+namespace nonmask::obs {
+
+/// JSON values for the library's result structs.
+std::string to_json(const SampleStats& stats);
+std::string to_json(const ClosureReport& report);
+std::string to_json(const ConvergenceReport& report);
+std::string to_json(const ConvergenceResults& results);
+std::string to_json(const HistogramSnapshot& snapshot);
+
+/// The full metrics registry as one JSON object
+/// {"counters":{...},"gauges":{...},"histograms":{...}}.
+std::string metrics_to_json();
+
+/// Accumulates named sections and serializes them with the registry
+/// snapshot, an ISO-8601 timestamp, and the report's own wall time.
+class RunReport {
+ public:
+  explicit RunReport(std::string tool, std::string design = "");
+
+  /// Attach a pre-rendered JSON value (e.g. from to_json above).
+  void add(std::string key, std::string json_value);
+  void add_text(std::string key, std::string_view text);
+  void add_number(std::string key, double value);
+  void add_number(std::string key, std::uint64_t value);
+
+  /// Render the document; includes the current metrics snapshot.
+  std::string to_json() const;
+  void write(std::ostream& out) const;
+
+ private:
+  std::string tool_;
+  std::string design_;
+  std::string started_at_;
+  std::uint64_t start_us_ = 0;
+  std::vector<std::pair<std::string, std::string>> sections_;  // key, JSON
+};
+
+/// Write a RunReport for `tool` to the path in $NONMASK_REPORT_OUT, if that
+/// environment variable is set; no-op otherwise. Used by the bench mains so
+/// every BENCH_*.json trajectory can carry a self-describing sidecar.
+void write_env_report(const char* tool);
+
+}  // namespace nonmask::obs

@@ -1,0 +1,66 @@
+// Tracing spans: RAII scoped timers that record complete ("ph":"X") events
+// per thread and export Chrome trace-event JSON — loadable in
+// chrome://tracing or https://ui.perfetto.dev — plus a compact text flame
+// summary grouped by span name.
+//
+// Recording is off by default; a dormant Span costs one relaxed atomic load
+// in its constructor. Span names must be string literals (or otherwise
+// outlive the trace buffer): events store the pointer, not a copy.
+// Timestamps are microseconds on the steady clock relative to the first
+// enable, and the tid is current_thread_tag() — the same id the log prefix
+// prints.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace nonmask::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  unsigned tid = 0;
+  std::uint64_t ts_us = 0;   ///< span begin, relative to the trace epoch
+  std::uint64_t dur_us = 0;  ///< span duration
+};
+
+/// Process-wide trace recorder.
+class Trace {
+ public:
+  static void set_enabled(bool on) noexcept;
+  static bool enabled() noexcept;
+
+  /// Drop all recorded events (the epoch is kept).
+  static void clear();
+  static std::size_t event_count();
+  static std::vector<TraceEvent> events();
+
+  /// Chrome trace-event JSON: {"displayTimeUnit":"ms","traceEvents":[...]}.
+  static void write_chrome_trace(std::ostream& out);
+  /// Per-name aggregate table (count, total/mean/max ms), widest first.
+  static void write_flame_summary(std::ostream& out);
+};
+
+/// Scoped timer. Records a trace event when tracing is enabled and, when a
+/// histogram is attached, the span duration in microseconds when metrics
+/// collection is enabled — either switch alone activates the timer.
+class Span {
+ public:
+  explicit Span(const char* name, Histogram* duration_us = nullptr) noexcept;
+  ~Span() { end(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Finish early (idempotent).
+  void end() noexcept;
+
+ private:
+  const char* name_;
+  Histogram* hist_;
+  std::uint64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace nonmask::obs

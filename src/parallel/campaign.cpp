@@ -3,6 +3,9 @@
 #include <mutex>
 #include <ostream>
 
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/span.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace nonmask {
@@ -79,12 +82,23 @@ CampaignResults run_campaign(const Design& design,
   }
 
   JsonlStreamer streamer(opts.jsonl, design.name, &results.trials);
+  obs::Span campaign_span("campaign.run");
+  obs::ProgressMeter meter("campaign", config.trials);
+  obs::Histogram& trial_us =
+      obs::Registry::instance().histogram("campaign.trial_us");
+  const auto timed_trial = [&](std::size_t trial) {
+    obs::Span span("campaign.trial", &trial_us);
+    results.trials[trial].outcome = run_trial(design, config, seeds[trial]);
+    span.end();
+    streamer.on_complete(trial);
+    meter.add(1);
+  };
+
   const unsigned threads =
       opts.threads == 0 ? default_threads() : opts.threads;
   if (threads <= 1 || config.trials <= 1) {
     for (std::size_t i = 0; i < config.trials; ++i) {
-      results.trials[i].outcome = run_trial(design, config, seeds[i]);
-      streamer.on_complete(i);
+      timed_trial(i);
     }
   } else {
     ThreadPool pool(threads);
@@ -92,11 +106,10 @@ CampaignResults run_campaign(const Design& design,
         pool, 0, config.trials, 1,
         [&](std::size_t chunk, std::uint64_t lo, std::uint64_t hi,
             unsigned worker) {
+          (void)lo;
           (void)hi;
           (void)worker;
-          results.trials[chunk].outcome =
-              run_trial(design, config, seeds[static_cast<std::size_t>(lo)]);
-          streamer.on_complete(chunk);
+          timed_trial(chunk);
         });
   }
 
@@ -118,6 +131,11 @@ CampaignResults run_campaign(const Design& design,
   results.aggregate.steps = summarize(std::move(steps));
   results.aggregate.rounds = summarize(std::move(rounds));
   results.aggregate.moves = summarize(std::move(moves));
+  if (obs::Metrics::enabled()) {
+    auto& registry = obs::Registry::instance();
+    registry.counter("campaign.trials").add(config.trials);
+    registry.counter("campaign.trials_converged").add(converged);
+  }
   return results;
 }
 

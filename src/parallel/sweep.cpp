@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/span.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace nonmask {
@@ -11,6 +14,14 @@ namespace {
 
 unsigned resolve_threads(const SweepOptions& opts) {
   return opts.threads == 0 ? default_threads() : opts.threads;
+}
+
+/// Shared duration histogram for every sweep chunk (microseconds); spans
+/// feed it so chunk-size tuning shows up in the metrics snapshot.
+obs::Histogram& chunk_histogram() {
+  static obs::Histogram& hist =
+      obs::Registry::instance().histogram("sweep.chunk_us");
+  return hist;
 }
 
 std::size_t chunk_count(std::uint64_t size, std::uint64_t grain) {
@@ -33,11 +44,13 @@ std::vector<std::uint8_t> evaluate_flags_parallel(ThreadPool& pool,
   };
   std::vector<Counts> counts(chunk_count(space.size(), grain));
   std::vector<State> scratch(pool.size(), State(p.num_variables()));
+  obs::ProgressMeter meter("flags", space.size());
 
   parallel_for_chunked(
       pool, 0, space.size(), grain,
       [&](std::size_t chunk, std::uint64_t lo, std::uint64_t hi,
           unsigned worker) {
+        obs::Span span("sweep.flags.chunk", &chunk_histogram());
         State& s = scratch[worker];
         Counts c;
         for (std::uint64_t code = lo; code < hi; ++code) {
@@ -53,6 +66,7 @@ std::vector<std::uint8_t> evaluate_flags_parallel(ThreadPool& pool,
           flags[code] = f;
         }
         counts[chunk] = c;
+        meter.add(hi - lo);
       });
 
   for (const Counts& c : counts) {
@@ -101,10 +115,12 @@ CsrSuccessors build_region_adjacency(ThreadPool& pool, const StateSpace& space,
     sources.emplace_back(space, actions);
   }
 
+  obs::ProgressMeter meter("adjacency", space.size());
   parallel_for_chunked(
       pool, 0, space.size(), grain,
       [&](std::size_t chunk, std::uint64_t lo, std::uint64_t hi,
           unsigned worker) {
+        obs::Span span("sweep.adjacency.chunk", &chunk_histogram());
         ChunkAdj& adj = chunks[chunk];
         adj.degree.reserve(static_cast<std::size_t>(hi - lo));
         std::vector<std::uint64_t> succs;
@@ -117,6 +133,7 @@ CsrSuccessors build_region_adjacency(ThreadPool& pool, const StateSpace& space,
           adj.degree.push_back(static_cast<std::uint32_t>(succs.size()));
           adj.data.insert(adj.data.end(), succs.begin(), succs.end());
         }
+        meter.add(hi - lo);
       });
 
   std::size_t total = 0;
@@ -145,6 +162,8 @@ ClosureReport check_closed_parallel(const StateSpace& space,
   if (threads <= 1 || space.size() <= opts.grain) {
     return check_closed(space, predicate, actions);
   }
+  obs::Span sweep_span("sweep.closure");
+  obs::ProgressMeter meter("closure", space.size());
   ThreadPool pool(threads);
   std::vector<ClosureReport> chunks(chunk_count(space.size(), opts.grain));
   std::vector<State> scratch(pool.size(),
@@ -153,8 +172,10 @@ ClosureReport check_closed_parallel(const StateSpace& space,
       pool, 0, space.size(), opts.grain,
       [&](std::size_t chunk, std::uint64_t lo, std::uint64_t hi,
           unsigned worker) {
+        obs::Span span("sweep.closure.chunk", &chunk_histogram());
         chunks[chunk] = detail::scan_closure_range(space, predicate, actions,
                                                    lo, hi, scratch[worker]);
+        meter.add(hi - lo);
       });
 
   // In-order reduction: replay the serial scan's early exit at the first
@@ -166,10 +187,12 @@ ClosureReport check_closed_parallel(const StateSpace& space,
     if (!c.closed) {
       report.closed = false;
       report.violation = std::move(c.violation);
+      detail::record_closure_metrics(report);
       return report;
     }
   }
   report.closed = true;
+  detail::record_closure_metrics(report);
   return report;
 }
 
@@ -188,6 +211,7 @@ ConvergenceReport check_convergence_parallel(const StateSpace& space,
   if (threads <= 1 || space.size() <= opts.grain) {
     return check_convergence(space, S, T);
   }
+  obs::Span sweep_span("sweep.convergence");
   ThreadPool pool(threads);
   ConvergenceReport report;
   const auto flags =
@@ -205,6 +229,7 @@ ConvergenceReport check_convergence_weakly_fair_parallel(
   if (threads <= 1 || space.size() <= opts.grain) {
     return check_convergence_weakly_fair(space, S, T);
   }
+  obs::Span sweep_span("sweep.convergence");
   ThreadPool pool(threads);
   ConvergenceReport report;
   const auto flags =
@@ -226,11 +251,13 @@ StateSet compute_reachable_parallel(const StateSpace& space,
   if (threads <= 1 || space.size() <= opts.grain) {
     return compute_reachable(space, start, actions, span_opts);
   }
+  obs::Span sweep_span("sweep.reach");
   ThreadPool pool(threads);
   const Program& p = space.program();
   StateSet set(space);
   const std::uint64_t cap =
       span_opts.max_states == 0 ? space.size() : span_opts.max_states;
+  obs::ProgressMeter meter("reach", cap);
 
   // Seed scan: evaluate `start` in parallel, insert in code order.
   std::vector<std::vector<std::uint64_t>> seed_chunks(
@@ -240,6 +267,7 @@ StateSet compute_reachable_parallel(const StateSpace& space,
       pool, 0, space.size(), opts.grain,
       [&](std::size_t chunk, std::uint64_t lo, std::uint64_t hi,
           unsigned worker) {
+        obs::Span span("sweep.reach.seed", &chunk_histogram());
         State& s = scratch[worker];
         for (std::uint64_t code = lo; code < hi; ++code) {
           space.decode_into(code, s);
@@ -269,6 +297,7 @@ StateSet compute_reachable_parallel(const StateSpace& space,
         pool, 0, frontier.size(), level_grain,
         [&](std::size_t chunk, std::uint64_t lo, std::uint64_t hi,
             unsigned worker) {
+          obs::Span span("sweep.reach.chunk", &chunk_histogram());
           NodeSuccs& out = level[chunk];
           std::vector<std::uint64_t> succs;
           for (std::uint64_t i = lo; i < hi; ++i) {
@@ -301,6 +330,11 @@ StateSet compute_reachable_parallel(const StateSpace& space,
     }
     if (capped) break;
     frontier = std::move(next);
+    meter.aux("frontier", frontier.size());
+    meter.add(set.size() - meter.done());
+  }
+  if (obs::Metrics::enabled()) {
+    obs::Registry::instance().counter("checker.reach.states").add(set.size());
   }
   return set;
 }

@@ -1,6 +1,9 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 #include <mutex>
 
@@ -9,6 +12,7 @@ namespace nonmask {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kOff};
 std::atomic<std::ostream*> g_sink{nullptr};
+std::atomic<bool> g_prefix{false};
 std::mutex g_write_mutex;
 
 const char* level_name(LogLevel level) {
@@ -24,6 +28,27 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
+unsigned current_thread_tag() noexcept {
+  static std::atomic<unsigned> next{1};
+  thread_local unsigned tag = next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
+std::string iso8601_utc_now() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const auto ms =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  const std::time_t secs = system_clock::to_time_t(now);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
 void Log::set_level(LogLevel level) noexcept {
   g_level.store(level, std::memory_order_relaxed);
 }
@@ -33,6 +58,12 @@ LogLevel Log::level() noexcept {
 void Log::set_sink(std::ostream* sink) noexcept {
   g_sink.store(sink, std::memory_order_release);
 }
+void Log::set_prefix(bool enabled) noexcept {
+  g_prefix.store(enabled, std::memory_order_relaxed);
+}
+bool Log::prefix() noexcept {
+  return g_prefix.load(std::memory_order_relaxed);
+}
 bool Log::enabled(LogLevel level) noexcept {
   const LogLevel current = g_level.load(std::memory_order_relaxed);
   return static_cast<int>(level) >= static_cast<int>(current) &&
@@ -40,10 +71,16 @@ bool Log::enabled(LogLevel level) noexcept {
 }
 
 void Log::write(LogLevel level, std::string_view msg) {
+  // Build the prefix outside the lock; only the sink write is serialized.
+  std::string prefix;
+  if (g_prefix.load(std::memory_order_relaxed)) {
+    prefix = "[" + iso8601_utc_now() + "] [t" +
+             std::to_string(current_thread_tag()) + "] ";
+  }
   std::lock_guard<std::mutex> lock(g_write_mutex);
   std::ostream* sink = g_sink.load(std::memory_order_acquire);
   std::ostream& out = sink != nullptr ? *sink : std::clog;
-  out << "[" << level_name(level) << "] " << msg << '\n';
+  out << prefix << "[" << level_name(level) << "] " << msg << '\n';
 }
 
 }  // namespace nonmask

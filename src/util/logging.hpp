@@ -15,12 +15,25 @@ namespace nonmask {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
+/// Small sequential id of the calling thread (1, 2, ... in first-use
+/// order). Stable for the thread's lifetime; used by the log prefix and by
+/// the tracing spans (src/obs/) so both report the same thread identity.
+unsigned current_thread_tag() noexcept;
+
+/// Current UTC wall-clock time as ISO-8601 with millisecond precision,
+/// e.g. "2026-08-06T12:34:56.789Z".
+std::string iso8601_utc_now();
+
 /// Global log configuration (process-wide).
 class Log {
  public:
   static void set_level(LogLevel level) noexcept;
   static LogLevel level() noexcept;
   static void set_sink(std::ostream* sink) noexcept;  // nullptr -> std::clog
+  /// Opt-in line prefix "[<ISO-8601 UTC>] [t<tid>] " ahead of the level
+  /// tag. Off by default, so existing line-format expectations hold.
+  static void set_prefix(bool enabled) noexcept;
+  static bool prefix() noexcept;
   static bool enabled(LogLevel level) noexcept;
   static void write(LogLevel level, std::string_view msg);
 };

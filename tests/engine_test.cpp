@@ -252,5 +252,42 @@ TEST(MetricsTest, SummaryStatistics) {
   EXPECT_DOUBLE_EQ(empty.stddev, 0.0);
 }
 
+// The small-count percentile contract documented in engine/metrics.hpp:
+// type-7 interpolation at rank q*(count-1), pinned for count < 3.
+TEST(MetricsTest, PercentileEdgeCases) {
+  const auto empty = summarize({});
+  EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p95, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+  EXPECT_DOUBLE_EQ(empty.min, 0.0);
+  EXPECT_DOUBLE_EQ(empty.max, 0.0);
+
+  // One sample: rank 0 is the only order statistic, so every percentile
+  // (and min/max/mean) is that sample.
+  const auto single = summarize({7.0});
+  EXPECT_EQ(single.count, 1u);
+  EXPECT_DOUBLE_EQ(single.min, 7.0);
+  EXPECT_DOUBLE_EQ(single.max, 7.0);
+  EXPECT_DOUBLE_EQ(single.mean, 7.0);
+  EXPECT_DOUBLE_EQ(single.p50, 7.0);
+  EXPECT_DOUBLE_EQ(single.p95, 7.0);
+  EXPECT_DOUBLE_EQ(single.p99, 7.0);
+  EXPECT_DOUBLE_EQ(single.stddev, 0.0);
+
+  // Two samples: rank q*(2-1) = q interpolates linearly between them.
+  const auto pair = summarize({3.0, 1.0});
+  EXPECT_EQ(pair.count, 2u);
+  EXPECT_DOUBLE_EQ(pair.p50, 2.0);                       // midpoint
+  EXPECT_DOUBLE_EQ(pair.p95, 1.0 + 0.95 * (3.0 - 1.0));  // 2.9
+  EXPECT_DOUBLE_EQ(pair.p99, 1.0 + 0.99 * (3.0 - 1.0));  // 2.98
+  EXPECT_LE(pair.p99, pair.max);
+
+  // Percentiles never leave [min, max].
+  const auto trio = summarize({10.0, 20.0, 30.0});
+  EXPECT_GE(trio.p50, trio.min);
+  EXPECT_LE(trio.p99, trio.max);
+  EXPECT_DOUBLE_EQ(trio.p50, 20.0);
+}
+
 }  // namespace
 }  // namespace nonmask
