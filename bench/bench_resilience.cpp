@@ -1,0 +1,96 @@
+// Resilience subsystem benchmarks.
+//
+// Series regenerated:
+//   * adversary search cost vs corruption budget k (exhaustive greedy on
+//     Dijkstra's ring — dominated by the lazy longest-path evaluation);
+//   * hill-climb search cost vs restart count (simulation-bound);
+//   * checkpoint journal render + parse round-trip throughput;
+//   * campaign overhead of the watchdog policy vs the bare runner.
+#include <benchmark/benchmark.h>
+
+#include "bench_report.hpp"
+
+#include <sstream>
+
+#include "parallel/campaign.hpp"
+#include "protocols/diffusing.hpp"
+#include "protocols/token_ring.hpp"
+#include "resilience/adversary.hpp"
+#include "resilience/journal.hpp"
+
+using namespace nonmask;
+
+namespace {
+
+void BM_AdversaryExhaustive(benchmark::State& state) {
+  const auto tr = make_dijkstra_ring(5, 6);
+  AdversaryOptions opts;
+  opts.budget_k = static_cast<std::size_t>(state.range(0));
+  std::uint64_t worst = 0, evals = 0;
+  for (auto _ : state) {
+    const AdversaryResult r = find_worst_placement(tr.design, opts);
+    worst = r.worst_case_steps;
+    evals = r.evaluations;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["worst-steps"] = static_cast<double>(worst);
+  state.counters["evals"] = static_cast<double>(evals);
+}
+BENCHMARK(BM_AdversaryExhaustive)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_AdversaryHillClimb(benchmark::State& state) {
+  const auto dd = make_diffusing(RootedTree::balanced(7, 2), true);
+  AdversaryOptions opts;
+  opts.budget_k = 3;
+  opts.force_hill_climb = true;
+  opts.restarts = static_cast<std::size_t>(state.range(0));
+  opts.iterations = 16;
+  std::uint64_t worst = 0;
+  for (auto _ : state) {
+    const AdversaryResult r = find_worst_placement(dd.design, opts);
+    worst = r.worst_case_steps;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["worst-steps"] = static_cast<double>(worst);
+}
+BENCHMARK(BM_AdversaryHillClimb)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_JournalRoundTrip(benchmark::State& state) {
+  TrialRecord record;
+  record.trial = 123;
+  record.seeds = {0xdeadbeefULL, 0xfeedfaceULL};
+  record.outcome.converged = true;
+  record.outcome.steps = 4567;
+  record.outcome.rounds = 89;
+  record.outcome.moves = 4000;
+  for (auto _ : state) {
+    const std::string line = to_jsonl("bench-design", record);
+    const auto parsed = parse_trial_jsonl(line);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_JournalRoundTrip);
+
+void BM_CampaignWithPolicy(benchmark::State& state) {
+  const auto dd = make_diffusing(RootedTree::balanced(15, 2), true);
+  ConvergenceExperiment config;
+  config.trials = 32;
+  config.seed = 7;
+  const bool with_policy = state.range(0) != 0;
+  for (auto _ : state) {
+    CampaignOptions opts;
+    opts.threads = 4;
+    if (with_policy) {
+      opts.policy.deadline = std::chrono::seconds(30);
+      opts.policy.max_retries = 2;
+    }
+    const auto results = run_campaign(dd.design, config, opts);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["policy"] = with_policy ? 1 : 0;
+}
+BENCHMARK(BM_CampaignWithPolicy)->Arg(0)->Arg(1);
+
+}  // namespace
+
+NONMASK_BENCHMARK_MAIN("bench_resilience");

@@ -17,6 +17,14 @@
 //   --report-out=PATH   self-describing run-report JSON
 //   --progress          rate-limited progress lines on stderr
 //   --threads=N         same as the positional threads argument
+//
+// Resilience flags (src/resilience/):
+//   --checkpoint=PATH   JSONL checkpoint journal, flushed per trial
+//   --resume            replay the journal's valid prefix, run the rest
+//   --deadline-ms=N     per-trial watchdog deadline (0 = off)
+//   --retries=N         retries for trials that throw
+//   --backoff-ms=N      base backoff before retry r (doubles each retry)
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -84,7 +92,9 @@ int main(int argc, char** argv) {
   // (tests, EXPERIMENTS.md recipes) keep working unchanged.
   std::vector<std::string> pos;
   std::string trace_out, metrics_out, report_out, flag_threads;
+  std::string checkpoint, deadline_ms, retries, backoff_ms;
   bool progress = false;
+  bool resume = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string value;
@@ -92,10 +102,22 @@ int main(int argc, char** argv) {
       std::cout << "usage: parallel_campaign [design] [trials] [threads] "
                    "[seed] [jsonl-path]\n"
                    "       [--threads=N] [--trace-out=PATH] "
-                   "[--metrics-out=PATH] [--report-out=PATH] [--progress]\n";
+                   "[--metrics-out=PATH] [--report-out=PATH] [--progress]\n"
+                   "       [--checkpoint=PATH] [--resume] [--deadline-ms=N] "
+                   "[--retries=N] [--backoff-ms=N]\n";
       return 0;
     } else if (arg == "--progress") {
       progress = true;
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (flag_value(arg, "--checkpoint", &value)) {
+      checkpoint = value;
+    } else if (flag_value(arg, "--deadline-ms", &value)) {
+      deadline_ms = value;
+    } else if (flag_value(arg, "--retries", &value)) {
+      retries = value;
+    } else if (flag_value(arg, "--backoff-ms", &value)) {
+      backoff_ms = value;
     } else if (flag_value(arg, "--threads", &value)) {
       flag_threads = value;
     } else if (flag_value(arg, "--trace-out", &value)) {
@@ -125,6 +147,25 @@ int main(int argc, char** argv) {
                     : 1;
   config.max_steps = 2'000'000;
 
+  opts.checkpoint = checkpoint;
+  opts.resume = resume;
+  if (resume && checkpoint.empty()) {
+    std::cerr << "--resume requires --checkpoint=PATH\n";
+    return 2;
+  }
+  if (!deadline_ms.empty()) {
+    opts.policy.deadline =
+        std::chrono::milliseconds(std::atoll(deadline_ms.c_str()));
+  }
+  if (!retries.empty()) {
+    opts.policy.max_retries =
+        static_cast<std::size_t>(std::atoll(retries.c_str()));
+  }
+  if (!backoff_ms.empty()) {
+    opts.policy.backoff =
+        std::chrono::milliseconds(std::atoll(backoff_ms.c_str()));
+  }
+
   if (!trace_out.empty()) obs::Trace::set_enabled(true);
   if (!metrics_out.empty() || !report_out.empty()) {
     obs::Metrics::set_enabled(true);
@@ -149,6 +190,14 @@ int main(int argc, char** argv) {
             << " thread(s)\n";
 
   const auto results = run_campaign(design, config, opts);
+  if (opts.resume) {
+    std::cout << "resumed: " << results.resumed_trials
+              << " trial(s) replayed from " << checkpoint << "\n";
+  }
+  if (results.timed_out > 0 || results.failed > 0) {
+    std::cout << "degraded: " << results.timed_out << " timed out, "
+              << results.failed << " failed\n";
+  }
   std::cout << "converged: " << std::fixed << std::setprecision(1)
             << 100.0 * results.aggregate.converged_fraction << "% ("
             << results.aggregate.steps.count << "/" << config.trials

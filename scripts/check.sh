@@ -35,10 +35,25 @@ for b in build/bench/bench_*; do
   "${b}" --benchmark_min_time=0.01
 done
 
+# Resume smoke: a campaign killed mid-run (simulated by truncating its
+# checkpoint journal, torn final line included) must resume to a JSONL
+# stream byte-identical to the uninterrupted run's.
+echo "== campaign resume smoke =="
+resume_dir="$(mktemp -d)"
+trap 'rm -rf "${resume_dir}"' EXIT
+NONMASK_THREADS=4 ./build/examples/parallel_campaign dijkstra 64 0 7 \
+  --checkpoint="${resume_dir}/full.jsonl" >/dev/null
+head -n 20 "${resume_dir}/full.jsonl" > "${resume_dir}/killed.jsonl"
+printf '{"design":"dij' >> "${resume_dir}/killed.jsonl"  # torn tail
+NONMASK_THREADS=4 ./build/examples/parallel_campaign dijkstra 64 0 7 \
+  --checkpoint="${resume_dir}/killed.jsonl" --resume >/dev/null
+diff "${resume_dir}/full.jsonl" "${resume_dir}/killed.jsonl"
+echo "ok: resumed journal is byte-identical"
+
 # Observability smoke: the trace/metrics/report JSON must stay parseable.
 echo "== trace_report smoke =="
 obs_dir="$(mktemp -d)"
-trap 'rm -rf "${obs_dir}"' EXIT
+trap 'rm -rf "${resume_dir}" "${obs_dir}"' EXIT
 NONMASK_THREADS=4 ./build/examples/trace_report \
   --design=dijkstra --grain=1024 \
   --trace-out="${obs_dir}/trace.json" \

@@ -58,6 +58,12 @@ struct TrialOutcome {
   bool converged = false;
   bool deadlocked = false;
   bool exhausted = false;
+  /// Set by the resilient campaign layer (src/resilience/watchdog.hpp),
+  /// never by run_trial itself: the trial hit its watchdog deadline, or
+  /// kept throwing after every allowed retry. Both leave the convergence
+  /// flags above false.
+  bool timed_out = false;
+  bool failed = false;
   std::uint64_t steps = 0;
   std::uint64_t rounds = 0;
   std::uint64_t moves = 0;

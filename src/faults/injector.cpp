@@ -1,5 +1,8 @@
 #include "faults/injector.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace nonmask {
 
 FaultInjector FaultInjector::one_shot(FaultModelPtr model, std::size_t at_step,
@@ -22,6 +25,11 @@ FaultInjector FaultInjector::periodic(FaultModelPtr model, std::size_t period,
 FaultInjector FaultInjector::bernoulli(FaultModelPtr model, double p,
                                        std::size_t max_faults,
                                        std::uint64_t seed) {
+  if (!(p >= 0.0 && p <= 1.0)) {  // negated so NaN is rejected too
+    throw std::invalid_argument(
+        "FaultInjector::bernoulli: probability must be in [0, 1], got " +
+        std::to_string(p));
+  }
   FaultInjector inj(Mode::kBernoulli, std::move(model), seed);
   inj.probability_ = p;
   inj.max_faults_ = max_faults;

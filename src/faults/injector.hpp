@@ -2,9 +2,11 @@
 // An injector plugs into RunOptions::perturb. Deterministic given its seed.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <functional>
 #include <limits>
+#include <memory>
 
 #include "engine/simulator.hpp"
 #include "faults/fault.hpp"
@@ -20,6 +22,7 @@ class FaultInjector {
   static FaultInjector periodic(FaultModelPtr model, std::size_t period,
                                 std::size_t max_faults, std::uint64_t seed);
   /// Strike each step with probability `p`, at most `max_faults` times.
+  /// Throws std::invalid_argument unless p ∈ [0, 1].
   static FaultInjector bernoulli(FaultModelPtr model, double p,
                                  std::size_t max_faults, std::uint64_t seed);
 
@@ -33,9 +36,30 @@ class FaultInjector {
   }
 
   /// Bind to a program, yielding a RunOptions::perturb hook. The injector
-  /// and program must outlive the returned function.
+  /// and program must outlive the returned function (debug builds assert
+  /// the injector is still alive on every call; prefer the owning overload
+  /// below when lifetimes are not obvious).
   std::function<void(std::size_t, State&)> hook(const Program& p) {
+#ifndef NDEBUG
+    std::weak_ptr<const char> canary = liveness_;
+    return [this, &p, canary](std::size_t step, State& s) {
+      assert(!canary.expired() &&
+             "FaultInjector destroyed (or moved from) before its hook; use "
+             "FaultInjector::hook(std::shared_ptr<FaultInjector>, ...)");
+      (*this)(step, p, s);
+    };
+#else
     return [this, &p](std::size_t step, State& s) { (*this)(step, p, s); };
+#endif
+  }
+
+  /// Owning overload: the hook keeps the injector alive, so only the
+  /// program's lifetime is the caller's concern.
+  static std::function<void(std::size_t, State&)> hook(
+      std::shared_ptr<FaultInjector> injector, const Program& p) {
+    return [inj = std::move(injector), &p](std::size_t step, State& s) {
+      (*inj)(step, p, s);
+    };
   }
 
  private:
@@ -53,6 +77,10 @@ class FaultInjector {
   double probability_ = 0.0;
   std::size_t max_faults_ = std::numeric_limits<std::size_t>::max();
   std::size_t injected_ = 0;
+  /// Liveness token watched by debug hooks. Moves travel with the object
+  /// (hooks bound to a moved-from injector assert), and copies would share
+  /// it, so hooks are bound to `this` only after the injector has settled.
+  std::shared_ptr<const char> liveness_ = std::make_shared<const char>('\0');
 };
 
 }  // namespace nonmask

@@ -1,0 +1,94 @@
+#include "faults/schedule.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace nonmask {
+
+FaultSchedule FaultSchedule::at(FaultModelPtr model, std::size_t step) {
+  FaultSchedule s;
+  s.strikes_.push_back({step, std::move(model)});
+  return s;
+}
+
+FaultSchedule FaultSchedule::burst(FaultModelPtr model, std::size_t start,
+                                   std::size_t count) {
+  FaultSchedule s;
+  s.strikes_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    s.strikes_.push_back({start + i, model});
+  }
+  return s;
+}
+
+FaultSchedule FaultSchedule::sustained(FaultModelPtr model, std::size_t start,
+                                       std::size_t period, std::size_t count) {
+  if (period == 0) period = 1;
+  FaultSchedule s;
+  s.strikes_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    s.strikes_.push_back({start + i * period, model});
+  }
+  return s;
+}
+
+FaultSchedule FaultSchedule::compose(std::vector<FaultSchedule> parts) {
+  FaultSchedule merged;
+  for (auto& part : parts) {
+    merged.strikes_.insert(merged.strikes_.end(),
+                           std::make_move_iterator(part.strikes_.begin()),
+                           std::make_move_iterator(part.strikes_.end()));
+  }
+  std::stable_sort(merged.strikes_.begin(), merged.strikes_.end(),
+                   [](const Strike& a, const Strike& b) {
+                     return a.step < b.step;
+                   });
+  return merged;
+}
+
+FaultSchedule FaultSchedule::then(const FaultSchedule& next,
+                                  std::size_t gap) const {
+  if (strikes_.empty()) return next;
+  FaultSchedule shifted = next;
+  const std::size_t offset = last_step() + gap;
+  for (auto& strike : shifted.strikes_) strike.step += offset;
+  return compose({*this, std::move(shifted)});
+}
+
+void FaultSchedule::apply(std::size_t step, const Program& p, State& s,
+                          Rng& rng) const {
+  const auto lo = std::lower_bound(
+      strikes_.begin(), strikes_.end(), step,
+      [](const Strike& a, std::size_t b) { return a.step < b; });
+  for (auto it = lo; it != strikes_.end() && it->step == step; ++it) {
+    it->model->strike(p, s, rng);
+  }
+}
+
+std::function<void(std::size_t, State&)> FaultSchedule::hook(
+    const Program& p, std::uint64_t seed) const {
+  struct Cursor {
+    std::vector<Strike> strikes;
+    std::size_t next = 0;
+    Rng rng;
+    Cursor(std::vector<Strike> s, std::uint64_t seed_)
+        : strikes(std::move(s)), rng(seed_) {}
+  };
+  auto cursor = std::make_shared<Cursor>(strikes_, seed);
+  return [cursor, &p](std::size_t step, State& s) {
+    auto& c = *cursor;
+    // Steps arrive in nondecreasing order from the engine; strikes whose
+    // step has passed (a run shorter than the plan, then a fresh run of the
+    // same hook) are skipped, not replayed late.
+    while (c.next < c.strikes.size() && c.strikes[c.next].step < step) {
+      ++c.next;
+    }
+    while (c.next < c.strikes.size() && c.strikes[c.next].step == step) {
+      c.strikes[c.next].model->strike(p, s, c.rng);
+      ++c.next;
+    }
+  };
+}
+
+}  // namespace nonmask

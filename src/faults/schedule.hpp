@@ -1,0 +1,71 @@
+// Composable fault schedules.
+//
+// Where FaultInjector decides *when* to strike with one stateful policy
+// (one-shot / periodic / Bernoulli), a FaultSchedule is an explicit finite
+// plan: a sorted sequence of (step, model) strikes that can be composed —
+// bursts, sustained barrages, unions, and sequenced phases. Explicit plans
+// are what the adversarial search in src/resilience/ manipulates: a plan is
+// a value, so it can be mutated, replayed bit-identically, and serialized
+// into a worst-trace artifact.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/program.hpp"
+#include "core/state.hpp"
+#include "faults/fault.hpp"
+#include "util/rng.hpp"
+
+namespace nonmask {
+
+class FaultSchedule {
+ public:
+  struct Strike {
+    std::size_t step = 0;
+    FaultModelPtr model;
+  };
+
+  FaultSchedule() = default;
+
+  /// One strike of `model` at `step`.
+  static FaultSchedule at(FaultModelPtr model, std::size_t step);
+  /// `count` strikes on consecutive steps `start, start+1, ...`.
+  static FaultSchedule burst(FaultModelPtr model, std::size_t start,
+                             std::size_t count);
+  /// `count` strikes every `period` steps starting at `start` (period 0 is
+  /// treated as 1).
+  static FaultSchedule sustained(FaultModelPtr model, std::size_t start,
+                                 std::size_t period, std::size_t count);
+  /// Union of schedules; strikes landing on the same step apply in the
+  /// order given (composition order is preserved).
+  static FaultSchedule compose(std::vector<FaultSchedule> parts);
+
+  /// Sequencing: `next` shifted to begin `gap` steps after this schedule's
+  /// last strike, then merged. An empty receiver returns `next` unshifted.
+  FaultSchedule then(const FaultSchedule& next, std::size_t gap = 1) const;
+
+  const std::vector<Strike>& strikes() const noexcept { return strikes_; }
+  bool empty() const noexcept { return strikes_.empty(); }
+  std::size_t size() const noexcept { return strikes_.size(); }
+  /// Step of the final strike; 0 when empty.
+  std::size_t last_step() const noexcept {
+    return strikes_.empty() ? 0 : strikes_.back().step;
+  }
+
+  /// Apply every strike scheduled at `step` to `s`.
+  void apply(std::size_t step, const Program& p, State& s, Rng& rng) const;
+
+  /// Bind to a program, yielding a RunOptions::perturb hook. The hook owns
+  /// a copy of the schedule (and thus the models) plus its own cursor and
+  /// RNG, so it is safe to outlive the schedule and deterministic per
+  /// `seed`; only the program is borrowed and must outlive the hook.
+  std::function<void(std::size_t, State&)> hook(const Program& p,
+                                                std::uint64_t seed) const;
+
+ private:
+  std::vector<Strike> strikes_;  // sorted by step (stable order within one)
+};
+
+}  // namespace nonmask

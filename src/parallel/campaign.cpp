@@ -1,7 +1,9 @@
 #include "parallel/campaign.hpp"
 
+#include <fstream>
 #include <mutex>
 #include <ostream>
+#include <stdexcept>
 
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
@@ -12,63 +14,46 @@ namespace nonmask {
 
 namespace {
 
-void append_escaped(std::string& out, const std::string& s) {
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-}
-
-/// Flushes completed trial records to the JSONL sink in trial order: each
-/// completion is buffered until every earlier trial has been written.
+/// Flushes completed trial records (pre-rendered JSONL lines) in trial
+/// order: each completion is buffered until every earlier trial has been
+/// written. Two sinks: the caller's stream, and the checkpoint journal —
+/// the journal is flushed after every line so a kill loses at most the
+/// torn tail of one record.
 class JsonlStreamer {
  public:
-  JsonlStreamer(std::ostream* sink, const std::string& design_name,
-                const std::vector<TrialRecord>* records)
-      : sink_(sink), design_name_(design_name), records_(records) {
-    if (sink_ != nullptr) done_.resize(records->size(), 0);
+  JsonlStreamer(std::ostream* sink, std::ostream* journal,
+                const std::vector<std::string>* lines)
+      : sink_(sink), journal_(journal), lines_(lines) {
+    if (sink_ != nullptr || journal_ != nullptr) {
+      done_.resize(lines->size(), 0);
+    }
   }
 
   void on_complete(std::size_t trial) {
-    if (sink_ == nullptr) return;
+    if (sink_ == nullptr && journal_ == nullptr) return;
     std::lock_guard<std::mutex> lock(mutex_);
     done_[trial] = 1;
     while (cursor_ < done_.size() && done_[cursor_] != 0) {
-      *sink_ << to_jsonl(design_name_, (*records_)[cursor_]) << '\n';
+      const std::string& line = (*lines_)[cursor_];
+      if (sink_ != nullptr) *sink_ << line << '\n';
+      if (journal_ != nullptr) {
+        *journal_ << line << '\n';
+        journal_->flush();
+      }
       ++cursor_;
     }
   }
 
  private:
   std::ostream* sink_;
-  std::string design_name_;
-  const std::vector<TrialRecord>* records_;
+  std::ostream* journal_;
+  const std::vector<std::string>* lines_;
   std::mutex mutex_;
   std::vector<std::uint8_t> done_;
   std::size_t cursor_ = 0;
 };
 
 }  // namespace
-
-std::string to_jsonl(const std::string& design_name,
-                     const TrialRecord& record) {
-  std::string out = "{\"design\":\"";
-  append_escaped(out, design_name);
-  out += "\",\"trial\":" + std::to_string(record.trial);
-  out += ",\"daemon_seed\":" + std::to_string(record.seeds.daemon);
-  out += ",\"start_seed\":" + std::to_string(record.seeds.start);
-  out += record.outcome.converged ? ",\"converged\":true"
-                                  : ",\"converged\":false";
-  out += record.outcome.deadlocked ? ",\"deadlocked\":true"
-                                   : ",\"deadlocked\":false";
-  out += record.outcome.exhausted ? ",\"exhausted\":true"
-                                  : ",\"exhausted\":false";
-  out += ",\"steps\":" + std::to_string(record.outcome.steps);
-  out += ",\"rounds\":" + std::to_string(record.outcome.rounds);
-  out += ",\"moves\":" + std::to_string(record.outcome.moves);
-  out += "}";
-  return out;
-}
 
 CampaignResults run_campaign(const Design& design,
                              const ConvergenceExperiment& config,
@@ -81,35 +66,72 @@ CampaignResults run_campaign(const Design& design,
     results.trials[i].seeds = seeds[i];
   }
 
-  JsonlStreamer streamer(opts.jsonl, design.name, &results.trials);
+  // Resume: adopt the journal's valid prefix (records and verbatim lines).
+  std::vector<std::string> lines(config.trials);
+  std::size_t completed = 0;
+  if (opts.resume && !opts.checkpoint.empty()) {
+    const JournalPrefix prefix =
+        load_journal_prefix(opts.checkpoint, design.name, seeds);
+    completed = prefix.records.size();
+    for (std::size_t i = 0; i < completed; ++i) {
+      results.trials[i] = prefix.records[i];
+      lines[i] = prefix.lines[i];
+    }
+  }
+  results.resumed_trials = completed;
+
+  // The journal is rewritten from scratch: replayed lines first (dropping
+  // any torn tail the crashed run left), fresh records appended after.
+  std::ofstream journal;
+  if (!opts.checkpoint.empty()) {
+    journal.open(opts.checkpoint, std::ios::trunc);
+    if (!journal) {
+      throw std::runtime_error("run_campaign: cannot open checkpoint journal " +
+                               opts.checkpoint);
+    }
+  }
+
+  JsonlStreamer streamer(opts.jsonl, journal.is_open() ? &journal : nullptr,
+                         &lines);
   obs::Span campaign_span("campaign.run");
   obs::ProgressMeter meter("campaign", config.trials);
   obs::Histogram& trial_us =
       obs::Registry::instance().histogram("campaign.trial_us");
+  for (std::size_t i = 0; i < completed; ++i) {
+    streamer.on_complete(i);
+    meter.add(1);
+  }
+
   const auto timed_trial = [&](std::size_t trial) {
     obs::Span span("campaign.trial", &trial_us);
-    results.trials[trial].outcome = run_trial(design, config, seeds[trial]);
+    const ResilientOutcome r =
+        run_trial_resilient(design, config, seeds[trial], opts.policy);
+    TrialRecord& record = results.trials[trial];
+    record.outcome = r.outcome;
+    record.attempts = r.attempts;
+    record.error = r.error;
     span.end();
+    lines[trial] = to_jsonl(design.name, record);
     streamer.on_complete(trial);
     meter.add(1);
   };
 
   const unsigned threads =
       opts.threads == 0 ? default_threads() : opts.threads;
-  if (threads <= 1 || config.trials <= 1) {
-    for (std::size_t i = 0; i < config.trials; ++i) {
+  if (threads <= 1 || config.trials - completed <= 1) {
+    for (std::size_t i = completed; i < config.trials; ++i) {
       timed_trial(i);
     }
   } else {
     ThreadPool pool(threads);
     parallel_for_chunked(
-        pool, 0, config.trials, 1,
+        pool, completed, config.trials, 1,
         [&](std::size_t chunk, std::uint64_t lo, std::uint64_t hi,
             unsigned worker) {
-          (void)lo;
+          (void)chunk;
           (void)hi;
           (void)worker;
-          timed_trial(chunk);
+          timed_trial(lo);
         });
   }
 
@@ -118,6 +140,8 @@ CampaignResults run_campaign(const Design& design,
   std::vector<double> steps, rounds, moves;
   std::size_t converged = 0;
   for (const TrialRecord& r : results.trials) {
+    if (r.outcome.timed_out) ++results.timed_out;
+    if (r.outcome.failed) ++results.failed;
     if (!r.outcome.converged) continue;
     ++converged;
     steps.push_back(static_cast<double>(r.outcome.steps));
@@ -135,6 +159,9 @@ CampaignResults run_campaign(const Design& design,
     auto& registry = obs::Registry::instance();
     registry.counter("campaign.trials").add(config.trials);
     registry.counter("campaign.trials_converged").add(converged);
+    registry.counter("campaign.trials_resumed").add(results.resumed_trials);
+    registry.counter("campaign.trials_timed_out").add(results.timed_out);
+    registry.counter("campaign.trials_failed").add(results.failed);
   }
   return results;
 }

@@ -1,0 +1,101 @@
+// Adversarial fault-placement search.
+//
+// The paper's central claim is that convergence from T to S holds under
+// *any* finite fault pattern; the benign random schedules in src/faults/
+// only sample typical patterns. The adversary actively hunts the placement
+// (which variables, which values) that maximizes convergence time:
+//
+//   * Exhaustive mode (state space within budget): a greedy
+//     reachability-guided search. The checker's successor primitives
+//     (StateSpace + ProgramSuccessors) drive a lazy longest-path-to-S
+//     evaluation over the ¬S region — exactly the worst-case central-daemon
+//     convergence time from each state — and the adversary greedily applies
+//     the single-variable corruption with the largest such distance, up to
+//     its budget of k corruptions.
+//
+//   * Hill-climb mode (space too large, or forced): a seeded random-restart
+//     hill-climber over placements, scoring each candidate by simulating
+//     the design under a fixed-seed RandomDaemon. Non-convergence within
+//     max_steps scores above every converging run.
+//
+// Both modes are deterministic per seed, and both report the worst trace
+// found as a JSON artifact (worst_trace_json, rendered with obs::JsonWriter).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/candidate.hpp"
+#include "core/state.hpp"
+#include "engine/experiment.hpp"
+#include "faults/schedule.hpp"
+
+namespace nonmask {
+
+/// A concrete fault placement: set `targets[i] := values[i]` at `at_step`.
+struct FaultPlacement {
+  std::vector<VarId> targets;
+  std::vector<Value> values;
+  std::size_t at_step = 0;
+
+  /// The placement as a fault model / one-strike schedule.
+  FaultModelPtr model() const;
+  FaultSchedule schedule() const;
+};
+
+struct AdversaryOptions {
+  /// Max number of variables the adversary may corrupt (clamped to the
+  /// program's variable count; 0 means "all variables").
+  std::size_t budget_k = 1;
+  std::uint64_t seed = 1;
+  /// Hill-climb shape: `restarts` random starting placements, each refined
+  /// for `iterations` single-mutation steps.
+  std::size_t restarts = 6;
+  std::size_t iterations = 48;
+  /// Simulation cap per evaluation (hill-climb mode and observed replays).
+  std::size_t max_steps = 200'000;
+  /// Exhaustive mode is used when the state space fits this many states.
+  std::uint64_t exhaustive_budget = 1u << 20;
+  /// Force the hill-climber even on small spaces (tests, comparisons).
+  bool force_hill_climb = false;
+};
+
+struct AdversaryResult {
+  FaultPlacement placement;
+  /// Exhaustive mode: the longest-path-to-S distance of the placed state —
+  /// the exact worst-case central-daemon convergence time. Hill-climb mode:
+  /// the best simulated objective found.
+  std::uint64_t worst_case_steps = 0;
+  /// The adversary found a placement from which some computation never
+  /// reaches S (a ¬S cycle or deadlock); worst_case_steps is then a lower
+  /// bound (hill-climb) or meaningless (exhaustive).
+  bool divergence_found = false;
+  /// Deterministic replay of the placement under RandomDaemon.
+  TrialOutcome observed;
+  bool exhaustive = false;         ///< which engine produced the result
+  std::uint64_t evaluations = 0;   ///< candidate placements scored
+  /// Exhaustive mode: the worst-case trace (placed state following max-
+  /// distance successors down to S, capped). Hill-climb mode: empty.
+  std::vector<State> worst_trace;
+};
+
+/// The legitimate state faults are placed on: the program's initial state
+/// if it satisfies S, else the result of converging from it under
+/// RandomDaemon (deterministic per seed).
+State legitimate_state(const Design& design, const AdversaryOptions& opts);
+
+/// Search for the fault placement maximizing convergence time.
+AdversaryResult find_worst_placement(const Design& design,
+                                     const AdversaryOptions& opts = {});
+
+/// Benign baseline for comparison: convergence steps of `trials` runs, each
+/// corrupting a uniformly random placement of budget_k variables at step 0
+/// (non-convergence records max_steps + 1). Deterministic per seed.
+std::vector<std::uint64_t> random_placement_baseline(
+    const Design& design, const AdversaryOptions& opts, std::size_t trials);
+
+/// The worst trace found, as one self-describing JSON document.
+std::string worst_trace_json(const Design& design, const AdversaryResult& r);
+
+}  // namespace nonmask

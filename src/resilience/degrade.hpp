@@ -1,0 +1,64 @@
+// Graceful degradation for exhaustive verification.
+//
+// The exhaustive checkers refuse state spaces beyond their budget by
+// throwing StateSpaceTooLarge. verify_resilient catches exactly that and
+// falls back to a documented sampling mode: seeded convergence trials from
+// uniformly random domain-product states (an over-approximation of any
+// fault-span T), with the truncation — requested size, budget, trial count
+// — recorded in the result and in the run report. The contract: the
+// exhaustive verdict is authoritative when `exhaustive` is set; a degraded
+// result is statistical evidence only and says so in every artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "checker/convergence_check.hpp"
+#include "checker/state_space.hpp"
+#include "core/candidate.hpp"
+#include "engine/experiment.hpp"
+#include "obs/report.hpp"
+
+namespace nonmask {
+
+struct DegradeOptions {
+  /// State budget for the exhaustive attempt.
+  std::uint64_t state_budget = StateSpace::kDefaultBudget;
+  /// Sampling fallback shape.
+  std::size_t sample_trials = 256;
+  std::uint64_t seed = 1;
+  std::size_t max_steps = 200'000;
+};
+
+struct ResilientVerification {
+  bool exhaustive = false;  ///< the full ToleranceReport below is valid
+  bool degraded = false;    ///< sampling fallback was used
+  /// Truncation record, from the StateSpaceTooLarge exception.
+  std::uint64_t requested_states = 0;
+  std::uint64_t state_budget = 0;
+  ToleranceReport tolerance;   ///< exhaustive mode
+  ConvergenceResults sampled;  ///< degraded mode
+  std::size_t sampled_trials = 0;
+
+  /// Exhaustive: tolerant. Degraded: every sampled trial converged (a
+  /// necessary condition only — documented in DESIGN.md §9).
+  bool ok() const noexcept {
+    return exhaustive ? tolerance.tolerant()
+                      : sampled.converged_fraction == 1.0;
+  }
+};
+
+/// Exhaustive T-tolerance verification when the space fits the budget;
+/// sampled convergence evidence otherwise.
+ResilientVerification verify_resilient(const Design& design,
+                                       const DegradeOptions& opts = {});
+
+/// The verification result as one JSON value (degradation record included).
+std::string to_json(const ResilientVerification& v);
+
+/// Attach the verification (and its truncation record, when degraded) to a
+/// run report under the "verification" / "degradation" keys.
+void record_verification(obs::RunReport& report,
+                         const ResilientVerification& v);
+
+}  // namespace nonmask

@@ -1,0 +1,53 @@
+// Campaign checkpoint journal.
+//
+// The per-trial JSONL stream doubles as a durable checkpoint: records are
+// written in trial order and flushed line-by-line, so a campaign killed at
+// any moment leaves a valid prefix plus at most one torn final line. Resume
+// loads the longest prefix whose lines parse, carry consecutive trial
+// numbers, and match the expected design name and derived seed stream —
+// anything else (truncation, a journal from a different seed) simply
+// shortens the replayed prefix, never corrupts it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/experiment.hpp"
+
+namespace nonmask {
+
+/// One campaign trial: its index, the seeds it consumed, its outcome, and
+/// the resilience bookkeeping (attempts consumed, last error message).
+struct TrialRecord {
+  std::size_t trial = 0;
+  TrialSeeds seeds;
+  TrialOutcome outcome;
+  std::size_t attempts = 1;  ///< 1 + retries consumed
+  std::string error;         ///< last failure message when timed_out/failed
+};
+
+/// One JSONL line (no trailing newline) for a trial record.
+std::string to_jsonl(const std::string& design_name,
+                     const TrialRecord& record);
+
+/// Parse a line produced by to_jsonl; `design_name` (optional out) receives
+/// the record's design field. Returns nullopt for malformed or torn lines.
+std::optional<TrialRecord> parse_trial_jsonl(const std::string& line,
+                                             std::string* design_name =
+                                                 nullptr);
+
+struct JournalPrefix {
+  std::vector<TrialRecord> records;  ///< trials 0..k-1, in order
+  std::vector<std::string> lines;    ///< the same records, verbatim bytes
+};
+
+/// Longest valid prefix of the journal at `path`: line i must parse, carry
+/// trial == i, and match `design_name` and `expected_seeds[i]`. A missing
+/// file yields an empty prefix.
+JournalPrefix load_journal_prefix(const std::string& path,
+                                  const std::string& design_name,
+                                  const std::vector<TrialSeeds>&
+                                      expected_seeds);
+
+}  // namespace nonmask

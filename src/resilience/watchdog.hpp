@@ -1,0 +1,55 @@
+// Resilient trial execution: cooperative watchdog deadlines and bounded
+// retry-with-backoff around run_trial.
+//
+// The watchdog is cooperative: the deadline is checked between engine steps
+// (piggybacked on the perturb hook, every 128 steps), so a runaway trial is
+// interrupted at the next step boundary — never mid-action — and the worker
+// thread moves straight on to the next trial instead of hanging the pool. A
+// trial stuck *inside* one predicate or action evaluation cannot be
+// interrupted; the shipped protocols are all bounded per step.
+#pragma once
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "engine/experiment.hpp"
+
+namespace nonmask {
+
+/// Thrown by the watchdog-wrapped perturb hook when a trial exceeds its
+/// deadline; callers of run_trial_resilient never see it.
+class TrialDeadlineExceeded : public std::runtime_error {
+ public:
+  explicit TrialDeadlineExceeded(std::chrono::milliseconds deadline)
+      : std::runtime_error("trial exceeded watchdog deadline of " +
+                           std::to_string(deadline.count()) + " ms") {}
+};
+
+struct TrialPolicy {
+  /// Wall-clock budget per attempt; zero = no watchdog.
+  std::chrono::milliseconds deadline{0};
+  /// Retries for trials that throw (factories, predicates, allocation). A
+  /// deadline hit is *not* retried: a timed-out attempt is deterministic
+  /// given its seeds and would time out again.
+  std::size_t max_retries = 0;
+  /// Sleep before retry r (0-based) is backoff << min(r, 10).
+  std::chrono::milliseconds backoff{0};
+};
+
+struct ResilientOutcome {
+  TrialOutcome outcome;
+  std::size_t attempts = 1;  ///< 1 + retries consumed
+  std::string error;         ///< last failure message, when any attempt failed
+};
+
+/// run_trial with `policy` applied. Never lets a trial failure escape: a
+/// deadline hit yields outcome.timed_out, exhausted retries yield
+/// outcome.failed (both with the convergence flags false and the error
+/// message captured). Same purity contract as run_trial otherwise.
+ResilientOutcome run_trial_resilient(const Design& design,
+                                     const ConvergenceExperiment& config,
+                                     TrialSeeds seeds,
+                                     const TrialPolicy& policy = {});
+
+}  // namespace nonmask

@@ -1,6 +1,7 @@
 // Unit tests for fault models and injectors.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <set>
 
@@ -156,6 +157,37 @@ TEST(InjectorTest, HookDrivesSimulation) {
   EXPECT_TRUE(r.exhausted);
   EXPECT_EQ(r.final_state.get(x), 0);  // last fault long since repaired
   EXPECT_EQ(inj.faults_injected(), 5u);
+}
+
+TEST(InjectorTest, BernoulliValidatesProbability) {
+  const auto model = std::make_shared<CorruptKVariables>(1);
+  EXPECT_THROW(FaultInjector::bernoulli(model, -0.1, 10, 1),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector::bernoulli(model, 1.5, 10, 1),
+               std::invalid_argument);
+  EXPECT_THROW(FaultInjector::bernoulli(
+                   model, std::numeric_limits<double>::quiet_NaN(), 10, 1),
+               std::invalid_argument);
+  EXPECT_NO_THROW(FaultInjector::bernoulli(model, 0.0, 10, 1));
+  EXPECT_NO_THROW(FaultInjector::bernoulli(model, 1.0, 10, 1));
+}
+
+TEST(InjectorTest, OwningHookKeepsInjectorAlive) {
+  Program p = five_process_program();
+  const VarId a0 = p.find_variable("a.0");
+  auto inj = std::make_shared<FaultInjector>(FaultInjector::one_shot(
+      std::make_shared<TargetedCorruption>(std::vector<VarId>{a0},
+                                           std::vector<Value>{9}),
+      0, 1));
+  auto hook = FaultInjector::hook(inj, p);
+  const std::weak_ptr<FaultInjector> watch = inj;
+  inj.reset();  // the hook holds the only remaining reference
+  EXPECT_FALSE(watch.expired());
+  State s = p.initial_state();
+  hook(0, s);
+  EXPECT_EQ(s.get(a0), 9);
+  hook = nullptr;
+  EXPECT_TRUE(watch.expired());
 }
 
 }  // namespace

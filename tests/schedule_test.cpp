@@ -1,0 +1,135 @@
+// Unit tests for composable fault schedules.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "faults/fault.hpp"
+#include "faults/schedule.hpp"
+
+namespace nonmask {
+namespace {
+
+Program two_var_program() {
+  ProgramBuilder b("sched");
+  b.var("x", 0, 9, 0);
+  b.var("y", 0, 9, 1);
+  return b.build();
+}
+
+FaultModelPtr set_var(VarId v, Value value) {
+  return std::make_shared<TargetedCorruption>(std::vector<VarId>{v},
+                                              std::vector<Value>{value});
+}
+
+std::vector<std::size_t> steps_of(const FaultSchedule& s) {
+  std::vector<std::size_t> steps;
+  for (const auto& strike : s.strikes()) steps.push_back(strike.step);
+  return steps;
+}
+
+TEST(FaultScheduleTest, AtBurstSustainedShapes) {
+  Program p = two_var_program();
+  const VarId x = p.find_variable("x");
+  const auto m = set_var(x, 1);
+
+  const auto one = FaultSchedule::at(m, 5);
+  EXPECT_EQ(steps_of(one), (std::vector<std::size_t>{5}));
+  EXPECT_EQ(one.last_step(), 5u);
+
+  const auto b = FaultSchedule::burst(m, 2, 3);
+  EXPECT_EQ(steps_of(b), (std::vector<std::size_t>{2, 3, 4}));
+
+  const auto s = FaultSchedule::sustained(m, 1, 3, 3);
+  EXPECT_EQ(steps_of(s), (std::vector<std::size_t>{1, 4, 7}));
+
+  // Period 0 degenerates to a burst.
+  const auto s0 = FaultSchedule::sustained(m, 0, 0, 2);
+  EXPECT_EQ(steps_of(s0), (std::vector<std::size_t>{0, 1}));
+
+  EXPECT_TRUE(FaultSchedule().empty());
+  EXPECT_EQ(FaultSchedule().last_step(), 0u);
+}
+
+TEST(FaultScheduleTest, ComposeSortsByStepKeepingCompositionOrder) {
+  Program p = two_var_program();
+  const VarId x = p.find_variable("x");
+  const auto composed = FaultSchedule::compose(
+      {FaultSchedule::at(set_var(x, 7), 4), FaultSchedule::at(set_var(x, 2), 1),
+       FaultSchedule::at(set_var(x, 9), 4)});
+  EXPECT_EQ(steps_of(composed), (std::vector<std::size_t>{1, 4, 4}));
+
+  // Both step-4 strikes hit x; composition order makes the later part win.
+  State s = p.initial_state();
+  Rng rng(1);
+  composed.apply(4, p, s, rng);
+  EXPECT_EQ(s.get(x), 9);
+}
+
+TEST(FaultScheduleTest, ThenSequencesAfterLastStrike) {
+  Program p = two_var_program();
+  const VarId x = p.find_variable("x");
+  const auto m = set_var(x, 1);
+
+  const auto first = FaultSchedule::burst(m, 0, 3);    // steps 0,1,2
+  const auto second = FaultSchedule::burst(m, 0, 2);   // steps 0,1
+  const auto seq = first.then(second, 2);              // shift by 2+2
+  EXPECT_EQ(steps_of(seq), (std::vector<std::size_t>{0, 1, 2, 4, 5}));
+
+  // An empty receiver sequences to `next` unshifted.
+  EXPECT_EQ(steps_of(FaultSchedule().then(second, 5)),
+            (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(FaultScheduleTest, ApplyOnlyStrikesTheGivenStep) {
+  Program p = two_var_program();
+  const VarId x = p.find_variable("x");
+  const VarId y = p.find_variable("y");
+  const auto sched = FaultSchedule::compose(
+      {FaultSchedule::at(set_var(x, 5), 3), FaultSchedule::at(set_var(y, 6), 8)});
+  State s = p.initial_state();
+  Rng rng(1);
+  sched.apply(3, p, s, rng);
+  EXPECT_EQ(s.get(x), 5);
+  EXPECT_NE(s.get(y), 6);
+  sched.apply(4, p, s, rng);  // no strike at 4: no change
+  EXPECT_EQ(s.get(x), 5);
+  EXPECT_NE(s.get(y), 6);
+}
+
+TEST(FaultScheduleTest, HookIsDeterministicAndFiresMissedSteps) {
+  Program p = two_var_program();
+  const auto model = std::make_shared<CorruptKVariables>(1);
+  const auto sched = FaultSchedule::sustained(model, 2, 2, 4);
+
+  auto run = [&](std::uint64_t seed) {
+    auto hook = sched.hook(p, seed);
+    State s = p.initial_state();
+    // Step past some scheduled steps (the engine only guarantees
+    // monotonically increasing steps, not contiguity).
+    for (std::size_t step : {0u, 2u, 5u, 9u}) hook(step, s);
+    return s;
+  };
+  const State a = run(11);
+  const State b = run(11);
+  for (std::uint32_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.get(VarId(i)), b.get(VarId(i)));
+  }
+}
+
+TEST(FaultScheduleTest, HookOutlivesSchedule) {
+  Program p = two_var_program();
+  const VarId x = p.find_variable("x");
+  std::function<void(std::size_t, State&)> hook;
+  {
+    const auto sched = FaultSchedule::at(set_var(x, 8), 0);
+    hook = sched.hook(p, 1);
+  }  // schedule destroyed; the hook owns its own copy of the strikes
+  State s = p.initial_state();
+  hook(0, s);
+  EXPECT_EQ(s.get(x), 8);
+}
+
+}  // namespace
+}  // namespace nonmask
