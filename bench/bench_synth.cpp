@@ -1,0 +1,143 @@
+// Synthesis pipeline cost: full CEGIS runs on the acceptance protocols
+// (grammar enumeration + local pruning + seed replay + falsification +
+// exact checking + certification), the seed-replay probe in isolation, and
+// the pruning-heavy chain workload where most combinations die before the
+// exact checker. (Infrastructure scaling, not a paper claim — the paper
+// derives these programs by hand.)
+#include <benchmark/benchmark.h>
+
+#include "bench_report.hpp"
+
+#include "checker/convergence_check.hpp"
+#include "checker/falsify.hpp"
+#include "checker/state_space.hpp"
+#include "protocols/coloring.hpp"
+#include "protocols/diffusing.hpp"
+#include "protocols/running_example.hpp"
+#include "protocols/token_ring.hpp"
+#include "synth/synthesize.hpp"
+
+using namespace nonmask;
+
+namespace {
+
+void report_counters(benchmark::State& state,
+                     const synth::SynthesisResult& result,
+                     std::uint64_t runs) {
+  state.counters["evaluated"] =
+      static_cast<double>(result.stats.evaluated);
+  state.counters["seed_pruned"] =
+      static_cast<double>(result.stats.pruned_by_seed);
+  state.counters["falsified"] = static_cast<double>(result.stats.falsified);
+  state.counters["exact_checks"] =
+      static_cast<double>(result.stats.exact_checks);
+  state.counters["evals/s"] = benchmark::Counter(
+      static_cast<double>(result.stats.evaluated * runs),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_SynthesizeDiffusing(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto candidate =
+      make_diffusing(RootedTree::balanced(n, 2), false).design.candidate();
+  synth::SynthesisResult result;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    result = synth::synthesize(candidate);
+    benchmark::DoNotOptimize(result.success);
+    ++runs;
+  }
+  report_counters(state, result, runs);
+}
+
+void BM_SynthesizeTokenRing(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto candidate =
+      make_token_ring_bounded(n, 3, false).design.candidate();
+  synth::SynthesisResult result;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    result = synth::synthesize(candidate);
+    benchmark::DoNotOptimize(result.success);
+    ++runs;
+  }
+  report_counters(state, result, runs);
+}
+
+void BM_SynthesizeColoring(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto candidate =
+      make_coloring(UndirectedGraph::cycle(n)).design.candidate();
+  synth::SynthesisResult result;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    result = synth::synthesize(candidate);
+    benchmark::DoNotOptimize(result.success);
+    ++runs;
+  }
+  report_counters(state, result, runs);
+}
+
+/// The chain candidate from tests/synth_test.cpp: the first three
+/// combinations livelock, so this measures the falsify + seed-replay path
+/// rather than the happy path.
+CandidateTriple make_chain_candidate() {
+  CandidateTriple t;
+  t.program = Program("chain");
+  const VarId a = t.program.add_variable({"a", 0, 3});
+  const VarId b = t.program.add_variable({"b", 0, 3});
+  const VarId c = t.program.add_variable({"c", 0, 3});
+  t.invariant.add({"a=b",
+                   [a, b](const State& s) { return s.get(a) == s.get(b); },
+                   {a, b}});
+  t.invariant.add({"b=c",
+                   [b, c](const State& s) { return s.get(b) == s.get(c); },
+                   {b, c}});
+  t.invariant.add({"c=0", [c](const State& s) { return s.get(c) == 0; }, {c}});
+  return t;
+}
+
+void BM_CegisPruningPath(benchmark::State& state) {
+  const auto candidate = make_chain_candidate();
+  synth::SynthesisOptions opts;
+  opts.batch = static_cast<std::size_t>(state.range(0));
+  synth::SynthesisResult result;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    result = synth::synthesize(candidate, opts);
+    benchmark::DoNotOptimize(result.success);
+    ++runs;
+  }
+  report_counters(state, result, runs);
+}
+
+void BM_SeedProbe(benchmark::State& state) {
+  // Probe throughput from inside the kWriteXBoth livelock region — the
+  // per-seed cost every surviving combination pays during replay.
+  const Design d = make_running_example(RunningExampleVariant::kWriteXBoth);
+  const StateSpace space(d.program);
+  const auto exact = check_convergence(space, d.S(), d.T());
+  const State start = exact.cycle->front();
+  std::uint64_t probes = 0;
+  for (auto _ : state) {
+    const auto r = probe_violation_from(d, start);
+    benchmark::DoNotOptimize(r.violated);
+    ++probes;
+  }
+  state.counters["probes/s"] = benchmark::Counter(
+      static_cast<double>(probes), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SynthesizeDiffusing)->Arg(3)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SynthesizeTokenRing)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SynthesizeColoring)->Arg(4)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CegisPruningPath)->Arg(1)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SeedProbe);
+
+NONMASK_BENCHMARK_MAIN("bench_synth");

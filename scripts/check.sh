@@ -71,3 +71,32 @@ json.load(open(f"{d}/report.json"))
 print(f"ok: {len(events)} trace events, {len(tids)} sweep workers")
 EOF
 fi
+
+# Synthesis smoke: re-derive the acceptance protocols from closure actions +
+# constraints alone, and check the JSON report is byte-identical across
+# thread counts (the CEGIS determinism contract). bench_synth additionally
+# writes its candidates/sec + prune-rate table to BENCH_synth.json.
+echo "== synthesis smoke =="
+synth_dir="$(mktemp -d)"
+trap 'rm -rf "${resume_dir}" "${obs_dir}" "${synth_dir}"' EXIT
+NONMASK_THREADS=1 ./build/examples/design_workbench --synthesize --seed=7 \
+  --report-out="${synth_dir}/synthesis_t1.json" >/dev/null
+NONMASK_THREADS=8 ./build/examples/design_workbench --synthesize --seed=7 \
+  --report-out="${synth_dir}/synthesis_t8.json" >/dev/null
+diff "${synth_dir}/synthesis_t1.json" "${synth_dir}/synthesis_t8.json"
+echo "ok: synthesis reports byte-identical at 1 and 8 threads"
+if command -v python3 >/dev/null; then
+  python3 - "${synth_dir}/synthesis_t1.json" <<'EOF'
+import json, sys
+reports = json.load(open(sys.argv[1]))
+assert len(reports) >= 4, f"expected >= 4 synthesis targets, got {len(reports)}"
+for r in reports:
+    assert r["success"], r["design"]
+    assert r["exact"]["verdict"] == "converges", r["design"]
+    assert not r["certificate"].get("audit_problems"), r["design"]
+print("ok:", {r["design"]: r["certificate"]["method"] for r in reports})
+EOF
+fi
+./build/bench/bench_synth --benchmark_min_time=0.01 \
+  --benchmark_out=BENCH_synth.json --benchmark_out_format=json >/dev/null
+echo "ok: wrote BENCH_synth.json"

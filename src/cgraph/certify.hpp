@@ -18,9 +18,18 @@
 
 namespace nonmask {
 
-/// Audit a report produced by validate_theorem1/2 against the constraint
+/// Audit a report produced by validate_theorem1/2/3 against the constraint
 /// graph it was computed from. Returns human-readable problems (empty =
 /// certificate verifies). Reports that do not apply audit trivially.
+///
+/// Layered (Theorem 3) reports carry their layer partition in
+/// report.layers; for those the audit re-checks the layer structure
+/// instead of the per-node order mapping: the layers must partition the
+/// design's convergence actions, every per-layer constraint graph must be
+/// free of cycles of length > 1, and the preserves-obligations between
+/// layers (closure actions and higher-layer convergence actions preserve
+/// lower-layer constraints under the layer context) must re-verify on an
+/// independent sampling stream.
 std::vector<std::string> audit_certificate(const Design& design,
                                            const ConstraintGraph& cg,
                                            const TheoremReport& report,

@@ -385,6 +385,7 @@ TheoremReport validate_theorem3(
     const ValidationOptions& opts) {
   TheoremReport report;
   report.theorem = "Theorem 3 (layered constraint graphs)";
+  report.layers = layers;
 
   bool ok = fault_span_obligations(report, design, opts);
   {

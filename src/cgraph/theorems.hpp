@@ -43,6 +43,10 @@ struct TheoremReport {
   std::vector<int> ranks;  ///< constraint-graph node ranks (thms 1-2)
   /// Per-node linear order of in-edge convergence actions (thm 2 / thm 3).
   std::vector<std::vector<std::size_t>> node_orders;
+  /// The layer partition the report was validated against (thm 3 only):
+  /// layers[l] lists convergence-action indices into design.program. Part
+  /// of the certificate — audit_certificate re-checks it independently.
+  std::vector<std::vector<std::size_t>> layers;
 };
 
 struct ValidationOptions {

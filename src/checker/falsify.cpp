@@ -1,6 +1,8 @@
 #include "checker/falsify.hpp"
 
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -67,6 +69,81 @@ FalsifyResult falsify_convergence(const Design& design,
       }
       s = p.action(choice).apply(s);
     }
+  }
+  return result;
+}
+
+FalsifyResult probe_violation_from(const Design& design, const State& start,
+                                   const ProbeOptions& opts) {
+  const Program& p = design.program;
+  const PredicateFn S = design.S();
+  const PredicateFn T = design.T();
+  FalsifyResult result;
+  if (!T(start) || S(start)) return result;
+  result.walks_run = 1;
+
+  // Iterative DFS with explicit three-color marking: a gray (on-stack)
+  // revisit is a back edge, i.e. a ¬S cycle.
+  enum class Color { kGray, kBlack };
+  std::unordered_map<std::uint64_t, std::vector<std::pair<State, Color>>>
+      seen;
+  auto find = [&seen](const State& s) -> Color* {
+    auto it = seen.find(s.hash());
+    if (it == seen.end()) return nullptr;
+    for (auto& [state, color] : it->second) {
+      if (state == s) return &color;
+    }
+    return nullptr;
+  };
+
+  struct Frame {
+    State state;
+    std::vector<std::size_t> enabled;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  std::uint64_t visited = 0;
+
+  auto push = [&](State s) -> bool {
+    if (++visited > opts.max_states) return false;
+    seen[s.hash()].emplace_back(s, Color::kGray);
+    auto enabled = p.enabled_actions(s);
+    if (enabled.empty()) {
+      result.violated = true;
+      result.deadlock = std::move(s);
+      return false;
+    }
+    stack.push_back(Frame{std::move(s), std::move(enabled)});
+    return true;
+  };
+
+  if (!push(start)) return result;
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next == top.enabled.size()) {
+      *find(top.state) = Color::kBlack;
+      stack.pop_back();
+      continue;
+    }
+    ++result.steps_taken;
+    State succ = p.action(top.enabled[top.next++]).apply(top.state);
+    if (S(succ)) continue;  // converging branch; nothing to report here
+    if (Color* color = find(succ)) {
+      if (*color == Color::kGray) {
+        // Extract the cycle: the stack suffix from succ's frame down.
+        std::vector<State> cycle;
+        std::size_t at = stack.size();
+        while (at > 0 && !(stack[at - 1].state == succ)) --at;
+        for (std::size_t i = at == 0 ? 0 : at - 1; i < stack.size(); ++i) {
+          cycle.push_back(stack[i].state);
+        }
+        result.violated = true;
+        result.cycle = std::move(cycle);
+        return result;
+      }
+      continue;  // black: already explored, no violation beneath it
+    }
+    if (!push(std::move(succ))) return result;
   }
   return result;
 }

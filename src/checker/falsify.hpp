@@ -50,4 +50,22 @@ struct FalsifyResult {
 FalsifyResult falsify_convergence(const Design& design,
                                   const FalsifyOptions& opts = {});
 
+struct ProbeOptions {
+  /// Give up after visiting this many distinct ¬S states.
+  std::uint64_t max_states = 4'096;
+};
+
+/// Sound bounded counterexample probe from one start state: exhaustive DFS
+/// over the ¬S states reachable from `start` without passing through S. A
+/// back edge closes a cycle lying entirely outside S (an unfair daemon can
+/// loop forever); a ¬S state with no enabled action is a deadlock. Either
+/// finding certifies a convergence violation — provided `start` satisfies
+/// T ∧ ¬S, which the probe checks and otherwise reports nothing. Exceeding
+/// `max_states` reports nothing (the probe is a falsifier, like the random
+/// walks above, but deterministic and complete within its budget — the
+/// synthesizer replays prior counterexample states through it to discard
+/// broken candidates without touching the exhaustive checker).
+FalsifyResult probe_violation_from(const Design& design, const State& start,
+                                   const ProbeOptions& opts = {});
+
 }  // namespace nonmask

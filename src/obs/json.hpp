@@ -30,6 +30,10 @@ class JsonWriter {
   void value(const char* v) { value(std::string_view(v)); }
   void value(std::uint64_t v);
   void value(std::int64_t v);
+  /// Plain int / size_t literals would otherwise be ambiguous between the
+  /// integer overloads; forward them explicitly.
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
   void value(double v);  ///< non-finite values serialize as null
   void value(bool v);
   void null();

@@ -117,4 +117,13 @@ void parallel_for_chunked(
   if (*first_error) std::rethrow_exception(*first_error);
 }
 
+void parallel_for_each(
+    ThreadPool& pool, std::size_t count,
+    const std::function<void(std::size_t index, unsigned worker)>& fn) {
+  parallel_for_chunked(
+      pool, 0, static_cast<std::uint64_t>(count), 1,
+      [&fn](std::size_t chunk, std::uint64_t, std::uint64_t,
+            unsigned worker) { fn(chunk, worker); });
+}
+
 }  // namespace nonmask

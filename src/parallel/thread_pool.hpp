@@ -74,4 +74,13 @@ void parallel_for_chunked(
     const std::function<void(std::size_t chunk, std::uint64_t lo,
                              std::uint64_t hi, unsigned worker)>& fn);
 
+/// Run `fn(index, worker)` for every index in [0, count) — the grain-1
+/// special case of parallel_for_chunked, for heterogeneous work items
+/// (e.g. synthesis candidate evaluations) where per-index cost varies too
+/// much for fixed chunking to balance. Same determinism contract: callers
+/// key results by index; completion order is irrelevant.
+void parallel_for_each(
+    ThreadPool& pool, std::size_t count,
+    const std::function<void(std::size_t index, unsigned worker)>& fn);
+
 }  // namespace nonmask

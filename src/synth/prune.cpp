@@ -1,0 +1,69 @@
+#include "synth/prune.hpp"
+
+#include "checker/state_space.hpp"
+#include "util/rng.hpp"
+
+namespace nonmask::synth {
+
+LocalPruneResult prune_local(const CandidateTriple& candidate,
+                             const Action& action,
+                             const Constraint& constraint,
+                             const PreservesOptions& opts) {
+  LocalPruneResult result;
+  const PredicateFn T = candidate.T();
+
+  // Establishment: from any T-state violating c, one execution establishes
+  // c. (The guard is ¬c, so these are exactly the enabled T-states.)
+  result.establishes = true;
+  auto check_at = [&](const State& s) {
+    if (!T(s) || constraint.fn(s)) return true;
+    if (constraint.fn(action.apply(s))) return true;
+    result.establishes = false;
+    result.counterexample = s;
+    return false;
+  };
+  if (opts.space != nullptr) {
+    State scratch(candidate.program.num_variables());
+    for (std::uint64_t code = 0; code < opts.space->size(); ++code) {
+      opts.space->decode_into(code, scratch);
+      if (!check_at(scratch)) break;
+    }
+  } else {
+    Rng rng(opts.seed ^ 0xe57ab115ULL);
+    for (std::uint64_t i = 0; i < opts.samples; ++i) {
+      if (!check_at(candidate.program.random_state(rng))) break;
+    }
+  }
+  if (!result.establishes) return result;
+
+  // Fault-span preservation (the "while preserving T" half of Section 3).
+  PreservesOptions po = opts;
+  po.seed = opts.seed ^ 0x7a57ULL;  // independent sampling stream
+  const auto pr = check_preserves(candidate.program, action, T, po);
+  result.preserves_T = pr.preserves;
+  if (!pr.preserves && pr.counterexample) {
+    result.counterexample = pr.counterexample;
+  }
+  return result;
+}
+
+bool SeedBank::add(const State& s) {
+  const std::uint64_t h = s.hash();
+  auto& bucket = index_[h];
+  for (std::size_t i : bucket) {
+    if (seeds_[i] == s) return false;
+  }
+  bucket.push_back(seeds_.size());
+  seeds_.push_back(s);
+  return true;
+}
+
+std::size_t SeedBank::add_all(const std::vector<State>& states) {
+  std::size_t added = 0;
+  for (const State& s : states) {
+    if (add(s)) ++added;
+  }
+  return added;
+}
+
+}  // namespace nonmask::synth
