@@ -12,6 +12,9 @@
 // Flags:
 //   --worst-out=PATH   write the worst traces found as one JSON document
 //                      (uploaded as a CI artifact by .github/workflows)
+//   --state-budget=N   exhaustive-mode cutoff: the adversary switches to
+//                      hill-climbing above N states (default from
+//                      NONMASK_STATE_BUDGET, else 2^20)
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -23,6 +26,7 @@
 #include "protocols/diffusing.hpp"
 #include "protocols/token_ring.hpp"
 #include "resilience/adversary.hpp"
+#include "store/config.hpp"
 
 using namespace nonmask;
 
@@ -121,22 +125,32 @@ DemoResult run_demo(const Design& design, const AdversaryOptions& opts,
 
 int main(int argc, char** argv) {
   std::vector<std::string> pos;
-  std::string worst_out;
+  std::string worst_out, state_budget;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string value;
     if (arg == "--help" || arg == "-h") {
       std::cout << "usage: adversary_demo [ring|tree|both] [k] [seed] "
-                   "[trials] [--worst-out=PATH]\n";
+                   "[trials] [--worst-out=PATH] [--state-budget=N]\n";
       return 0;
     } else if (flag_value(arg, "--worst-out", &value)) {
       worst_out = value;
+    } else if (flag_value(arg, "--state-budget", &value)) {
+      state_budget = value;
     } else {
       pos.push_back(arg);
     }
   }
   const std::string which = pos.size() > 0 ? pos[0] : "both";
   AdversaryOptions opts;
+  // The flag (or NONMASK_STATE_BUDGET) raises the cutoff below which the
+  // adversary runs the exact exhaustive analysis instead of hill-climbing.
+  // Only an explicit setting overrides the adversary's own default.
+  if (!state_budget.empty()) {
+    opts.exhaustive_budget = std::strtoull(state_budget.c_str(), nullptr, 10);
+  } else if (std::getenv("NONMASK_STATE_BUDGET") != nullptr) {
+    opts.exhaustive_budget = store::StoreConfig::from_env().budget;
+  }
   opts.budget_k =
       pos.size() > 1 ? static_cast<std::size_t>(std::atoll(pos[1].c_str()))
                      : 2;
@@ -169,7 +183,12 @@ int main(int argc, char** argv) {
       std::cerr << "cannot open " << worst_out << " for writing\n";
       return 2;
     }
-    out << "{\"worst_traces\":[";
+    // Record the backend + budget the run used so the artifact is
+    // self-describing (mirrors the obs run reports elsewhere).
+    const auto store_cfg = store::StoreConfig::from_env();
+    out << "{\"store_backend\":\"" << store::to_string(store_cfg.backend)
+        << "\",\"state_budget\":" << opts.exhaustive_budget
+        << ",\"worst_traces\":[";
     for (std::size_t i = 0; i < artifacts.size(); ++i) {
       if (i > 0) out << ",";
       out << artifacts[i];

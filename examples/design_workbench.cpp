@@ -12,6 +12,12 @@
 // actions from scratch, printing the winner, its certificate, and the
 // pruning statistics. Flags: --seed=N, --max-candidates=N,
 // --report-out=PATH (JSON array of per-target synthesis reports).
+//
+// Backend selection: --backend=legacy|store picks the dense arrays or the
+// compact state store for every exhaustive check (results are
+// byte-identical; the store scales further), and --state-budget=N caps the
+// state-space size. Both default from NONMASK_STORE_BACKEND /
+// NONMASK_STATE_BUDGET.
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -27,6 +33,7 @@
 #include "checker/state_space.hpp"
 #include "msg/mp_diffusing.hpp"
 #include "msg/mp_token_ring.hpp"
+#include "store/facade.hpp"
 #include "protocols/atomic_action.hpp"
 #include "protocols/coloring.hpp"
 #include "protocols/diffusing.hpp"
@@ -50,9 +57,9 @@ struct Entry {
   std::vector<std::vector<std::size_t>> layers;  // optional, for Theorem 3
 };
 
-void report_row(const Entry& e) {
+void report_row(const Entry& e, const store::StoreConfig& store_cfg) {
   const Design& d = e.design;
-  StateSpace space(d.program);
+  StateSpace space(d.program, store_cfg.budget);
   ValidationOptions opts;
   opts.space = &space;
 
@@ -71,7 +78,8 @@ void report_row(const Entry& e) {
     verdict = "graph: " + cg.error;
   }
 
-  const auto exact = check_convergence(space, d.S(), d.T());
+  const auto exact =
+      store::check_convergence_via(store_cfg, space, d.S(), d.T());
   std::cout << std::left << std::setw(34) << d.name << std::setw(23) << via
             << std::setw(14) << verdict << std::setw(11)
             << to_string(exact.verdict);
@@ -80,7 +88,8 @@ void report_row(const Entry& e) {
   } else if (exact.cycle) {
     std::cout << "cycle of " << exact.cycle->size();
     // The paper's computations are fair; check whether fairness rescues it.
-    const auto fair = check_convergence_weakly_fair(space, d.S(), d.T());
+    const auto fair = store::check_convergence_weakly_fair_via(
+        store_cfg, space, d.S(), d.T());
     std::cout << "; weakly-fair: " << to_string(fair.verdict);
   } else if (exact.deadlock) {
     std::cout << "deadlock";
@@ -94,7 +103,8 @@ struct SynthTarget {
 };
 
 int run_synthesize(std::uint64_t seed, std::uint64_t max_candidates,
-                   const std::string& report_out) {
+                   const std::string& report_out,
+                   const store::StoreConfig& store_cfg) {
   std::cout << "design workbench — CEGIS synthesis of convergence actions\n"
             << "(seed " << seed << ", max " << max_candidates
             << " combinations per target)\n";
@@ -118,6 +128,8 @@ int run_synthesize(std::uint64_t seed, std::uint64_t max_candidates,
     opts.seed = seed;
     opts.max_candidates = max_candidates;
     opts.design_name = target.label + "-synth";
+    opts.store = store_cfg;
+    opts.state_budget = store_cfg.budget;
     const auto result = synth::synthesize(target.candidate, opts);
 
     std::cout << "\n=== " << target.label << " ===\n";
@@ -167,6 +179,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0x5e17ULL;
   std::uint64_t max_candidates = 50'000;
   std::string report_out;
+  store::StoreConfig store_cfg = store::StoreConfig::from_env();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--synthesize") {
@@ -177,13 +190,28 @@ int main(int argc, char** argv) {
       max_candidates = std::strtoull(arg.c_str() + 17, nullptr, 10);
     } else if (arg.rfind("--report-out=", 0) == 0) {
       report_out = arg.substr(13);
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      const std::string backend = arg.substr(10);
+      if (backend == "store") {
+        store_cfg.backend = store::StoreBackend::kStore;
+      } else if (backend == "legacy") {
+        store_cfg.backend = store::StoreBackend::kLegacyDense;
+      } else {
+        std::cerr << "unknown backend '" << backend << "'\n";
+        return 2;
+      }
+    } else if (arg.rfind("--state-budget=", 0) == 0) {
+      store_cfg.budget = std::strtoull(arg.c_str() + 15, nullptr, 10);
     } else {
       std::cerr << "usage: design_workbench [--synthesize] [--seed=N]\n"
-                   "         [--max-candidates=N] [--report-out=PATH]\n";
+                   "         [--max-candidates=N] [--report-out=PATH]\n"
+                   "         [--backend=legacy|store] [--state-budget=N]\n";
       return 2;
     }
   }
-  if (synthesize) return run_synthesize(seed, max_candidates, report_out);
+  if (synthesize) {
+    return run_synthesize(seed, max_candidates, report_out, store_cfg);
+  }
   std::cout << "design workbench — theorem validation vs exact checking\n\n"
             << std::left << std::setw(34) << "design" << std::setw(23)
             << "graph shape" << std::setw(14) << "validated by"
@@ -225,13 +253,13 @@ int main(int argc, char** argv) {
   entries.push_back({make_mp_token_ring(2, 3).design, {}});
   entries.push_back({make_mp_diffusing(RootedTree::chain(3)).design, {}});
 
-  for (const auto& e : entries) report_row(e);
+  for (const auto& e : entries) report_row(e, store_cfg);
 
   // Section 3's classification, applied mechanically.
   std::cout << "\nmasking vs nonmasking (Section 3 classification):\n";
   for (Design d : {make_tmr(true).design, make_tmr(false).design,
                    make_atomic_action(2).design}) {
-    StateSpace space(d.program);
+    StateSpace space(d.program, store_cfg.budget);
     std::cout << "  " << std::left << std::setw(20) << d.name << " -> "
               << to_string(classify_tolerance(space, d)) << "\n";
   }

@@ -41,6 +41,7 @@
 #include "protocols/coloring.hpp"
 #include "protocols/diffusing.hpp"
 #include "protocols/token_ring.hpp"
+#include "store/config.hpp"
 #include "util/rng.hpp"
 
 using namespace nonmask;
@@ -237,6 +238,11 @@ int main(int argc, char** argv) {
     obs::RunReport report("parallel_campaign", design.name);
     report.add_number("trials", std::uint64_t{config.trials});
     report.add_number("seed", config.seed);
+    // Record the store configuration active for this run, so a report is
+    // reproducible without knowing the environment it ran under.
+    const auto store_cfg = store::StoreConfig::from_env();
+    report.add_text("store_backend", store::to_string(store_cfg.backend));
+    report.add_number("state_budget", store_cfg.budget);
     report.add("campaign", obs::to_json(results.aggregate));
     report.write(out);
   }

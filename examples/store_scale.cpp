@@ -1,0 +1,134 @@
+// Scale probe for the compact state store: run the exhaustive convergence
+// check on Dijkstra's K-state ring at a chosen size, through either
+// backend, and report states/sec and peak RSS. This is the driver behind
+// EXPERIMENTS.md E13 (the token-ring N sweep) and the 10^8-state
+// acceptance run for src/store/ — the dense backend physically cannot
+// finish the large points, which is the whole argument for the store.
+//
+// Usage:  store_scale [N] [K]
+//   N   ring size                       (default: 4)
+//   K   counter modulus, must be > N    (default: N + 1; K^N states)
+//
+// Flags:
+//   --backend=legacy|store  engine selection (default NONMASK_STORE_BACKEND)
+//   --state-budget=M        StateSpace budget (default NONMASK_STATE_BUDGET)
+//   --threads=T             worker threads for the store sweeps
+//   --report-out=PATH       self-describing run-report JSON
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "checker/state_space.hpp"
+#include "obs/report.hpp"
+#include "protocols/token_ring.hpp"
+#include "store/facade.hpp"
+
+using namespace nonmask;
+
+namespace {
+
+double peak_rss_mb() {
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int n = 4;
+  int k = 0;
+  std::string report_out;
+  store::StoreConfig cfg = store::StoreConfig::from_env();
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: store_scale [N] [K] [--backend=legacy|store]\n"
+                   "         [--state-budget=M] [--threads=T] "
+                   "[--report-out=PATH]\n";
+      return 0;
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      const std::string backend = arg.substr(10);
+      if (backend == "store") {
+        cfg.backend = store::StoreBackend::kStore;
+      } else if (backend == "legacy") {
+        cfg.backend = store::StoreBackend::kLegacyDense;
+      } else {
+        std::cerr << "unknown backend '" << backend << "'\n";
+        return 2;
+      }
+    } else if (arg.rfind("--state-budget=", 0) == 0) {
+      cfg.budget = std::strtoull(arg.c_str() + 15, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      cfg.threads = static_cast<unsigned>(std::atoi(arg.c_str() + 10));
+    } else if (arg.rfind("--report-out=", 0) == 0) {
+      report_out = arg.substr(13);
+    } else if (positional == 0) {
+      n = std::atoi(arg.c_str());
+      ++positional;
+    } else {
+      k = std::atoi(arg.c_str());
+      ++positional;
+    }
+  }
+  if (k == 0) k = n + 1;
+  if (n < 2 || k <= n) {
+    std::cerr << "need N >= 2 and K > N (got N=" << n << ", K=" << k
+              << ")\n";
+    return 2;
+  }
+
+  const auto tr = make_dijkstra_ring(n, k);
+  const auto count = tr.design.program.state_count();
+  if (!count || *count > cfg.budget) {
+    std::cerr << "K^N = " << (count ? std::to_string(*count) : "overflow")
+              << " exceeds the state budget " << cfg.budget
+              << " (raise --state-budget / NONMASK_STATE_BUDGET)\n";
+    return 2;
+  }
+  std::cout << "dijkstra ring N=" << n << " K=" << k << ": " << *count
+            << " states, backend " << store::to_string(cfg.backend) << "\n";
+
+  const StateSpace space(tr.design.program, cfg.budget);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto report =
+      store::check_convergence_via(cfg, space, tr.design.S(), tr.design.T());
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double rate = static_cast<double>(space.size()) / secs;
+
+  std::cout << "verdict: " << to_string(report.verdict)
+            << ", worst " << report.max_steps_to_S << " steps to S\n"
+            << "states in S: " << report.states_in_S
+            << ", region: " << report.region_states
+            << ", transitions: " << report.transitions << "\n"
+            << "elapsed: " << secs << " s  (" << rate << " states/s)\n"
+            << "peak RSS: " << peak_rss_mb() << " MB\n";
+
+  if (!report_out.empty()) {
+    std::ofstream out(report_out);
+    if (!out) {
+      std::cerr << "cannot open " << report_out << " for writing\n";
+      return 2;
+    }
+    obs::RunReport doc("store_scale", tr.design.name);
+    doc.add_text("backend", store::to_string(cfg.backend));
+    doc.add_number("state_budget", cfg.budget);
+    doc.add_number("states", space.size());
+    doc.add_number("elapsed_s", secs);
+    doc.add_number("states_per_sec", rate);
+    doc.add_number("peak_rss_mb", peak_rss_mb());
+    doc.add_text("verdict", to_string(report.verdict));
+    doc.add_number("max_steps_to_S", report.max_steps_to_S);
+    doc.add_number("transitions", report.transitions);
+    doc.write(out);
+    std::cout << "report written to " << report_out << "\n";
+  }
+  return report.verdict == ConvergenceVerdict::kConverges ? 0 : 1;
+}

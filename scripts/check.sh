@@ -100,3 +100,27 @@ fi
 ./build/bench/bench_synth --benchmark_min_time=0.01 \
   --benchmark_out=BENCH_synth.json --benchmark_out_format=json >/dev/null
 echo "ok: wrote BENCH_synth.json"
+
+# Store smoke: every verdict the workbench prints must be byte-identical
+# between the legacy dense backend and the compact store backend, at 1/2/8
+# threads (the two-backend contract of store/facade.hpp), and the env
+# switch must select the same path as the flag. bench_store writes
+# states/sec + peak RSS + shard occupancy to BENCH_store.json.
+echo "== store backend equivalence smoke =="
+store_dir="$(mktemp -d)"
+trap 'rm -rf "${resume_dir}" "${obs_dir}" "${synth_dir}" "${store_dir}"' EXIT
+for t in 1 2 8; do
+  NONMASK_THREADS="${t}" ./build/examples/design_workbench --backend=legacy \
+    > "${store_dir}/wb_legacy_t${t}.txt"
+  NONMASK_THREADS="${t}" ./build/examples/design_workbench --backend=store \
+    > "${store_dir}/wb_store_t${t}.txt"
+  diff "${store_dir}/wb_legacy_t1.txt" "${store_dir}/wb_legacy_t${t}.txt"
+  diff "${store_dir}/wb_legacy_t${t}.txt" "${store_dir}/wb_store_t${t}.txt"
+done
+NONMASK_STORE_BACKEND=store ./build/examples/design_workbench \
+  > "${store_dir}/wb_store_env.txt"
+diff "${store_dir}/wb_store_t1.txt" "${store_dir}/wb_store_env.txt"
+echo "ok: workbench reports byte-identical across backends and 1/2/8 threads"
+./build/bench/bench_store --benchmark_min_time=0.01 \
+  --benchmark_out=BENCH_store.json --benchmark_out_format=json >/dev/null
+echo "ok: wrote BENCH_store.json"

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "checker/closure_check.hpp"
+#include "checker/convergence_core.hpp"
 #include "core/candidate.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
@@ -90,101 +91,36 @@ struct DfsFrame {
 
 }  // namespace
 
+/// Legacy dense bookkeeping: one vector slot per code over the full range.
+/// This is the memory layout that caps the legacy backend at ~32M states;
+/// the store backend instantiates the same core over packed arrays.
+struct DenseDfsBookkeeping {
+  explicit DenseDfsBookkeeping(std::uint64_t size)
+      : color_(size, 0), dist_(size, 0), stack_pos_(size, -1) {}
+
+  std::uint8_t color(std::uint64_t code) const { return color_[code]; }
+  void set_color(std::uint64_t code, std::uint8_t c) { color_[code] = c; }
+  std::uint32_t dist(std::uint64_t code) const { return dist_[code]; }
+  void set_dist(std::uint64_t code, std::uint32_t d) { dist_[code] = d; }
+  std::int64_t stack_pos(std::uint64_t code) const {
+    return stack_pos_[code];
+  }
+  void set_stack_pos(std::uint64_t code, std::int64_t pos) {
+    stack_pos_[code] = pos;
+  }
+
+  std::vector<std::uint8_t> color_;
+  std::vector<std::uint32_t> dist_;
+  std::vector<std::int64_t> stack_pos_;
+};
+
 ConvergenceReport check_convergence_core(const StateSpace& space,
                                          const std::vector<std::uint8_t>& flags,
                                          SuccessorSource& succ,
                                          ConvergenceReport report) {
-  obs::Span dfs_span("checker.dfs");
-  obs::ProgressMeter meter("convergence-dfs");
-  // Colors over the ¬S region: 0 = unvisited, 1 = on DFS stack, 2 = done.
-  std::vector<std::uint8_t> color(space.size(), 0);
-  std::vector<std::uint32_t> dist(space.size(), 0);
-  // Position of each on-stack code within `path` (for cycle extraction).
-  std::vector<std::int64_t> stack_pos(space.size(), -1);
-
-  std::vector<DfsFrame> frames;
-  std::vector<std::uint64_t> path;
-
-  for (std::uint64_t start = 0; start < space.size(); ++start) {
-    if ((flags[start] & kFlagT) == 0) continue;  // computations start in T
-    if ((flags[start] & kFlagS) != 0) continue;  // already in S
-    if (color[start] != 0) continue;
-
-    frames.clear();
-    path.clear();
-
-    auto push_node = [&](std::uint64_t code) -> bool {
-      DfsFrame frame;
-      frame.code = code;
-      succ.successors(code, frame.succs);
-      report.transitions += frame.succs.size();
-      ++report.region_states;
-      meter.add(1);
-      if (frame.succs.empty()) {  // no action enabled
-        report.verdict = ConvergenceVerdict::kViolated;
-        report.deadlock = space.decode(code);
-        return false;
-      }
-      color[code] = 1;
-      stack_pos[code] = static_cast<std::int64_t>(path.size());
-      path.push_back(code);
-      frames.push_back(std::move(frame));
-      return true;
-    };
-
-    if (!push_node(start)) {
-      record_convergence_metrics(report);
-      return report;
-    }
-
-    while (!frames.empty()) {
-      DfsFrame& frame = frames.back();
-      if (frame.next < frame.succs.size()) {
-        const std::uint64_t next = frame.succs[frame.next++];
-        if ((flags[next] & kFlagS) != 0) {
-          dist[frame.code] = std::max(dist[frame.code], 1u);
-          continue;
-        }
-        if (color[next] == 0) {
-          if (!push_node(next)) {
-            record_convergence_metrics(report);
-            return report;
-          }
-        } else if (color[next] == 1) {
-          // Cycle: extract path[stack_pos[next] ..] as the counterexample.
-          std::vector<State> cycle;
-          for (std::size_t i = static_cast<std::size_t>(stack_pos[next]);
-               i < path.size(); ++i) {
-            cycle.push_back(space.decode(path[i]));
-          }
-          report.verdict = ConvergenceVerdict::kViolated;
-          report.cycle = std::move(cycle);
-          record_convergence_metrics(report);
-          return report;
-        } else {
-          dist[frame.code] =
-              std::max(dist[frame.code], dist[next] + 1);
-        }
-      } else {
-        color[frame.code] = 2;
-        stack_pos[frame.code] = -1;
-        path.pop_back();
-        const std::uint32_t d = dist[frame.code];
-        report.max_steps_to_S =
-            std::max<std::uint64_t>(report.max_steps_to_S, d);
-        const std::uint64_t done = frame.code;
-        frames.pop_back();
-        if (!frames.empty()) {
-          dist[frames.back().code] =
-              std::max(dist[frames.back().code], dist[done] + 1);
-        }
-      }
-    }
-  }
-
-  report.verdict = ConvergenceVerdict::kConverges;
-  record_convergence_metrics(report);
-  return report;
+  DenseDfsBookkeeping bk(space.size());
+  return check_convergence_core_impl(space, flags, succ, std::move(report),
+                                     bk);
 }
 
 ConvergenceReport check_convergence_weakly_fair_core(

@@ -1,0 +1,136 @@
+// The cycle/deadlock DFS at the heart of the unfair convergence check,
+// factored as a template over its per-state bookkeeping so one traversal
+// serves two memory layouts:
+//
+//   - the legacy dense path (convergence_check.cpp): byte color, u32 dist,
+//     i64 stack-position vectors sized by the full code range;
+//   - the store path (store/store_check.cpp): 2-bit colors, narrow
+//     distance arrays, and a sparse map for the on-stack positions — the
+//     layout that lifts exhaustive checking from ~32M to 10^8+ states.
+//
+// Both instantiate the *same* statements in the same order, which is the
+// backbone of the store backend's byte-identical-reports contract: given a
+// SuccessorSource yielding identical sorted successor lists, every count,
+// verdict, distance, and counterexample below is a pure function of the
+// traversal, not of the bookkeeping representation.
+//
+// Bookkeeping requirements (all codes pre-initialized to "unvisited"):
+//   std::uint8_t color(code)            0 = unvisited, 1 = on stack, 2 = done
+//   void set_color(code, std::uint8_t)
+//   std::uint32_t dist(code)            longest known path to S (init 0)
+//   void set_dist(code, std::uint32_t)  may throw to reject a distance that
+//                                       exceeds the layout's width
+//   std::int64_t stack_pos(code)        position within the DFS path, -1 off
+//   void set_stack_pos(code, std::int64_t)
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "checker/convergence_check.hpp"
+#include "obs/progress.hpp"
+#include "obs/span.hpp"
+
+namespace nonmask::detail {
+
+template <class Flags, class Bookkeeping>
+ConvergenceReport check_convergence_core_impl(const StateSpace& space,
+                                              const Flags& flags,
+                                              SuccessorSource& succ,
+                                              ConvergenceReport report,
+                                              Bookkeeping& bk) {
+  obs::Span dfs_span("checker.dfs");
+  obs::ProgressMeter meter("convergence-dfs");
+
+  struct DfsFrame {
+    std::uint64_t code;
+    std::vector<std::uint64_t> succs;
+    std::size_t next = 0;
+  };
+  std::vector<DfsFrame> frames;
+  std::vector<std::uint64_t> path;
+
+  for (std::uint64_t start = 0; start < space.size(); ++start) {
+    if ((flags[start] & kFlagT) == 0) continue;  // computations start in T
+    if ((flags[start] & kFlagS) != 0) continue;  // already in S
+    if (bk.color(start) != 0) continue;
+
+    frames.clear();
+    path.clear();
+
+    auto push_node = [&](std::uint64_t code) -> bool {
+      DfsFrame frame;
+      frame.code = code;
+      succ.successors(code, frame.succs);
+      report.transitions += frame.succs.size();
+      ++report.region_states;
+      meter.add(1);
+      if (frame.succs.empty()) {  // no action enabled
+        report.verdict = ConvergenceVerdict::kViolated;
+        report.deadlock = space.decode(code);
+        return false;
+      }
+      bk.set_color(code, 1);
+      bk.set_stack_pos(code, static_cast<std::int64_t>(path.size()));
+      path.push_back(code);
+      frames.push_back(std::move(frame));
+      return true;
+    };
+
+    if (!push_node(start)) {
+      record_convergence_metrics(report);
+      return report;
+    }
+
+    while (!frames.empty()) {
+      DfsFrame& frame = frames.back();
+      if (frame.next < frame.succs.size()) {
+        const std::uint64_t next = frame.succs[frame.next++];
+        if ((flags[next] & kFlagS) != 0) {
+          bk.set_dist(frame.code, std::max(bk.dist(frame.code), 1u));
+          continue;
+        }
+        if (bk.color(next) == 0) {
+          if (!push_node(next)) {
+            record_convergence_metrics(report);
+            return report;
+          }
+        } else if (bk.color(next) == 1) {
+          // Cycle: extract path[stack_pos[next] ..] as the counterexample.
+          std::vector<State> cycle;
+          for (std::size_t i =
+                   static_cast<std::size_t>(bk.stack_pos(next));
+               i < path.size(); ++i) {
+            cycle.push_back(space.decode(path[i]));
+          }
+          report.verdict = ConvergenceVerdict::kViolated;
+          report.cycle = std::move(cycle);
+          record_convergence_metrics(report);
+          return report;
+        } else {
+          bk.set_dist(frame.code,
+                      std::max(bk.dist(frame.code), bk.dist(next) + 1));
+        }
+      } else {
+        bk.set_color(frame.code, 2);
+        bk.set_stack_pos(frame.code, -1);
+        path.pop_back();
+        const std::uint32_t d = bk.dist(frame.code);
+        report.max_steps_to_S =
+            std::max<std::uint64_t>(report.max_steps_to_S, d);
+        const std::uint64_t done = frame.code;
+        frames.pop_back();
+        if (!frames.empty()) {
+          bk.set_dist(frames.back().code,
+                      std::max(bk.dist(frames.back().code), bk.dist(done) + 1));
+        }
+      }
+    }
+  }
+
+  report.verdict = ConvergenceVerdict::kConverges;
+  record_convergence_metrics(report);
+  return report;
+}
+
+}  // namespace nonmask::detail

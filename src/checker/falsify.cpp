@@ -1,12 +1,21 @@
 #include "checker/falsify.hpp"
 
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "store/concurrent_set.hpp"
+#include "store/packed.hpp"
 #include "util/rng.hpp"
 
 namespace nonmask {
+
+namespace {
+
+/// Fixed hash seed for the falsification dedup sets: probes must be
+/// reproducible run to run, so the seed is not derived from the walk RNG.
+constexpr std::uint64_t kProbeHashSeed = 0x9e3779b97f4a7c15ULL;
+
+}  // namespace
 
 FalsifyResult falsify_convergence(const Design& design,
                                   const FalsifyOptions& opts) {
@@ -16,14 +25,21 @@ FalsifyResult falsify_convergence(const Design& design,
   FalsifyResult result;
   Rng rng(opts.seed);
 
+  // Visited-state dedup runs through the packed store: states intern into
+  // bit-packed records (a few words instead of a full State each), and the
+  // single-shard set hands back dense ids 0, 1, ... in insertion order, so
+  // the path position of a state is just a sidecar vector indexed by id.
+  store::PackedLayout layout(p);
+  std::vector<std::uint64_t> words(layout.words());
+
   for (std::uint64_t walk = 0; walk < opts.walks; ++walk) {
     ++result.walks_run;
     State s = opts.make_start ? opts.make_start(p, rng) : p.random_state(rng);
     if (!T(s)) continue;  // computations start inside the fault-span
 
-    // Visited states since the last S-state, in visit order, for cycle
-    // extraction. Keyed by hash; collisions resolved by comparing states.
-    std::unordered_map<std::uint64_t, std::vector<std::size_t>> index;
+    // Visited states of this walk, in visit order, for cycle extraction.
+    store::ConcurrentPackedSet index(layout, /*shard_bits=*/0, kProbeHashSeed);
+    std::vector<std::size_t> pos_by_id;
     std::vector<State> path;
 
     for (std::uint64_t step = 0; step < opts.max_walk_length; ++step) {
@@ -31,19 +47,16 @@ FalsifyResult falsify_convergence(const Design& design,
       if (S(s)) break;  // this walk converged; try another
 
       // Revisit check: a repeated ¬S state closes a cycle outside S.
-      const std::uint64_t h = s.hash();
-      auto it = index.find(h);
-      if (it != index.end()) {
-        for (std::size_t pos : it->second) {
-          if (path[pos] == s) {
-            result.violated = true;
-            result.cycle.emplace(path.begin() + static_cast<long>(pos),
-                                 path.end());
-            return result;
-          }
-        }
+      layout.pack(s, words.data());
+      const auto [id, fresh] = index.insert(words.data());
+      if (!fresh) {
+        const std::size_t pos = pos_by_id[static_cast<std::size_t>(id)];
+        result.violated = true;
+        result.cycle.emplace(path.begin() + static_cast<long>(pos),
+                             path.end());
+        return result;
       }
-      index[h].push_back(path.size());
+      pos_by_id.push_back(path.size());
       path.push_back(s);
 
       const auto enabled = p.enabled_actions(s);
@@ -82,38 +95,40 @@ FalsifyResult probe_violation_from(const Design& design, const State& start,
   if (!T(start) || S(start)) return result;
   result.walks_run = 1;
 
-  // Iterative DFS with explicit three-color marking: a gray (on-stack)
-  // revisit is a back edge, i.e. a ¬S cycle.
-  enum class Color { kGray, kBlack };
-  std::unordered_map<std::uint64_t, std::vector<std::pair<State, Color>>>
-      seen;
-  auto find = [&seen](const State& s) -> Color* {
-    auto it = seen.find(s.hash());
-    if (it == seen.end()) return nullptr;
-    for (auto& [state, color] : it->second) {
-      if (state == s) return &color;
-    }
-    return nullptr;
-  };
+  // Iterative DFS with three-color marking: a gray (on-stack) revisit is a
+  // back edge, i.e. a ¬S cycle. Visited states intern into the packed
+  // store (single shard -> dense ids), with the colors in a one-byte
+  // sidecar indexed by id — the probe's footprint per visited state is the
+  // packed record + 1 byte instead of a stored State.
+  constexpr std::uint8_t kGray = 1;
+  constexpr std::uint8_t kBlack = 2;
+  store::PackedLayout layout(p);
+  store::ConcurrentPackedSet seen(layout, /*shard_bits=*/0, kProbeHashSeed);
+  std::vector<std::uint8_t> color;  // by dense id; 0 = never seen
+  std::vector<std::uint64_t> words(layout.words());
 
   struct Frame {
     State state;
     std::vector<std::size_t> enabled;
     std::size_t next = 0;
+    std::uint64_t id = 0;  ///< dense id in `seen`, for the pop-time marking
   };
   std::vector<Frame> stack;
   std::uint64_t visited = 0;
 
   auto push = [&](State s) -> bool {
     if (++visited > opts.max_states) return false;
-    seen[s.hash()].emplace_back(s, Color::kGray);
+    layout.pack(s, words.data());
+    const std::uint64_t id = seen.insert(words.data()).first;
+    if (color.size() <= id) color.resize(static_cast<std::size_t>(id) + 1, 0);
+    color[static_cast<std::size_t>(id)] = kGray;
     auto enabled = p.enabled_actions(s);
     if (enabled.empty()) {
       result.violated = true;
       result.deadlock = std::move(s);
       return false;
     }
-    stack.push_back(Frame{std::move(s), std::move(enabled)});
+    stack.push_back(Frame{std::move(s), std::move(enabled), 0, id});
     return true;
   };
 
@@ -121,15 +136,16 @@ FalsifyResult probe_violation_from(const Design& design, const State& start,
   while (!stack.empty()) {
     Frame& top = stack.back();
     if (top.next == top.enabled.size()) {
-      *find(top.state) = Color::kBlack;
+      color[static_cast<std::size_t>(top.id)] = kBlack;
       stack.pop_back();
       continue;
     }
     ++result.steps_taken;
     State succ = p.action(top.enabled[top.next++]).apply(top.state);
     if (S(succ)) continue;  // converging branch; nothing to report here
-    if (Color* color = find(succ)) {
-      if (*color == Color::kGray) {
+    layout.pack(succ, words.data());
+    if (const auto id = seen.find(words.data())) {
+      if (color[static_cast<std::size_t>(*id)] == kGray) {
         // Extract the cycle: the stack suffix from succ's frame down.
         std::vector<State> cycle;
         std::size_t at = stack.size();

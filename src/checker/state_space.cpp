@@ -27,7 +27,10 @@ void StateSpace::decode_into(std::uint64_t code, State& s) const {
   for (std::uint32_t i = 0; i < program_->num_variables(); ++i) {
     const auto& spec = program_->variable(VarId(i));
     const std::uint64_t digit = (code / stride_[i]) % spec.domain_size();
-    s.set(VarId(i), static_cast<Value>(spec.lo + static_cast<Value>(digit)));
+    // Widen before offsetting: lo + digit can exceed int32 range midway
+    // even though the final value is in [lo, hi].
+    s.set(VarId(i), static_cast<Value>(static_cast<std::int64_t>(spec.lo) +
+                                       static_cast<std::int64_t>(digit)));
   }
 }
 
@@ -35,8 +38,12 @@ std::uint64_t StateSpace::encode(const State& s) const {
   std::uint64_t code = 0;
   for (std::uint32_t i = 0; i < program_->num_variables(); ++i) {
     const auto& spec = program_->variable(VarId(i));
+    // value - lo in 64-bit: the 32-bit difference overflows for domains
+    // spanning more than half the Value range (e.g. [INT32_MIN, INT32_MAX]).
     code += stride_[i] *
-            static_cast<std::uint64_t>(s.get(VarId(i)) - spec.lo);
+            static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(s.get(VarId(i))) -
+                static_cast<std::int64_t>(spec.lo));
   }
   return code;
 }

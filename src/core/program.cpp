@@ -59,11 +59,15 @@ State Program::initial_state() const {
 }
 
 std::optional<std::uint64_t> Program::state_count() const noexcept {
+  // Exact overflow detection: the mixed-radix product must fit uint64_t or
+  // the state space has no valid code range at all (StateSpace throws
+  // StateSpaceTooLarge on nullopt). The previous conservative bound
+  // rejected legitimate sizes in [2^63, 2^64).
   std::uint64_t count = 1;
   for (const auto& v : variables_) {
-    const std::uint64_t d = v.domain_size();
-    if (d != 0 && count > (std::uint64_t{1} << 63) / d) return std::nullopt;
-    count *= d;
+    if (__builtin_mul_overflow(count, v.domain_size(), &count)) {
+      return std::nullopt;
+    }
   }
   return count;
 }

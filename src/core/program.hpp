@@ -59,8 +59,8 @@ class Program {
   /// The all-minimum state (every variable at its domain lower bound).
   State initial_state() const;
 
-  /// Total number of states (product of domain sizes); nullopt on overflow
-  /// past 2^63.
+  /// Total number of states (product of domain sizes); nullopt iff the
+  /// product overflows uint64_t (exact detection, no conservative bound).
   std::optional<std::uint64_t> state_count() const noexcept;
 
   /// Uniformly random state over the full domain product.

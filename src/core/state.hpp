@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/variable.hpp"
+#include "util/hash.hpp"
 
 namespace nonmask {
 
@@ -38,14 +39,16 @@ class State {
     return !(a == b);
   }
 
-  /// FNV-1a hash over the packed values.
+  /// FNV-1a fold over the packed values, finished with the splitmix64
+  /// avalanche so high bits are as well-mixed as low ones (hash-sharded
+  /// consumers partition by prefix; see util/hash.hpp).
   std::uint64_t hash() const noexcept {
     std::uint64_t h = 0xcbf29ce484222325ULL;
     for (Value v : values_) {
       h ^= static_cast<std::uint32_t>(v);
       h *= 0x100000001b3ULL;
     }
-    return h;
+    return avalanche64(h);
   }
 
  private:

@@ -9,6 +9,8 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "sched/daemons.hpp"
+#include "store/bitset.hpp"
+#include "store/facade.hpp"
 
 namespace nonmask {
 
@@ -29,7 +31,7 @@ class WorstCaseDistance {
         S_(std::move(S)),
         succ_(space, non_fault_actions(space.program())),
         dist_(space.size(), kUnset),
-        on_stack_(space.size(), 0),
+        on_stack_(space.size()),
         scratch_(space.program().num_variables()) {}
 
   std::uint64_t eval(std::uint64_t root) {
@@ -64,7 +66,7 @@ class WorstCaseDistance {
       dist_[f.code] = f.succs.empty() || f.best == kDiverges
                           ? kDiverges
                           : f.best + 1;
-      on_stack_[f.code] = 0;
+      on_stack_.set(f.code, 0);
       stack.pop_back();
       if (!stack.empty()) {
         Frame& parent = stack.back();
@@ -104,14 +106,18 @@ class WorstCaseDistance {
     }
     stack.push_back({code, {}, 0, 0});
     succ_.successors(code, stack.back().succs);
-    on_stack_[code] = 1;
+    on_stack_.set(code, 1);
   }
 
   const StateSpace* space_;
   PredicateFn S_;
-  ProgramSuccessors succ_;
+  // Successor enumeration goes through the store facade's source (same
+  // sorted-distinct contract as ProgramSuccessors) and the on-stack marks
+  // live at 2 bits/state, so the memo's footprint is dominated by dist_
+  // alone even at large exhaustive budgets.
+  store::StoreBackedSuccessors succ_;
   std::vector<std::uint64_t> dist_;
-  std::vector<std::uint8_t> on_stack_;
+  store::TwoBitArray on_stack_;
   State scratch_;
 };
 

@@ -1,0 +1,60 @@
+// Arena-backed interning store for packed states.
+//
+// Fixed-width records (layout.words() machine words each) are appended into
+// cache-line-aligned slabs; a record never moves once written, so pointers
+// returned by get() stay valid for the store's lifetime and interning never
+// triggers a reallocation-and-copy of previously interned states (the
+// failure mode of a growing std::vector at 10^8 records). Ids are dense:
+// the n-th intern() returns id n.
+//
+// The store is single-writer; the concurrent set shards the space and owns
+// one store per shard, which is how parallel interning scales without any
+// synchronization on the arena itself.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace nonmask::store {
+
+class PackedStateStore {
+ public:
+  /// `record_words` per state; `slab_records` states per slab (the default
+  /// slab is 64 KiB of words for single-word records).
+  explicit PackedStateStore(std::size_t record_words,
+                            std::size_t slab_records = 8192);
+
+  std::size_t record_words() const noexcept { return record_words_; }
+  std::uint64_t size() const noexcept { return size_; }
+
+  /// Append a record; returns its dense id (== size() before the call).
+  std::uint64_t intern(const std::uint64_t* words);
+
+  /// Stable pointer to record `id`'s words.
+  const std::uint64_t* get(std::uint64_t id) const {
+    return slabs_[id / slab_records_].get() +
+           (id % slab_records_) * record_words_;
+  }
+
+  /// Total heap bytes held by the slabs (for bench reporting).
+  std::uint64_t bytes() const noexcept {
+    return static_cast<std::uint64_t>(slabs_.size()) * slab_records_ *
+           record_words_ * sizeof(std::uint64_t);
+  }
+
+ private:
+  struct AlignedDelete {
+    void operator()(std::uint64_t* p) const noexcept {
+      ::operator delete[](p, std::align_val_t{64});
+    }
+  };
+  using Slab = std::unique_ptr<std::uint64_t[], AlignedDelete>;
+
+  std::size_t record_words_;
+  std::size_t slab_records_;
+  std::uint64_t size_ = 0;
+  std::vector<Slab> slabs_;
+};
+
+}  // namespace nonmask::store

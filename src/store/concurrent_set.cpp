@@ -1,0 +1,108 @@
+#include "store/concurrent_set.hpp"
+
+namespace nonmask::store {
+
+namespace {
+
+std::size_t round_up_pow2(std::uint64_t n) {
+  std::size_t cap = 64;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+ConcurrentPackedSet::ConcurrentPackedSet(const PackedLayout& layout,
+                                         unsigned shard_bits,
+                                         std::uint64_t seed,
+                                         std::uint64_t expected)
+    : layout_(&layout),
+      shard_bits_(shard_bits),
+      shard_mask_((std::uint64_t{1} << shard_bits) - 1),
+      seed_(seed) {
+  const std::size_t count = std::size_t{1} << shard_bits;
+  // Size each table so the expected load sits under the 0.7 growth
+  // threshold from the start.
+  const std::size_t capacity =
+      round_up_pow2(expected == 0 ? 64 : (expected / count) * 2 + 64);
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>(layout.words(), capacity));
+  }
+}
+
+void ConcurrentPackedSet::grow(Shard& shard) const {
+  std::vector<std::uint64_t> table(shard.table.size() * 2, 0);
+  const std::uint64_t mask = table.size() - 1;
+  for (std::uint64_t slot : shard.table) {
+    if (slot == 0) continue;
+    std::uint64_t pos = layout_->hash(shard.arena.get(slot - 1), seed_) & mask;
+    while (table[pos] != 0) pos = (pos + 1) & mask;
+    table[pos] = slot;
+  }
+  shard.table = std::move(table);
+}
+
+std::pair<std::uint64_t, bool> ConcurrentPackedSet::insert(
+    const std::uint64_t* words) {
+  const std::uint64_t h = layout_->hash(words, seed_);
+  const std::uint64_t shard_idx = shard_of(h);
+  Shard& shard = *shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if ((shard.entries + 1) * 10 > shard.table.size() * 7) grow(shard);
+  const std::uint64_t mask = shard.table.size() - 1;
+  std::uint64_t pos = h & mask;
+  while (true) {
+    const std::uint64_t slot = shard.table[pos];
+    if (slot == 0) {
+      const std::uint64_t local = shard.arena.intern(words);
+      shard.table[pos] = local + 1;
+      ++shard.entries;
+      return {(local << shard_bits_) | shard_idx, true};
+    }
+    if (equal(*layout_, shard.arena.get(slot - 1), words)) {
+      return {((slot - 1) << shard_bits_) | shard_idx, false};
+    }
+    pos = (pos + 1) & mask;
+  }
+}
+
+std::optional<std::uint64_t> ConcurrentPackedSet::find(
+    const std::uint64_t* words) const {
+  const std::uint64_t h = layout_->hash(words, seed_);
+  const std::uint64_t shard_idx = shard_of(h);
+  const Shard& shard = *shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const std::uint64_t mask = shard.table.size() - 1;
+  std::uint64_t pos = h & mask;
+  while (true) {
+    const std::uint64_t slot = shard.table[pos];
+    if (slot == 0) return std::nullopt;
+    if (equal(*layout_, shard.arena.get(slot - 1), words)) {
+      return ((slot - 1) << shard_bits_) | shard_idx;
+    }
+    pos = (pos + 1) & mask;
+  }
+}
+
+std::uint64_t ConcurrentPackedSet::size() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->entries;
+  }
+  return total;
+}
+
+std::vector<ConcurrentPackedSet::ShardStats> ConcurrentPackedSet::shard_stats()
+    const {
+  std::vector<ShardStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.push_back({shard->entries, shard->table.size()});
+  }
+  return stats;
+}
+
+}  // namespace nonmask::store

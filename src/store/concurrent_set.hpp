@@ -1,0 +1,96 @@
+// Sharded concurrent hash set of packed states.
+//
+// The visited-set is the scaling bottleneck of every frontier search: at
+// 10^8 states a std::unordered_set<State> costs ~100 bytes/state and a
+// global lock serializes the workers. This set shards the key space into a
+// power-of-two number of independent open-addressing tables (shard chosen
+// by the *high* bits of a seeded mixing-finalizer hash, probe position by
+// the low bits), each guarded by its own mutex and interning records into
+// its own arena — workers contend only when they hash into the same shard.
+//
+// insert() returns a stable id composed as (local_id << shard_bits) |
+// shard, so with one shard (shard_bits = 0) ids are dense 0, 1, ... — the
+// form the serial falsification probe uses to index sidecar arrays.
+//
+// get() returns arena pointers that never move; calling it concurrently
+// with inserts into the same shard requires no synchronization *after* the
+// inserting thread has been joined or otherwise synchronized-with (the
+// frontier engine only reads between parallel phases).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "store/arena.hpp"
+#include "store/packed.hpp"
+
+namespace nonmask::store {
+
+class ConcurrentPackedSet {
+ public:
+  /// 2^shard_bits shards; `expected` pre-sizes each shard's table for
+  /// expected/2^shard_bits entries (they still grow on demand).
+  ConcurrentPackedSet(const PackedLayout& layout, unsigned shard_bits,
+                      std::uint64_t seed, std::uint64_t expected = 0);
+
+  /// Intern `words`; returns (id, true) on first insertion and the
+  /// existing (id, false) thereafter. Thread-safe.
+  std::pair<std::uint64_t, bool> insert(const std::uint64_t* words);
+
+  /// Id of `words` if present. Thread-safe.
+  std::optional<std::uint64_t> find(const std::uint64_t* words) const;
+
+  bool contains(const std::uint64_t* words) const {
+    return find(words).has_value();
+  }
+
+  /// Stable pointer to the packed words of `id` (see header comment for
+  /// the synchronization contract).
+  const std::uint64_t* get(std::uint64_t id) const {
+    return shards_[id & shard_mask_]->arena.get(id >> shard_bits_);
+  }
+
+  /// Total interned states (takes every shard lock).
+  std::uint64_t size() const;
+
+  unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+  struct ShardStats {
+    std::uint64_t size = 0;
+    std::uint64_t capacity = 0;
+  };
+  /// Per-shard occupancy, for the bench's shard-balance report.
+  std::vector<ShardStats> shard_stats() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<std::uint64_t> table;  ///< 0 = empty, else local_id + 1
+    std::uint64_t entries = 0;
+    PackedStateStore arena;
+
+    explicit Shard(std::size_t record_words, std::size_t capacity)
+        : table(capacity, 0), arena(record_words) {}
+  };
+
+  std::uint64_t shard_of(std::uint64_t hash) const noexcept {
+    return shard_bits_ == 0 ? 0 : hash >> (64 - shard_bits_);
+  }
+  void grow(Shard& shard) const;
+
+  const PackedLayout* layout_;
+  unsigned shard_bits_;
+  std::uint64_t shard_mask_;
+  std::uint64_t seed_;
+  // unique_ptr because Shard owns a mutex (immovable) and arena pointers
+  // must stay stable while other shards are appended during construction.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace nonmask::store

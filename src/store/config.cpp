@@ -1,0 +1,31 @@
+#include "store/config.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace nonmask::store {
+
+const char* to_string(StoreBackend b) noexcept {
+  switch (b) {
+    case StoreBackend::kLegacyDense: return "dense";
+    case StoreBackend::kStore: return "store";
+  }
+  return "?";
+}
+
+StoreConfig StoreConfig::from_env() {
+  StoreConfig config;
+  if (const char* backend = std::getenv("NONMASK_STORE_BACKEND")) {
+    if (std::strcmp(backend, "store") == 0) {
+      config.backend = StoreBackend::kStore;
+    }
+  }
+  if (const char* budget = std::getenv("NONMASK_STATE_BUDGET")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(budget, &end, 10);
+    if (end != budget && parsed > 0) config.budget = parsed;
+  }
+  return config;
+}
+
+}  // namespace nonmask::store

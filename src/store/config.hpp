@@ -1,0 +1,59 @@
+// Configuration switch for the compact parallel state store.
+//
+// Every checker entry point that the store subsystem re-implements is
+// dispatched through a StoreConfig: `backend` selects between the legacy
+// dense-array path (src/checker/, per-state bookkeeping sized by the full
+// code range) and the store path (src/store/, packed bitmaps + interned
+// frontiers). The two backends are contractually byte-identical on every
+// report they produce — the store backend exists to lift the *state budget*
+// (from ~32M to 10^8-10^9 states), not to change any answer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nonmask::store {
+
+enum class StoreBackend {
+  kLegacyDense,  ///< src/checker/ dense arrays (the seed implementation)
+  kStore,        ///< src/store/ packed bitmaps + frontier engine
+};
+
+const char* to_string(StoreBackend b) noexcept;
+
+struct StoreConfig {
+  StoreBackend backend = StoreBackend::kLegacyDense;
+
+  /// State budget passed to StateSpace construction. The legacy default
+  /// (32M) matches StateSpace::kDefaultBudget; the store backend is
+  /// routinely run two to three orders of magnitude higher.
+  std::uint64_t budget = 32'000'000;
+
+  /// Worker threads for the store sweeps; 0 = NONMASK_THREADS env, else
+  /// hardware concurrency (same resolution as the parallel sweeps).
+  unsigned threads = 0;
+
+  /// Codes per scan chunk. Results never depend on it.
+  std::uint64_t grain = 1 << 16;
+
+  /// log2 of the concurrent-set shard count (power-of-two shards).
+  unsigned shard_bits = 6;
+
+  /// Seed for the set's mixing-finalizer hash (any value works; fixed by
+  /// default so shard occupancy is reproducible).
+  std::uint64_t hash_seed = 0x5307e5eedULL;
+
+  /// Frontier codes kept in memory per BFS level before spilling the level
+  /// to a temp file; 0 disables spilling.
+  std::uint64_t spill_threshold = 0;
+  /// Directory for spill files; empty = $TMPDIR, else /tmp.
+  std::string spill_dir;
+
+  /// Environment-driven default:
+  ///   NONMASK_STORE_BACKEND = "store" | "dense"  (default dense)
+  ///   NONMASK_STATE_BUDGET  = max states for StateSpace construction
+  ///   NONMASK_THREADS       = resolved by the pool as usual
+  static StoreConfig from_env();
+};
+
+}  // namespace nonmask::store

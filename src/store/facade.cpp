@@ -1,0 +1,113 @@
+#include "store/facade.hpp"
+
+#include <algorithm>
+
+#include "core/candidate.hpp"
+#include "parallel/sweep.hpp"
+#include "store/store_check.hpp"
+
+namespace nonmask::store {
+
+namespace {
+
+SweepOptions sweep_options(const StoreConfig& config) {
+  SweepOptions opts;
+  opts.threads = config.threads;
+  opts.grain = config.grain;
+  return opts;
+}
+
+}  // namespace
+
+StoreBackedSuccessors::StoreBackedSuccessors(const StateSpace& space,
+                                             std::vector<std::size_t> actions)
+    : space_(&space),
+      actions_(std::move(actions)),
+      scratch_(space.program().num_variables()) {}
+
+void StoreBackedSuccessors::successors(std::uint64_t code,
+                                       std::vector<std::uint64_t>& out) {
+  const Program& p = space_->program();
+  out.clear();
+  space_->decode_into(code, scratch_);
+  for (std::size_t idx : actions_) {
+    const Action& a = p.action(idx);
+    if (!a.enabled(scratch_)) continue;
+    out.push_back(space_->encode(a.apply(scratch_)));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  ++expansions_;
+}
+
+ClosureReport check_closed_via(const StoreConfig& config,
+                               const StateSpace& space,
+                               const PredicateFn& predicate,
+                               const std::vector<std::size_t>& actions) {
+  if (config.backend == StoreBackend::kStore) {
+    return check_closed_store(space, predicate, actions, config);
+  }
+  return check_closed_parallel(space, predicate, actions,
+                               sweep_options(config));
+}
+
+ClosureReport check_closed_via(const StoreConfig& config,
+                               const StateSpace& space,
+                               const PredicateFn& predicate) {
+  return check_closed_via(config, space, predicate,
+                          non_fault_actions(space.program()));
+}
+
+ConvergenceReport check_convergence_via(const StoreConfig& config,
+                                        const StateSpace& space,
+                                        const PredicateFn& S,
+                                        const PredicateFn& T) {
+  if (config.backend == StoreBackend::kStore) {
+    return check_convergence_store(space, S, T, config);
+  }
+  return check_convergence_parallel(space, S, T, sweep_options(config));
+}
+
+ConvergenceReport check_convergence_weakly_fair_via(const StoreConfig& config,
+                                                    const StateSpace& space,
+                                                    const PredicateFn& S,
+                                                    const PredicateFn& T) {
+  // Compact Tarjan bookkeeping is not implemented yet (facade.hpp header
+  // comment); both backends take the legacy/sweep path.
+  return check_convergence_weakly_fair_parallel(space, S, T,
+                                                sweep_options(config));
+}
+
+StateSet compute_reachable_via(const StoreConfig& config,
+                               const StateSpace& space,
+                               const PredicateFn& start,
+                               const std::vector<std::size_t>& actions,
+                               const FaultSpanOptions& opts) {
+  if (config.backend == StoreBackend::kStore) {
+    return compute_reachable_store(space, start, actions, config, opts);
+  }
+  return compute_reachable_parallel(space, start, actions, opts,
+                                    sweep_options(config));
+}
+
+StateSet compute_fault_span_via(const StoreConfig& config,
+                                const StateSpace& space, const PredicateFn& S,
+                                const std::vector<std::size_t>& fault_actions,
+                                const FaultSpanOptions& opts) {
+  std::vector<std::size_t> actions = non_fault_actions(space.program());
+  actions.insert(actions.end(), fault_actions.begin(), fault_actions.end());
+  return compute_reachable_via(config, space, S, actions, opts);
+}
+
+ToleranceReport verify_tolerance_via(const StoreConfig& config,
+                                     const StateSpace& space,
+                                     const Design& design) {
+  ToleranceReport report;
+  report.S_closed = check_closed_via(config, space, design.S()).closed;
+  report.T_closed = check_closed_via(config, space, design.T()).closed;
+  report.convergence = check_convergence_via(config, space, design.S(),
+                                             design.T());
+  return report;
+}
+
+}  // namespace nonmask::store

@@ -1,0 +1,91 @@
+// Backend-dispatch facade: every verification entry point in one place,
+// switched by StoreConfig::backend.
+//
+//   kLegacyDense — the original dense-array checkers (serial, or the
+//     parallel sweep when threads allow); memory O(bytes per state), the
+//     configuration every result before the store existed was produced
+//     with.
+//   kStore       — the compact store pipeline (store_check.hpp /
+//     frontier.hpp); bits per state, viable at 10^8 codes.
+//
+// The two backends are contractually byte-identical: same report structs,
+// same counts, same counterexamples, at any thread count. scripts/check.sh
+// and CI diff them on every protocol in the suite. Callers (examples,
+// resilience, synthesis) go through *_via and never pick a backend
+// themselves — NONMASK_STORE_BACKEND / NONMASK_STATE_BUDGET select it at
+// run time via StoreConfig::from_env().
+//
+// Known scope limit: the weakly-fair check needs Tarjan index/lowlink
+// arrays over the full code range, which the compact layout does not yet
+// cover; check_convergence_weakly_fair_via therefore runs the legacy
+// (sweep) path under both backends.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "checker/closure_check.hpp"
+#include "checker/convergence_check.hpp"
+#include "checker/fault_span.hpp"
+#include "store/config.hpp"
+
+namespace nonmask::store {
+
+/// The SuccessorSource every store-backed traversal uses: semantics
+/// identical to ProgramSuccessors (sorted distinct successor codes under
+/// the given actions), plus an expansion counter for throughput reporting.
+class StoreBackedSuccessors final : public SuccessorSource {
+ public:
+  StoreBackedSuccessors(const StateSpace& space,
+                        std::vector<std::size_t> actions);
+
+  void successors(std::uint64_t code,
+                  std::vector<std::uint64_t>& out) override;
+
+  /// States expanded so far (one per successors() call).
+  std::uint64_t expansions() const noexcept { return expansions_; }
+
+ private:
+  const StateSpace* space_;
+  std::vector<std::size_t> actions_;
+  State scratch_;
+  std::uint64_t expansions_ = 0;
+};
+
+ClosureReport check_closed_via(const StoreConfig& config,
+                               const StateSpace& space,
+                               const PredicateFn& predicate,
+                               const std::vector<std::size_t>& actions);
+
+ClosureReport check_closed_via(const StoreConfig& config,
+                               const StateSpace& space,
+                               const PredicateFn& predicate);
+
+ConvergenceReport check_convergence_via(const StoreConfig& config,
+                                        const StateSpace& space,
+                                        const PredicateFn& S,
+                                        const PredicateFn& T);
+
+ConvergenceReport check_convergence_weakly_fair_via(const StoreConfig& config,
+                                                    const StateSpace& space,
+                                                    const PredicateFn& S,
+                                                    const PredicateFn& T);
+
+StateSet compute_reachable_via(const StoreConfig& config,
+                               const StateSpace& space,
+                               const PredicateFn& start,
+                               const std::vector<std::size_t>& actions,
+                               const FaultSpanOptions& opts = {});
+
+StateSet compute_fault_span_via(const StoreConfig& config,
+                                const StateSpace& space, const PredicateFn& S,
+                                const std::vector<std::size_t>& fault_actions,
+                                const FaultSpanOptions& opts = {});
+
+/// verify_tolerance (closure of S and T + convergence) through the
+/// selected backend.
+ToleranceReport verify_tolerance_via(const StoreConfig& config,
+                                     const StateSpace& space,
+                                     const Design& design);
+
+}  // namespace nonmask::store

@@ -1,0 +1,36 @@
+#include "store/odometer.hpp"
+
+#include "core/program.hpp"
+
+namespace nonmask::store {
+
+OdometerCursor::OdometerCursor(const StateSpace& space, std::uint64_t code)
+    : space_(&space),
+      code_(code),
+      state_(space.program().num_variables()) {
+  const Program& p = space.program();
+  lo_.reserve(p.num_variables());
+  hi_.reserve(p.num_variables());
+  for (std::uint32_t i = 0; i < p.num_variables(); ++i) {
+    lo_.push_back(p.variable(VarId(i)).lo);
+    hi_.push_back(p.variable(VarId(i)).hi);
+  }
+  if (code < space.size()) space.decode_into(code, state_);
+}
+
+void OdometerCursor::advance() {
+  ++code_;
+  // Variable 0 has stride 1 in the mixed-radix code, so the decoded state
+  // increments like an odometer with the lowest digit first.
+  for (std::size_t i = 0; i < lo_.size(); ++i) {
+    const VarId id(static_cast<std::uint32_t>(i));
+    const Value v = state_.get(id);
+    if (v < hi_[i]) {
+      state_.set(id, v + 1);
+      return;
+    }
+    state_.set(id, lo_[i]);
+  }
+}
+
+}  // namespace nonmask::store

@@ -1,0 +1,73 @@
+#include "store/packed.hpp"
+
+#include "util/hash.hpp"
+
+namespace nonmask::store {
+
+namespace {
+
+unsigned bits_for_domain(std::uint64_t domain_size) {
+  // Smallest w with 2^w >= domain_size; 0 for singleton domains.
+  unsigned w = 0;
+  while (w < 64 && (std::uint64_t{1} << w) < domain_size) ++w;
+  return w;
+}
+
+}  // namespace
+
+PackedLayout::PackedLayout(const Program& program) : program_(&program) {
+  fields_.reserve(program.num_variables());
+  std::uint32_t word = 0;
+  unsigned shift = 0;
+  for (std::uint32_t i = 0; i < program.num_variables(); ++i) {
+    const auto& spec = program.variable(VarId(i));
+    const unsigned width = bits_for_domain(spec.domain_size());
+    // Fields never straddle a word boundary: pad to the next word instead,
+    // so pack/unpack are single shift+mask operations.
+    if (shift + width > 64) {
+      ++word;
+      shift = 0;
+    }
+    fields_.push_back(Field{word, shift, width, spec.lo});
+    shift += width;
+    total_bits_ += width;
+  }
+  words_ = static_cast<std::size_t>(word) + 1;
+}
+
+void PackedLayout::pack(const State& s, std::uint64_t* out) const {
+  for (std::size_t w = 0; w < words_; ++w) out[w] = 0;
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const Field& f = fields_[i];
+    if (f.width == 0) continue;
+    const std::uint64_t raw = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(s.get(VarId(static_cast<std::uint32_t>(i)))) -
+        static_cast<std::int64_t>(f.lo));
+    out[f.word] |= raw << f.shift;
+  }
+}
+
+void PackedLayout::unpack(const std::uint64_t* words, State& s) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const Field& f = fields_[i];
+    const std::uint64_t mask =
+        f.width == 64 ? ~std::uint64_t{0}
+                      : ((std::uint64_t{1} << f.width) - 1);
+    const std::uint64_t raw = (words[f.word] >> f.shift) & mask;
+    s.set(VarId(static_cast<std::uint32_t>(i)),
+          static_cast<Value>(static_cast<std::int64_t>(raw) +
+                             static_cast<std::int64_t>(f.lo)));
+  }
+}
+
+std::uint64_t PackedLayout::hash(const std::uint64_t* words,
+                                 std::uint64_t seed) const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (std::size_t w = 0; w < words_; ++w) {
+    h ^= words[w];
+    h *= 0x100000001b3ULL;
+  }
+  return avalanche64(h);
+}
+
+}  // namespace nonmask::store

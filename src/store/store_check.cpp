@@ -1,0 +1,239 @@
+#include "store/store_check.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "checker/convergence_core.hpp"
+#include "core/candidate.hpp"
+#include "obs/progress.hpp"
+#include "obs/span.hpp"
+#include "parallel/thread_pool.hpp"
+#include "store/bitset.hpp"
+#include "store/facade.hpp"
+#include "store/frontier.hpp"
+#include "store/odometer.hpp"
+
+namespace nonmask::store {
+
+namespace {
+
+std::size_t chunk_count(std::uint64_t range, std::uint64_t grain) {
+  return static_cast<std::size_t>((range + grain - 1) / grain);
+}
+
+/// Chunk grain rounded up to a multiple of 32, so parallel chunks never
+/// share a TwoBitArray word (32 2-bit entries per 64-bit word).
+std::uint64_t aligned_grain(const StoreConfig& config) {
+  return (std::max<std::uint64_t>(config.grain, 32) + 31) & ~std::uint64_t{31};
+}
+
+/// scan_closure_range with the decode replaced by an odometer ripple;
+/// counts, early exit, and the violation triple are exactly the serial
+/// scan's.
+ClosureReport scan_closure_range_odometer(
+    const StateSpace& space, const PredicateFn& predicate,
+    const std::vector<std::size_t>& actions, std::uint64_t begin,
+    std::uint64_t end) {
+  const Program& p = space.program();
+  ClosureReport report;
+  OdometerCursor cur(space, begin);
+  for (std::uint64_t code = begin; code < end; ++code) {
+    const State& s = cur.state();
+    if (predicate(s)) {
+      ++report.states_checked;
+      for (std::size_t idx : actions) {
+        const Action& a = p.action(idx);
+        if (!a.enabled(s)) continue;
+        ++report.transitions_checked;
+        State next = a.apply(s);
+        if (!predicate(next)) {
+          report.closed = false;
+          report.violation = ClosureViolation{s, idx, std::move(next)};
+          return report;
+        }
+      }
+    }
+    if (code + 1 < end) cur.advance();
+  }
+  report.closed = true;
+  return report;
+}
+
+/// evaluate_flags into a TwoBitArray (2 bits/state instead of a byte),
+/// chunk-parallel with in-order count reduction — same counts as
+/// detail::evaluate_flags / evaluate_flags_parallel.
+TwoBitArray evaluate_flags_store(ThreadPool& pool, const StateSpace& space,
+                                 const PredicateFn& S, const PredicateFn& T,
+                                 std::uint64_t grain,
+                                 ConvergenceReport& report) {
+  obs::Span span("store.flags");
+  obs::ProgressMeter meter("flags", space.size());
+  TwoBitArray flags(space.size());
+  struct Counts {
+    std::uint64_t in_S = 0;
+    std::uint64_t in_T = 0;
+  };
+  std::vector<Counts> counts(chunk_count(space.size(), grain));
+  parallel_for_chunked(
+      pool, 0, space.size(), grain,
+      [&](std::size_t chunk, std::uint64_t lo, std::uint64_t hi,
+          unsigned worker) {
+        (void)worker;
+        OdometerCursor cur(space, lo);
+        Counts c;
+        for (std::uint64_t code = lo; code < hi; ++code) {
+          const State& s = cur.state();
+          std::uint8_t f = 0;
+          const bool in_T = T(s);
+          if (in_T) f |= detail::kFlagT;
+          if (S(s)) {
+            f |= detail::kFlagS;
+            if (in_T) ++c.in_S;
+          }
+          if (in_T) ++c.in_T;
+          flags.set(code, f);
+          if (code + 1 < hi) cur.advance();
+        }
+        counts[chunk] = c;
+        meter.add(hi - lo);
+      });
+  for (const Counts& c : counts) {
+    report.states_in_S += c.in_S;
+    report.states_in_T += c.in_T;
+  }
+  return flags;
+}
+
+/// Thrown by the u16 bookkeeping when a convergence distance exceeds its
+/// width; the caller restarts the identical traversal with u32 distances.
+struct DistanceOverflow {};
+
+template <typename DistT>
+struct CompactDfsBookkeeping {
+  explicit CompactDfsBookkeeping(std::uint64_t size)
+      : color_(size), dist_(size, 0) {}
+
+  std::uint8_t color(std::uint64_t code) const { return color_[code]; }
+  void set_color(std::uint64_t code, std::uint8_t c) { color_.set(code, c); }
+  std::uint32_t dist(std::uint64_t code) const { return dist_[code]; }
+  void set_dist(std::uint64_t code, std::uint32_t d) {
+    if (d > std::numeric_limits<DistT>::max()) throw DistanceOverflow{};
+    dist_[code] = static_cast<DistT>(d);
+  }
+  std::int64_t stack_pos(std::uint64_t code) const {
+    const auto it = stack_pos_.find(code);
+    return it == stack_pos_.end() ? -1 : it->second;
+  }
+  void set_stack_pos(std::uint64_t code, std::int64_t pos) {
+    if (pos < 0) {
+      stack_pos_.erase(code);
+    } else {
+      stack_pos_[code] = pos;
+    }
+  }
+
+  TwoBitArray color_;
+  std::vector<DistT> dist_;
+  /// Only DFS-path states have a position — path depth, not range, sized.
+  std::unordered_map<std::uint64_t, std::int64_t> stack_pos_;
+};
+
+}  // namespace
+
+ClosureReport check_closed_store(const StateSpace& space,
+                                 const PredicateFn& predicate,
+                                 const std::vector<std::size_t>& actions,
+                                 const StoreConfig& config) {
+  obs::Span span("store.closure");
+  obs::ProgressMeter meter("closure", space.size());
+  ThreadPool pool(config.threads);
+  const std::uint64_t grain = aligned_grain(config);
+  std::vector<ClosureReport> chunks(chunk_count(space.size(), grain));
+  parallel_for_chunked(
+      pool, 0, space.size(), grain,
+      [&](std::size_t chunk, std::uint64_t lo, std::uint64_t hi,
+          unsigned worker) {
+        (void)worker;
+        chunks[chunk] =
+            scan_closure_range_odometer(space, predicate, actions, lo, hi);
+        meter.add(hi - lo);
+      });
+
+  // In-order reduction replaying the serial scan's early exit (the same
+  // reduction as the parallel sweep's).
+  ClosureReport report;
+  for (ClosureReport& c : chunks) {
+    report.states_checked += c.states_checked;
+    report.transitions_checked += c.transitions_checked;
+    if (!c.closed) {
+      report.closed = false;
+      report.violation = std::move(c.violation);
+      detail::record_closure_metrics(report);
+      return report;
+    }
+  }
+  report.closed = true;
+  detail::record_closure_metrics(report);
+  return report;
+}
+
+ClosureReport check_closed_store(const StateSpace& space,
+                                 const PredicateFn& predicate,
+                                 const StoreConfig& config) {
+  return check_closed_store(space, predicate,
+                            non_fault_actions(space.program()), config);
+}
+
+ConvergenceReport check_convergence_store(const StateSpace& space,
+                                          const PredicateFn& S,
+                                          const PredicateFn& T,
+                                          const StoreConfig& config) {
+  obs::Span span("store.convergence");
+  ThreadPool pool(config.threads);
+  ConvergenceReport report;
+  const TwoBitArray flags =
+      evaluate_flags_store(pool, space, S, T, aligned_grain(config), report);
+  const std::vector<std::size_t> actions = non_fault_actions(space.program());
+
+  // First pass with 16-bit distances (~5 bytes/state total). Convergence
+  // spans beyond 65535 steps are possible in principle, so on overflow the
+  // identical traversal restarts from the post-flags report with 32-bit
+  // distances — flags are reused, bookkeeping and successor state are
+  // rebuilt fresh.
+  {
+    ConvergenceReport attempt = report;
+    CompactDfsBookkeeping<std::uint16_t> bk(space.size());
+    StoreBackedSuccessors succ(space, actions);
+    try {
+      return detail::check_convergence_core_impl(space, flags, succ,
+                                                 std::move(attempt), bk);
+    } catch (const DistanceOverflow&) {
+    }
+  }
+  CompactDfsBookkeeping<std::uint32_t> bk(space.size());
+  StoreBackedSuccessors succ(space, actions);
+  return detail::check_convergence_core_impl(space, flags, succ,
+                                             std::move(report), bk);
+}
+
+StateSet compute_reachable_store(const StateSpace& space,
+                                 const PredicateFn& start,
+                                 const std::vector<std::size_t>& actions,
+                                 const StoreConfig& config,
+                                 const FaultSpanOptions& opts) {
+  FrontierEngine engine(space, config);
+  return engine.reachable(start, actions, opts);
+}
+
+StateSet compute_fault_span_store(const StateSpace& space,
+                                  const PredicateFn& S,
+                                  const std::vector<std::size_t>& fault_actions,
+                                  const StoreConfig& config,
+                                  const FaultSpanOptions& opts) {
+  std::vector<std::size_t> actions = non_fault_actions(space.program());
+  actions.insert(actions.end(), fault_actions.begin(), fault_actions.end());
+  return compute_reachable_store(space, S, actions, config, opts);
+}
+
+}  // namespace nonmask::store

@@ -1,0 +1,58 @@
+// Store-backed exhaustive checks.
+//
+// Same reports as the legacy checker (closure_check.hpp,
+// convergence_check.hpp, fault_span.hpp) with the per-state footprint cut
+// from bytes to bits: predicate flags and DFS colors live in 2-bit arrays,
+// convergence distances start at 16 bits (widened transparently if a run
+// actually exceeds 65535 steps), scans ripple-decode with OdometerCursor
+// instead of per-code div/mod, and reachability runs through the
+// FrontierEngine with optional disk spill. Every function here is bound by
+// the byte-identity contract: for the same inputs it returns the same
+// report bytes as the serial checker and the parallel sweep, at any thread
+// count (see DESIGN.md §11).
+#pragma once
+
+#include "checker/closure_check.hpp"
+#include "checker/convergence_check.hpp"
+#include "checker/fault_span.hpp"
+#include "store/config.hpp"
+
+namespace nonmask::store {
+
+/// check_closed over the given action indices, chunk-parallel with
+/// odometer scans.
+ClosureReport check_closed_store(const StateSpace& space,
+                                 const PredicateFn& predicate,
+                                 const std::vector<std::size_t>& actions,
+                                 const StoreConfig& config);
+
+/// Closure under all non-fault actions.
+ClosureReport check_closed_store(const StateSpace& space,
+                                 const PredicateFn& predicate,
+                                 const StoreConfig& config);
+
+/// Unfair-daemon convergence with compact bookkeeping (~5 bytes/state
+/// instead of ~13): parallel flag sweep into a TwoBitArray, then the shared
+/// DFS core (checker/convergence_core.hpp) over 2-bit colors, narrow
+/// distances, and a sparse on-stack map.
+ConvergenceReport check_convergence_store(const StateSpace& space,
+                                          const PredicateFn& S,
+                                          const PredicateFn& T,
+                                          const StoreConfig& config);
+
+/// compute_reachable through the FrontierEngine.
+StateSet compute_reachable_store(const StateSpace& space,
+                                 const PredicateFn& start,
+                                 const std::vector<std::size_t>& actions,
+                                 const StoreConfig& config,
+                                 const FaultSpanOptions& opts = {});
+
+/// compute_fault_span (program actions + fault actions) through the
+/// FrontierEngine.
+StateSet compute_fault_span_store(const StateSpace& space,
+                                  const PredicateFn& S,
+                                  const std::vector<std::size_t>& fault_actions,
+                                  const StoreConfig& config,
+                                  const FaultSpanOptions& opts = {});
+
+}  // namespace nonmask::store

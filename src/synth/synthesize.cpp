@@ -8,6 +8,7 @@
 #include "obs/progress.hpp"
 #include "obs/span.hpp"
 #include "parallel/thread_pool.hpp"
+#include "store/facade.hpp"
 #include "synth/prune.hpp"
 
 namespace nonmask::synth {
@@ -210,7 +211,8 @@ SynthesisResult synthesize(const CandidateTriple& candidate,
 
       ++result.stats.exact_checks;
       const StateSpace space(design.program, opts.state_budget);
-      const ToleranceReport report = verify_tolerance(space, design);
+      const ToleranceReport report =
+          store::verify_tolerance_via(opts.store, space, design);
       if (!report.tolerant()) {
         ++result.stats.exact_failures;
         if (report.convergence.cycle) bank.add_all(*report.convergence.cycle);

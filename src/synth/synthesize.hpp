@@ -35,6 +35,7 @@
 #include "checker/convergence_check.hpp"
 #include "checker/state_space.hpp"
 #include "core/candidate.hpp"
+#include "store/config.hpp"
 #include "synth/certify_design.hpp"
 #include "synth/grammar.hpp"
 
@@ -58,6 +59,11 @@ struct SynthesisOptions {
   /// Budget for the exact oracle's state space; synthesis requires the
   /// candidate program to fit (the exact checker is the final judge).
   std::uint64_t state_budget = StateSpace::kDefaultBudget;
+  /// Backend for the exact oracle (legacy dense arrays or the compact
+  /// store); results are byte-identical, the switch only changes memory
+  /// and scale. Defaults honor NONMASK_STORE_BACKEND / NONMASK_STATE_BUDGET
+  /// when constructed via StoreConfig::from_env() by the callers.
+  store::StoreConfig store;
   /// Name given to the synthesized design ("<program>-synth" when empty).
   std::string design_name;
 };

@@ -1,0 +1,24 @@
+// Shared hash finalizer.
+//
+// FNV-1a alone distributes poorly in its high bits (the last byte folded
+// in only touches the low bits through the multiply), which breaks
+// consumers that partition by prefix — the store's shard selector uses the
+// *top* bits and open addressing probes the low ones. The splitmix64
+// avalanche stage fixes both: every output bit depends on every input bit.
+// State::hash and the packed-store hash both run their accumulator through
+// this.
+#pragma once
+
+#include <cstdint>
+
+namespace nonmask {
+
+/// splitmix64 finalizer: the avalanche stage alone, applicable to any
+/// 64-bit accumulator.
+constexpr std::uint64_t avalanche64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace nonmask

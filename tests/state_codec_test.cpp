@@ -1,0 +1,246 @@
+// Codec properties: mixed-radix encode/decode and bit-packed pack/unpack
+// must be mutually consistent bijections on every seed protocol, including
+// the degenerate shapes (single variable, singleton domains, maximal
+// domains). Plus the two hardening regressions from the store work: exact
+// uint64 overflow detection in Program::state_count(), and the avalanche
+// quality of State::hash().
+#include <gtest/gtest.h>
+
+#include <bitset>
+#include <climits>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "checker/state_space.hpp"
+#include "core/program.hpp"
+#include "protocols/coloring.hpp"
+#include "protocols/diffusing.hpp"
+#include "protocols/leader_election.hpp"
+#include "protocols/running_example.hpp"
+#include "protocols/token_ring.hpp"
+#include "protocols/token_ring_small.hpp"
+#include "store/packed.hpp"
+#include "util/hash.hpp"
+
+namespace nonmask {
+namespace {
+
+struct CodecCase {
+  std::string label;
+  Program program;
+};
+
+std::vector<CodecCase> codec_cases() {
+  std::vector<CodecCase> cases;
+  cases.push_back({"running-example",
+                   make_running_example(RunningExampleVariant::kWriteYZ)
+                       .program});
+  cases.push_back({"diffusing",
+                   make_diffusing(RootedTree::balanced(3, 2), true)
+                       .design.program});
+  cases.push_back({"dijkstra-ring", make_dijkstra_ring(4, 5).design.program});
+  cases.push_back(
+      {"three-state", make_dijkstra_three_state(3).design.program});
+  cases.push_back(
+      {"coloring", make_coloring(UndirectedGraph::cycle(4)).design.program});
+  cases.push_back(
+      {"leader-election", make_leader_election(3).design.program});
+
+  Program single("single-variable");
+  single.add_variable({"x", -3, 11});
+  cases.push_back({"single-variable", std::move(single)});
+
+  Program singletons("with-singletons");
+  singletons.add_variable({"a", 5, 5});
+  singletons.add_variable({"b", 0, 2});
+  singletons.add_variable({"c", -1, -1});
+  cases.push_back({"with-singletons", std::move(singletons)});
+  return cases;
+}
+
+TEST(StateCodecTest, EncodeDecodeAndPackUnpackRoundTripEverywhere) {
+  for (const auto& c : codec_cases()) {
+    const StateSpace space(c.program);
+    const store::PackedLayout layout(c.program);
+    std::vector<std::uint64_t> words(layout.words());
+    State s(c.program.num_variables());
+    State back(c.program.num_variables());
+    for (std::uint64_t code = 0; code < space.size(); ++code) {
+      space.decode_into(code, s);
+      ASSERT_EQ(space.encode(s), code) << c.label << " code " << code;
+      layout.pack(s, words.data());
+      layout.unpack(words.data(), back);
+      ASSERT_EQ(back, s) << c.label << " code " << code;
+      // The two codecs agree on identity: packing the unpacked state
+      // re-encodes to the same mixed-radix code.
+      ASSERT_EQ(space.encode(back), code) << c.label << " code " << code;
+    }
+  }
+}
+
+TEST(StateCodecTest, DistinctStatesPackToDistinctWords) {
+  for (const auto& c : codec_cases()) {
+    const StateSpace space(c.program);
+    const store::PackedLayout layout(c.program);
+    std::vector<std::uint64_t> words(layout.words());
+    State s(c.program.num_variables());
+    std::set<std::vector<std::uint64_t>> seen;
+    for (std::uint64_t code = 0; code < space.size(); ++code) {
+      space.decode_into(code, s);
+      layout.pack(s, words.data());
+      ASSERT_TRUE(seen.insert(words).second)
+          << c.label << " collides at code " << code;
+    }
+  }
+}
+
+TEST(StateCodecTest, MaxDomainVariableRoundTrips) {
+  // A variable spanning the full int32 range packs into exactly 32 bits;
+  // the extremes and the sign boundary must survive both codecs.
+  Program p("max-domain");
+  p.add_variable({"wide", INT32_MIN, INT32_MAX});
+  p.add_variable({"bit", 0, 1});
+  const store::PackedLayout layout(p);
+  EXPECT_EQ(layout.width(0), 32u);
+  EXPECT_EQ(layout.total_bits(), 33u);
+
+  const std::uint64_t count = p.state_count().value();
+  EXPECT_EQ(count, (std::uint64_t{1} << 32) * 2);
+  const StateSpace space(p, /*budget=*/count);
+
+  std::vector<std::uint64_t> words(layout.words());
+  State back(2);
+  for (const Value v : {INT32_MIN, INT32_MIN + 1, -1, 0, 1, INT32_MAX - 1,
+                        INT32_MAX}) {
+    for (const Value b : {0, 1}) {
+      State s(2);
+      s.set(VarId(0), v);
+      s.set(VarId(1), b);
+      layout.pack(s, words.data());
+      layout.unpack(words.data(), back);
+      ASSERT_EQ(back, s) << "wide=" << v << " bit=" << b;
+      ASSERT_EQ(space.decode(space.encode(s)), s) << "wide=" << v;
+    }
+  }
+}
+
+// ------------------------------------------------- state_count overflow
+
+Program product_of(int vars, Value hi) {
+  Program p("product");
+  for (int i = 0; i < vars; ++i) {
+    p.add_variable({"v" + std::to_string(i), 0, hi});
+  }
+  return p;
+}
+
+TEST(StateCountOverflowTest, ExactlyTwoToThe64Overflows) {
+  // 16 variables of domain 16: the product is exactly 2^64, one past the
+  // largest representable count. Must be nullopt, not a silent wrap to 0.
+  const Program p = product_of(16, 15);
+  EXPECT_FALSE(p.state_count().has_value());
+  EXPECT_THROW(StateSpace(p, ~std::uint64_t{0}), StateSpaceTooLarge);
+}
+
+TEST(StateCountOverflowTest, TwoToThe63IsRepresentable) {
+  // 63 binary variables: 2^63 states. The old conservative bound rejected
+  // every count at or above 2^63; the exact check accepts it.
+  const Program p = product_of(63, 1);
+  ASSERT_TRUE(p.state_count().has_value());
+  EXPECT_EQ(*p.state_count(), std::uint64_t{1} << 63);
+  // Still over any practical budget — the budget throw must name it.
+  EXPECT_THROW(StateSpace(p, 1'000'000), StateSpaceTooLarge);
+}
+
+TEST(StateCountOverflowTest, LargestRepresentableProductSurvives) {
+  // 2^32 * (2^32 - 1) < 2^64 must not be rejected.
+  Program p("near-max");
+  p.add_variable({"a", INT32_MIN, INT32_MAX});            // 2^32 values
+  p.add_variable({"b", INT32_MIN, INT32_MAX - 1});        // 2^32 - 1
+  ASSERT_TRUE(p.state_count().has_value());
+  EXPECT_EQ(*p.state_count(),
+            (std::uint64_t{1} << 32) * ((std::uint64_t{1} << 32) - 1));
+  // One more binary variable pushes the product past 2^64.
+  p.add_variable({"c", 0, 1});
+  EXPECT_FALSE(p.state_count().has_value());
+}
+
+// ------------------------------------------------------- hash avalanche
+
+TEST(StateHashTest, SingleValueChangeFlipsAboutHalfTheBits) {
+  // Avalanche: over many single-variable perturbations, the mean Hamming
+  // distance between old and new hash must sit near 32 of 64 bits. Plain
+  // FNV-1a fails this badly for the high bits, which is what the
+  // splitmix64 finalizer fixes (util/hash.hpp).
+  const Program p = make_dijkstra_ring(4, 5).design.program;
+  const StateSpace space(p);
+  std::uint64_t flips = 0;
+  std::uint64_t samples = 0;
+  State s(p.num_variables());
+  for (std::uint64_t code = 0; code < space.size(); code += 3) {
+    space.decode_into(code, s);
+    const std::uint64_t h = s.hash();
+    for (std::uint32_t i = 0; i < p.num_variables(); ++i) {
+      const auto& spec = p.variable(VarId(i));
+      if (spec.lo == spec.hi) continue;
+      const Value old = s.get(VarId(i));
+      s.set(VarId(i), old == spec.hi ? spec.lo : old + 1);
+      flips += std::bitset<64>(h ^ s.hash()).count();
+      ++samples;
+      s.set(VarId(i), old);
+    }
+  }
+  const double mean = static_cast<double>(flips) / samples;
+  EXPECT_GT(mean, 28.0);
+  EXPECT_LT(mean, 36.0);
+}
+
+TEST(StateHashTest, HighBitsSpreadAcrossShards) {
+  // Shard-by-prefix consumers (the concurrent set) take the top bits; the
+  // states of one protocol must not pile into a few of 64 buckets.
+  const Program p = make_dijkstra_ring(6, 7).design.program;
+  const StateSpace space(p);
+  std::vector<std::uint64_t> buckets(64, 0);
+  State s(p.num_variables());
+  for (std::uint64_t code = 0; code < space.size(); ++code) {
+    space.decode_into(code, s);
+    ++buckets[s.hash() >> 58];
+  }
+  const double expect = static_cast<double>(space.size()) / 64.0;
+  for (std::size_t b = 0; b < 64; ++b) {
+    EXPECT_GT(buckets[b], expect / 4) << "bucket " << b << " starved";
+    EXPECT_LT(buckets[b], expect * 4) << "bucket " << b << " overloaded";
+  }
+}
+
+TEST(StateHashTest, NoCollisionsAcrossSmallSpaces) {
+  for (const auto& c : codec_cases()) {
+    const StateSpace space(c.program);
+    std::set<std::uint64_t> hashes;
+    State s(c.program.num_variables());
+    for (std::uint64_t code = 0; code < space.size(); ++code) {
+      space.decode_into(code, s);
+      hashes.insert(s.hash());
+    }
+    // 64-bit hashes over a few thousand states: any collision means the
+    // mixing is broken, not that we got unlucky.
+    EXPECT_EQ(hashes.size(), space.size()) << c.label;
+  }
+}
+
+TEST(Avalanche64Test, IsABijectionOnSamples) {
+  // splitmix64's finalizer is invertible (0 maps to 0 — its one fixed
+  // point, unreachable from State::hash since the FNV accumulator starts
+  // at the nonzero offset basis); sampled outputs must be distinct.
+  std::set<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    out.insert(avalanche64(i * 0x9e3779b97f4a7c15ULL));
+  }
+  EXPECT_EQ(out.size(), 10'000u);
+  EXPECT_NE(avalanche64(1), 1u);
+}
+
+}  // namespace
+}  // namespace nonmask

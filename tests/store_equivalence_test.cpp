@@ -1,0 +1,170 @@
+// The two-backend contract (store/facade.hpp): every report the store
+// backend produces must be byte-identical to the legacy dense backend, on
+// every protocol, at every thread count. This suite checks the contract
+// field-by-field — counts, verdicts, and full counterexample states — for
+// closure, convergence, reachability, fault span, and the end-to-end
+// tolerance verdict, across 1/2/8 worker threads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "checker/closure_check.hpp"
+#include "checker/convergence_check.hpp"
+#include "checker/fault_span.hpp"
+#include "checker/state_space.hpp"
+#include "core/candidate.hpp"
+#include "protocols/coloring.hpp"
+#include "protocols/diffusing.hpp"
+#include "protocols/running_example.hpp"
+#include "protocols/token_ring.hpp"
+#include "protocols/token_ring_small.hpp"
+#include "store/facade.hpp"
+
+namespace nonmask {
+namespace {
+
+struct Case {
+  std::string label;
+  Design design;
+};
+
+std::vector<Case> equivalence_cases() {
+  std::vector<Case> cases;
+  // kWriteXBoth is deliberately broken: its convergence check produces a
+  // cycle counterexample, so the counterexample paths are compared too.
+  cases.push_back({"running-example",
+                   make_running_example(RunningExampleVariant::kWriteYZ)});
+  cases.push_back({"running-example-broken",
+                   make_running_example(RunningExampleVariant::kWriteXBoth)});
+  cases.push_back(
+      {"diffusing", make_diffusing(RootedTree::balanced(3, 2), true).design});
+  cases.push_back({"token-ring-small", make_dijkstra_three_state(3).design});
+  cases.push_back({"dijkstra-ring", make_dijkstra_ring(4, 5).design});
+  cases.push_back(
+      {"coloring", make_coloring(UndirectedGraph::cycle(4)).design});
+  return cases;
+}
+
+store::StoreConfig config_for(store::StoreBackend backend, unsigned threads) {
+  store::StoreConfig cfg;
+  cfg.backend = backend;
+  cfg.threads = threads;
+  cfg.grain = 128;  // small grain: tiny spaces still cross chunk boundaries
+  return cfg;
+}
+
+void expect_same_closure(const ClosureReport& a, const ClosureReport& b,
+                         const std::string& ctx) {
+  EXPECT_EQ(a.closed, b.closed) << ctx;
+  EXPECT_EQ(a.states_checked, b.states_checked) << ctx;
+  EXPECT_EQ(a.transitions_checked, b.transitions_checked) << ctx;
+  ASSERT_EQ(a.violation.has_value(), b.violation.has_value()) << ctx;
+  if (a.violation) {
+    EXPECT_EQ(a.violation->state, b.violation->state) << ctx;
+    EXPECT_EQ(a.violation->action, b.violation->action) << ctx;
+    EXPECT_EQ(a.violation->successor, b.violation->successor) << ctx;
+  }
+}
+
+void expect_same_convergence(const ConvergenceReport& a,
+                             const ConvergenceReport& b,
+                             const std::string& ctx) {
+  EXPECT_EQ(a.verdict, b.verdict) << ctx;
+  EXPECT_EQ(a.states_in_T, b.states_in_T) << ctx;
+  EXPECT_EQ(a.states_in_S, b.states_in_S) << ctx;
+  EXPECT_EQ(a.region_states, b.region_states) << ctx;
+  EXPECT_EQ(a.transitions, b.transitions) << ctx;
+  EXPECT_EQ(a.max_steps_to_S, b.max_steps_to_S) << ctx;
+  ASSERT_EQ(a.cycle.has_value(), b.cycle.has_value()) << ctx;
+  if (a.cycle) {
+    EXPECT_EQ(*a.cycle, *b.cycle) << ctx;
+  }
+  ASSERT_EQ(a.deadlock.has_value(), b.deadlock.has_value()) << ctx;
+  if (a.deadlock) {
+    EXPECT_EQ(*a.deadlock, *b.deadlock) << ctx;
+  }
+}
+
+void expect_same_set(const StateSet& a, const StateSet& b,
+                     const std::string& ctx) {
+  ASSERT_EQ(a.size(), b.size()) << ctx;
+  for (std::uint64_t code = 0; code < a.space().size(); ++code) {
+    ASSERT_EQ(a.contains_code(code), b.contains_code(code))
+        << ctx << " code " << code;
+  }
+}
+
+class BackendEquivalenceTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BackendEquivalenceTest, AllReportsByteIdentical) {
+  const unsigned threads = GetParam();
+  for (const auto& c : equivalence_cases()) {
+    const StateSpace space(c.design.program);
+    const auto dense =
+        config_for(store::StoreBackend::kLegacyDense, threads);
+    const auto packed = config_for(store::StoreBackend::kStore, threads);
+    const std::string ctx = c.label + " @" + std::to_string(threads) + "t";
+
+    expect_same_closure(check_closed(space, c.design.S()),
+                        store::check_closed_via(packed, space, c.design.S()),
+                        ctx + " closure(S) vs serial");
+    expect_same_closure(store::check_closed_via(dense, space, c.design.T()),
+                        store::check_closed_via(packed, space, c.design.T()),
+                        ctx + " closure(T)");
+
+    expect_same_convergence(
+        check_convergence(space, c.design.S(), c.design.T()),
+        store::check_convergence_via(packed, space, c.design.S(),
+                                     c.design.T()),
+        ctx + " convergence vs serial");
+    expect_same_convergence(
+        store::check_convergence_via(dense, space, c.design.S(),
+                                     c.design.T()),
+        store::check_convergence_via(packed, space, c.design.S(),
+                                     c.design.T()),
+        ctx + " convergence");
+
+    const auto faults = c.design.program.actions_of_kind(ActionKind::kFault);
+    expect_same_set(
+        compute_fault_span(space, c.design.S(), faults),
+        store::compute_fault_span_via(packed, space, c.design.S(), faults),
+        ctx + " fault-span");
+
+    const auto tol_dense = store::verify_tolerance_via(dense, space, c.design);
+    const auto tol_store =
+        store::verify_tolerance_via(packed, space, c.design);
+    EXPECT_EQ(tol_dense.S_closed, tol_store.S_closed) << ctx;
+    EXPECT_EQ(tol_dense.T_closed, tol_store.T_closed) << ctx;
+    expect_same_convergence(tol_dense.convergence, tol_store.convergence,
+                            ctx + " tolerance");
+    EXPECT_EQ(tol_dense.tolerant(), tol_store.tolerant()) << ctx;
+  }
+}
+
+// A capped reachability run truncates at the same state under both
+// backends — the cap is part of the determinism contract, not best-effort.
+TEST_P(BackendEquivalenceTest, CappedReachabilityTruncatesIdentically) {
+  const unsigned threads = GetParam();
+  const auto dd = make_dijkstra_ring(4, 5);
+  const StateSpace space(dd.design.program);
+  const auto actions = non_fault_actions(dd.design.program);
+  FaultSpanOptions opts;
+  opts.max_states = 101;
+
+  const auto dense = config_for(store::StoreBackend::kLegacyDense, threads);
+  const auto packed = config_for(store::StoreBackend::kStore, threads);
+  expect_same_set(
+      store::compute_reachable_via(dense, space, dd.design.S(), actions,
+                                   opts),
+      store::compute_reachable_via(packed, space, dd.design.S(), actions,
+                                   opts),
+      "capped reach @" + std::to_string(threads) + "t");
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BackendEquivalenceTest,
+                         ::testing::Values(1u, 2u, 8u));
+
+}  // namespace
+}  // namespace nonmask
