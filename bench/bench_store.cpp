@@ -72,6 +72,13 @@ void BM_ConcurrentSetInsert(benchmark::State& state) {
     std::vector<std::thread> workers;
     for (unsigned t = 0; t < threads; ++t) {
       workers.emplace_back([&, t] {
+        // First-touch shard affinity: worker t materializes its contiguous
+        // shard range so those pages fault in on its NUMA node.
+        const unsigned shards = set.shard_count();
+        for (unsigned i = shards * t / threads;
+             i < shards * (t + 1) / threads; ++i) {
+          set.touch(i);
+        }
         const std::uint64_t lo = space.size() * t / threads;
         const std::uint64_t hi = space.size() * (t + 1) / threads;
         std::vector<std::uint64_t> words(layout.words());
@@ -158,6 +165,52 @@ void BM_DenseConvergence(benchmark::State& state) {
   state.counters["peak_rss_mb"] = peak_rss_mb();
 }
 
+// Weakly-fair (Tarjan/SCC) convergence through the store-native compact
+// bookkeeping.
+void BM_StoreFairConvergence(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto tr = make_dijkstra_ring(n, n + 1);
+  const StateSpace space(tr.design.program);
+  const auto S = tr.design.S();
+  const auto T = tr.design.T();
+  const auto cfg = store_config(0);
+
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    const auto report =
+        store::check_convergence_weakly_fair_via(cfg, space, S, T);
+    benchmark::DoNotOptimize(report.verdict);
+    states += space.size();
+  }
+  state.counters["states/s"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsRate);
+  state.counters["space"] = static_cast<double>(space.size());
+  state.counters["peak_rss_mb"] = peak_rss_mb();
+}
+
+// The same weakly-fair check through the legacy dense Tarjan arrays.
+void BM_DenseFairConvergence(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto tr = make_dijkstra_ring(n, n + 1);
+  const StateSpace space(tr.design.program);
+  const auto S = tr.design.S();
+  const auto T = tr.design.T();
+  store::StoreConfig cfg;
+  cfg.backend = store::StoreBackend::kLegacyDense;
+
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    const auto report =
+        store::check_convergence_weakly_fair_via(cfg, space, S, T);
+    benchmark::DoNotOptimize(report.verdict);
+    states += space.size();
+  }
+  state.counters["states/s"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsRate);
+  state.counters["space"] = static_cast<double>(space.size());
+  state.counters["peak_rss_mb"] = peak_rss_mb();
+}
+
 }  // namespace
 
 BENCHMARK(BM_ConcurrentSetInsert)->Arg(1)->Arg(2)->Arg(8)
@@ -167,6 +220,10 @@ BENCHMARK(BM_FrontierReachable)->Arg(5)->Arg(9)
 BENCHMARK(BM_StoreConvergence)->Arg(4)->Arg(6)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DenseConvergence)->Arg(4)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StoreFairConvergence)->Arg(4)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DenseFairConvergence)->Arg(4)->Arg(6)
     ->Unit(benchmark::kMillisecond);
 
 NONMASK_BENCHMARK_MAIN("bench_store");

@@ -166,6 +166,9 @@ int main(int argc, char** argv) {
     opts.policy.backoff =
         std::chrono::milliseconds(std::atoll(backoff_ms.c_str()));
   }
+  // NONMASK_STORE_BACKEND=store routes the trial loop through the
+  // frontier engine (parallel/campaign.hpp); records stay byte-identical.
+  opts.store = store::StoreConfig::from_env();
 
   if (!trace_out.empty()) obs::Trace::set_enabled(true);
   if (!metrics_out.empty() || !report_out.empty()) {
@@ -240,9 +243,8 @@ int main(int argc, char** argv) {
     report.add_number("seed", config.seed);
     // Record the store configuration active for this run, so a report is
     // reproducible without knowing the environment it ran under.
-    const auto store_cfg = store::StoreConfig::from_env();
-    report.add_text("store_backend", store::to_string(store_cfg.backend));
-    report.add_number("state_budget", store_cfg.budget);
+    report.add_text("store_backend", store::to_string(opts.store.backend));
+    report.add_number("state_budget", opts.store.budget);
     report.add("campaign", obs::to_json(results.aggregate));
     report.write(out);
   }

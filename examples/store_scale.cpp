@@ -13,7 +13,11 @@
 //   --backend=legacy|store  engine selection (default NONMASK_STORE_BACKEND)
 //   --state-budget=M        StateSpace budget (default NONMASK_STATE_BUDGET)
 //   --threads=T             worker threads for the store sweeps
-//   --report-out=PATH       self-describing run-report JSON
+//   --weakly-fair           run the Tarjan/SCC weakly-fair check instead of
+//                           the unfair DFS (no max-steps-to-S in this mode)
+//   --report-out=PATH       self-describing run-report JSON; records
+//                           backend_fallback_reason when the compact
+//                           backend cannot serve this size
 #include <sys/resource.h>
 
 #include <chrono>
@@ -42,6 +46,7 @@ double peak_rss_mb() {
 int main(int argc, char** argv) {
   int n = 4;
   int k = 0;
+  bool weakly_fair = false;
   std::string report_out;
   store::StoreConfig cfg = store::StoreConfig::from_env();
   int positional = 0;
@@ -50,8 +55,10 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       std::cout << "usage: store_scale [N] [K] [--backend=legacy|store]\n"
                    "         [--state-budget=M] [--threads=T] "
-                   "[--report-out=PATH]\n";
+                   "[--weakly-fair] [--report-out=PATH]\n";
       return 0;
+    } else if (arg == "--weakly-fair") {
+      weakly_fair = true;
     } else if (arg.rfind("--backend=", 0) == 0) {
       const std::string backend = arg.substr(10);
       if (backend == "store") {
@@ -92,19 +99,34 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::cout << "dijkstra ring N=" << n << " K=" << k << ": " << *count
-            << " states, backend " << store::to_string(cfg.backend) << "\n";
+            << " states, backend " << store::to_string(cfg.backend)
+            << (weakly_fair ? ", weakly-fair (Tarjan/SCC)" : "") << "\n";
 
   const StateSpace space(tr.design.program, cfg.budget);
+  const auto fallback = store::backend_fallback_reason(cfg, space);
+  if (fallback) {
+    std::cout << "backend fallback: " << *fallback << "\n";
+  }
   const auto t0 = std::chrono::steady_clock::now();
   const auto report =
-      store::check_convergence_via(cfg, space, tr.design.S(), tr.design.T());
+      weakly_fair
+          ? store::check_convergence_weakly_fair_via(cfg, space, tr.design.S(),
+                                                     tr.design.T())
+          : store::check_convergence_via(cfg, space, tr.design.S(),
+                                         tr.design.T());
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   const double rate = static_cast<double>(space.size()) / secs;
 
-  std::cout << "verdict: " << to_string(report.verdict)
-            << ", worst " << report.max_steps_to_S << " steps to S\n"
+  std::cout << "verdict: " << to_string(report.verdict);
+  if (!weakly_fair) {
+    // The SCC pass proves every fair computation converges but does not
+    // compute per-state longest paths, so the worst-steps column only
+    // exists in unfair mode.
+    std::cout << ", worst " << report.max_steps_to_S << " steps to S";
+  }
+  std::cout << "\n"
             << "states in S: " << report.states_in_S
             << ", region: " << report.region_states
             << ", transitions: " << report.transitions << "\n"
@@ -119,13 +141,15 @@ int main(int argc, char** argv) {
     }
     obs::RunReport doc("store_scale", tr.design.name);
     doc.add_text("backend", store::to_string(cfg.backend));
+    if (fallback) doc.add_text("backend_fallback_reason", *fallback);
+    doc.add_text("mode", weakly_fair ? "weakly_fair" : "unfair");
     doc.add_number("state_budget", cfg.budget);
     doc.add_number("states", space.size());
     doc.add_number("elapsed_s", secs);
     doc.add_number("states_per_sec", rate);
     doc.add_number("peak_rss_mb", peak_rss_mb());
     doc.add_text("verdict", to_string(report.verdict));
-    doc.add_number("max_steps_to_S", report.max_steps_to_S);
+    if (!weakly_fair) doc.add_number("max_steps_to_S", report.max_steps_to_S);
     doc.add_number("transitions", report.transitions);
     doc.write(out);
     std::cout << "report written to " << report_out << "\n";

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_store.json files (google-benchmark JSON format).
+
+Usage: bench_compare.py BASELINE CURRENT [--max-regression FRAC]
+
+Diffs the throughput ("states/s" counter) and peak RSS ("peak_rss_mb")
+of every benchmark present in BOTH files, prints a table, and exits
+non-zero when any benchmark's states/s regressed by more than
+--max-regression (default 0.25, i.e. 25%).
+
+Benchmarks present in only one file are listed but never fail the gate,
+so adding or retiring a benchmark does not require touching the
+committed baseline in the same change. Extra top-level keys are
+tolerated; an optional "store_scale" section (injected by the
+acceptance run, not google-benchmark) is compared by the same rule when
+both files carry it.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    by_name = {}
+    for b in doc.get("benchmarks", []):
+        # Repetition aggregates (mean/median/stddev) would double-count.
+        if b.get("run_type") == "aggregate":
+            continue
+        by_name[b["name"]] = b
+    return doc, by_name
+
+
+def fmt_rate(v):
+    if v is None:
+        return "-"
+    if v >= 1e6:
+        return f"{v / 1e6:.2f}M/s"
+    if v >= 1e3:
+        return f"{v / 1e3:.1f}k/s"
+    return f"{v:.1f}/s"
+
+
+def compare_entry(name, base_rate, cur_rate, base_rss, cur_rss, max_regression):
+    """Returns (failed, line) for one comparable entry."""
+    failed = False
+    if base_rate and cur_rate is not None:
+        delta = (cur_rate - base_rate) / base_rate
+        verdict = "ok"
+        if delta < -max_regression:
+            verdict = "REGRESSION"
+            failed = True
+        rate_col = f"{fmt_rate(base_rate):>10} -> {fmt_rate(cur_rate):>10} ({delta:+7.1%}) {verdict}"
+    else:
+        rate_col = "no states/s counter"
+    if base_rss and cur_rss is not None:
+        rss_col = f"rss {base_rss:8.1f} -> {cur_rss:8.1f} MB"
+    else:
+        rss_col = ""
+    return failed, f"  {name:<50} {rate_col}  {rss_col}"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="fail when states/s drops by more than FRAC (default 0.25)",
+    )
+    args = ap.parse_args()
+
+    base_doc, base = load_benchmarks(args.baseline)
+    cur_doc, cur = load_benchmarks(args.current)
+
+    common = sorted(set(base) & set(cur))
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+
+    failures = []
+    print(f"comparing {len(common)} benchmark(s): "
+          f"{args.baseline} -> {args.current}")
+    for name in common:
+        b, c = base[name], cur[name]
+        failed, line = compare_entry(
+            name,
+            b.get("states/s"), c.get("states/s"),
+            b.get("peak_rss_mb"), c.get("peak_rss_mb"),
+            args.max_regression,
+        )
+        print(line)
+        if failed:
+            failures.append(name)
+
+    # The acceptance-run section (store_scale weakly-fair exhaustive check)
+    # rides along in the same file outside the google-benchmark schema.
+    base_scale = base_doc.get("store_scale")
+    cur_scale = cur_doc.get("store_scale")
+    if isinstance(base_scale, dict) and isinstance(cur_scale, dict):
+        failed, line = compare_entry(
+            "store_scale (acceptance run)",
+            base_scale.get("states_per_sec"), cur_scale.get("states_per_sec"),
+            base_scale.get("peak_rss_mb"), cur_scale.get("peak_rss_mb"),
+            args.max_regression,
+        )
+        print(line)
+        if failed:
+            failures.append("store_scale")
+
+    for name in only_base:
+        print(f"  {name:<50} only in baseline (ignored)")
+    for name in only_cur:
+        print(f"  {name:<50} only in current (ignored)")
+
+    if not common and not (base_scale and cur_scale):
+        print("error: no comparable benchmarks between the two files",
+              file=sys.stderr)
+        return 2
+    if failures:
+        print(f"FAIL: >{args.max_regression:.0%} states/s regression in: "
+              + ", ".join(failures), file=sys.stderr)
+        return 1
+    print("ok: no states/s regression beyond "
+          f"{args.max_regression:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

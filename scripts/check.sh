@@ -121,6 +121,33 @@ NONMASK_STORE_BACKEND=store ./build/examples/design_workbench \
   > "${store_dir}/wb_store_env.txt"
 diff "${store_dir}/wb_store_t1.txt" "${store_dir}/wb_store_env.txt"
 echo "ok: workbench reports byte-identical across backends and 1/2/8 threads"
+
+# Weakly-fair equivalence smoke: the store-native Tarjan/SCC pass must
+# print the same verdict/count lines as the legacy dense checker at 1/2/8
+# threads (timing lines stripped — they are the only legitimate diff).
+echo "== weakly-fair store equivalence smoke =="
+for t in 1 2 8; do
+  for backend in legacy store; do
+    ./build/examples/store_scale 4 6 --weakly-fair "--backend=${backend}" \
+      "--threads=${t}" \
+      | grep -v -e '^elapsed:' -e '^peak RSS:' -e '^backend fallback:' \
+      | sed 's/backend dense/backend X/;s/backend store/backend X/' \
+      > "${store_dir}/fair_${backend}_t${t}.txt"
+  done
+  diff "${store_dir}/fair_legacy_t1.txt" "${store_dir}/fair_legacy_t${t}.txt"
+  diff "${store_dir}/fair_legacy_t${t}.txt" "${store_dir}/fair_store_t${t}.txt"
+done
+echo "ok: weakly-fair verdicts byte-identical across backends and 1/2/8 threads"
+
+# Benchmark regression gate: a fresh bench_store run must stay within 25%
+# states/s of the committed baseline (the fresh run goes to a temp path so
+# the baseline only changes when deliberately regenerated).
 ./build/bench/bench_store --benchmark_min_time=0.01 \
-  --benchmark_out=BENCH_store.json --benchmark_out_format=json >/dev/null
-echo "ok: wrote BENCH_store.json"
+  --benchmark_out="${store_dir}/BENCH_store.json" \
+  --benchmark_out_format=json >/dev/null
+if [[ -f BENCH_store.json ]] && command -v python3 >/dev/null; then
+  python3 scripts/bench_compare.py BENCH_store.json \
+    "${store_dir}/BENCH_store.json"
+else
+  echo "note: no committed BENCH_store.json baseline; skipping compare"
+fi

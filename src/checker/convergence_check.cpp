@@ -1,10 +1,10 @@
 #include "checker/convergence_check.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "checker/closure_check.hpp"
 #include "checker/convergence_core.hpp"
+#include "checker/scc_core.hpp"
 #include "core/candidate.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
@@ -81,16 +81,6 @@ void record_convergence_metrics(const ConvergenceReport& report) {
   registry.counter("checker.convergence.transitions").add(report.transitions);
 }
 
-namespace {
-
-struct DfsFrame {
-  std::uint64_t code;
-  std::vector<std::uint64_t> succs;
-  std::size_t next = 0;
-};
-
-}  // namespace
-
 /// Legacy dense bookkeeping: one vector slot per code over the full range.
 /// This is the memory layout that caps the legacy backend at ~32M states;
 /// the store backend instantiates the same core over packed arrays.
@@ -127,176 +117,9 @@ ConvergenceReport check_convergence_weakly_fair_core(
     const StateSpace& space, const std::vector<std::uint8_t>& flags,
     SuccessorSource& succ, const std::vector<std::size_t>& actions,
     ConvergenceReport report) {
-  obs::Span scc_span("checker.scc");
-  obs::ProgressMeter meter("convergence-scc");
-  const Program& p = space.program();
-
-  // Iterative Tarjan over the implicit ¬S region reachable from T ∧ ¬S.
-  constexpr std::int32_t kUnvisited = -1;
-  std::vector<std::int32_t> index(space.size(), kUnvisited);
-  std::vector<std::int32_t> lowlink(space.size(), 0);
-  std::vector<std::uint8_t> on_stack(space.size(), 0);
-  std::vector<std::int32_t> component(space.size(), -1);
-  std::vector<std::uint64_t> tarjan_stack;
-  std::int32_t next_index = 0;
-  std::int32_t num_components = 0;
-  std::vector<std::vector<std::uint64_t>> members;  // per-component states
-
-  State scratch(p.num_variables());
-  std::vector<DfsFrame> frames;
-
-  auto in_region = [&](std::uint64_t code) {
-    return (flags[code] & kFlagS) == 0;
-  };
-
-  for (std::uint64_t start = 0; start < space.size(); ++start) {
-    if ((flags[start] & kFlagT) == 0 || !in_region(start)) continue;
-    if (index[start] != kUnvisited) continue;
-
-    frames.clear();
-    auto push_node = [&](std::uint64_t code) -> bool {
-      DfsFrame frame;
-      frame.code = code;
-      succ.successors(code, frame.succs);
-      report.transitions += frame.succs.size();
-      ++report.region_states;
-      meter.add(1);
-      if (frame.succs.empty()) {  // no action enabled
-        report.verdict = ConvergenceVerdict::kViolated;
-        report.deadlock = space.decode(code);
-        return false;
-      }
-      index[code] = next_index;
-      lowlink[code] = next_index;
-      ++next_index;
-      tarjan_stack.push_back(code);
-      on_stack[code] = 1;
-      frames.push_back(std::move(frame));
-      return true;
-    };
-
-    if (!push_node(start)) {
-      record_convergence_metrics(report);
-      return report;
-    }
-
-    while (!frames.empty()) {
-      DfsFrame& frame = frames.back();
-      if (frame.next < frame.succs.size()) {
-        const std::uint64_t next = frame.succs[frame.next++];
-        if (!in_region(next)) continue;  // exits to S
-        if (index[next] == kUnvisited) {
-          if (!push_node(next)) {
-            record_convergence_metrics(report);
-            return report;
-          }
-        } else if (on_stack[next] != 0) {
-          lowlink[frame.code] = std::min(lowlink[frame.code], index[next]);
-        }
-      } else {
-        const std::uint64_t v = frame.code;
-        if (lowlink[v] == index[v]) {
-          members.emplace_back();
-          while (true) {
-            const std::uint64_t w = tarjan_stack.back();
-            tarjan_stack.pop_back();
-            on_stack[w] = 0;
-            component[w] = num_components;
-            members.back().push_back(w);
-            if (w == v) break;
-          }
-          ++num_components;
-        }
-        frames.pop_back();
-        if (!frames.empty()) {
-          lowlink[frames.back().code] =
-              std::min(lowlink[frames.back().code], lowlink[v]);
-        }
-      }
-    }
-  }
-
-  // Analyze each SCC of the region.
-  meter.aux("sccs", members.size());
-  if (obs::Metrics::enabled()) {
-    obs::Registry::instance()
-        .counter("checker.scc.components")
-        .add(members.size());
-  }
-  bool all_escape = true;
-  for (const auto& scc : members) {
-    // Does the SCC contain an internal transition (size > 1, or self-loop)?
-    bool nontrivial = scc.size() > 1;
-    if (!nontrivial) {
-      const std::uint64_t code = scc.front();
-      space.decode_into(code, scratch);
-      for (std::size_t idx : actions) {
-        const Action& a = p.action(idx);
-        if (a.enabled(scratch) && space.encode(a.apply(scratch)) == code) {
-          nontrivial = true;
-          break;
-        }
-      }
-    }
-    if (!nontrivial) continue;
-
-    // Fair-escape: some action enabled at every SCC state whose firing
-    // always exits the SCC.
-    bool escapable = false;
-    for (std::size_t idx : actions) {
-      const Action& a = p.action(idx);
-      bool candidate = true;
-      for (std::uint64_t code : scc) {
-        space.decode_into(code, scratch);
-        if (!a.enabled(scratch)) {
-          candidate = false;
-          break;
-        }
-        const std::uint64_t next = space.encode(a.apply(scratch));
-        if (in_region(next) && component[next] == component[code]) {
-          candidate = false;
-          break;
-        }
-      }
-      if (candidate) {
-        escapable = true;
-        break;
-      }
-    }
-
-    if (!escapable) {
-      // Exact violation when every enabled action at every SCC state stays
-      // inside the SCC: even fair computations can loop forever.
-      bool closed_scc = true;
-      for (std::uint64_t code : scc) {
-        space.decode_into(code, scratch);
-        for (std::size_t idx : actions) {
-          const Action& a = p.action(idx);
-          if (!a.enabled(scratch)) continue;
-          const std::uint64_t next = space.encode(a.apply(scratch));
-          if (!in_region(next) || component[next] != component[code]) {
-            closed_scc = false;
-            break;
-          }
-        }
-        if (!closed_scc) break;
-      }
-      if (closed_scc) {
-        std::vector<State> cycle;
-        for (std::uint64_t code : scc) cycle.push_back(space.decode(code));
-        report.verdict = ConvergenceVerdict::kViolated;
-        report.cycle = std::move(cycle);
-        record_convergence_metrics(report);
-        return report;
-      }
-      all_escape = false;
-    }
-  }
-
-  report.verdict = all_escape ? ConvergenceVerdict::kConverges
-                              : ConvergenceVerdict::kUnknown;
-  record_convergence_metrics(report);
-  return report;
+  DenseTarjanBookkeeping bk(space.size());
+  return check_convergence_weakly_fair_core_impl(space, flags, succ, actions,
+                                                 std::move(report), bk);
 }
 
 }  // namespace detail

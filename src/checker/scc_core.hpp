@@ -1,0 +1,266 @@
+// The weakly-fair convergence check's Tarjan/SCC pass, factored as a
+// template over its per-state bookkeeping — the same split that
+// convergence_core.hpp gives the unfair DFS:
+//
+//   - the legacy dense path (convergence_check.cpp): int32 index/lowlink,
+//     byte on-stack marks, and an int32 component array, all sized by the
+//     full code range (~13 bytes/state);
+//   - the store path (store/store_check.cpp): a stamped u32 visit-index
+//     array over the codes, slab-grown u32 lowlinks indexed by dense visit
+//     id, 1-bit on-stack marks, and sorted member snapshots for the
+//     nontrivial SCCs instead of a full component array.
+//
+// Both instantiate the same traversal and analysis statements in the same
+// order, so every count, verdict, and counterexample is a pure function of
+// the traversal — the byte-identical-reports contract of store/facade.hpp.
+//
+// Bookkeeping requirements (all codes pre-initialized to "unvisited"):
+//   bool visited(code)
+//   std::uint32_t index(code) / void set_index(code, v)    Tarjan visit order
+//   std::uint32_t lowlink(code) / void set_lowlink(code, v)
+//   bool on_stack(code) / void set_on_stack(code, bool)
+//   void mark_component(code, comp)      every popped state, every SCC
+//   void seal_component(comp, members)   nontrivial SCCs only, pop order
+//   bool in_component(code, comp)        comp is always a sealed component
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "checker/convergence_check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/span.hpp"
+
+namespace nonmask::detail {
+
+/// Legacy dense Tarjan bookkeeping: one array slot per code over the full
+/// range. This is the memory layout that keeps the legacy backend at ~32M
+/// states; the store backend instantiates the same core over packed and
+/// visit-ordered arrays.
+struct DenseTarjanBookkeeping {
+  static constexpr std::int32_t kUnvisited = -1;
+
+  explicit DenseTarjanBookkeeping(std::uint64_t size)
+      : index_(size, kUnvisited),
+        lowlink_(size, 0),
+        on_stack_(size, 0),
+        component_(size, -1) {}
+
+  bool visited(std::uint64_t code) const { return index_[code] != kUnvisited; }
+  std::uint32_t index(std::uint64_t code) const {
+    return static_cast<std::uint32_t>(index_[code]);
+  }
+  void set_index(std::uint64_t code, std::uint32_t v) {
+    index_[code] = static_cast<std::int32_t>(v);
+  }
+  std::uint32_t lowlink(std::uint64_t code) const {
+    return static_cast<std::uint32_t>(lowlink_[code]);
+  }
+  void set_lowlink(std::uint64_t code, std::uint32_t v) {
+    lowlink_[code] = static_cast<std::int32_t>(v);
+  }
+  bool on_stack(std::uint64_t code) const { return on_stack_[code] != 0; }
+  void set_on_stack(std::uint64_t code, bool b) {
+    on_stack_[code] = b ? 1 : 0;
+  }
+  void mark_component(std::uint64_t code, std::int32_t comp) {
+    component_[code] = comp;
+  }
+  void seal_component(std::int32_t, const std::vector<std::uint64_t>&) {}
+  bool in_component(std::uint64_t code, std::int32_t comp) const {
+    return component_[code] == comp;
+  }
+
+  std::vector<std::int32_t> index_;
+  std::vector<std::int32_t> lowlink_;
+  std::vector<std::uint8_t> on_stack_;
+  std::vector<std::int32_t> component_;
+};
+
+/// Iterative Tarjan over the implicit ¬S region reachable from T ∧ ¬S,
+/// then the fair-escape analysis of every nontrivial SCC (Section 8's
+/// weakly-fair daemon): a nontrivial SCC is harmless when some action is
+/// enabled at every SCC state and each of its firings exits the SCC; a
+/// closed SCC (every enabled action stays inside) is an exact violation
+/// with the SCC as the cycle counterexample.
+template <class Flags, class Bookkeeping>
+ConvergenceReport check_convergence_weakly_fair_core_impl(
+    const StateSpace& space, const Flags& flags, SuccessorSource& succ,
+    const std::vector<std::size_t>& actions, ConvergenceReport report,
+    Bookkeeping& bk) {
+  obs::Span scc_span("checker.scc");
+  obs::ProgressMeter meter("convergence-scc");
+  const Program& p = space.program();
+
+  struct TarjanFrame {
+    std::uint64_t code;
+    std::vector<std::uint64_t> succs;
+    std::size_t next = 0;
+  };
+  std::vector<std::uint64_t> tarjan_stack;
+  std::uint32_t next_index = 0;
+  std::int32_t num_components = 0;
+  struct NontrivialScc {
+    std::int32_t id;
+    std::vector<std::uint64_t> members;  ///< pop order (= the cycle order)
+  };
+  std::vector<NontrivialScc> nontrivial;
+
+  State scratch(p.num_variables());
+  std::vector<TarjanFrame> frames;
+
+  auto in_region = [&](std::uint64_t code) {
+    return (flags[code] & kFlagS) == 0;
+  };
+
+  for (std::uint64_t start = 0; start < space.size(); ++start) {
+    if ((flags[start] & kFlagT) == 0 || !in_region(start)) continue;
+    if (bk.visited(start)) continue;
+
+    frames.clear();
+    auto push_node = [&](std::uint64_t code) -> bool {
+      TarjanFrame frame;
+      frame.code = code;
+      succ.successors(code, frame.succs);
+      report.transitions += frame.succs.size();
+      ++report.region_states;
+      meter.add(1);
+      if (frame.succs.empty()) {  // no action enabled
+        report.verdict = ConvergenceVerdict::kViolated;
+        report.deadlock = space.decode(code);
+        return false;
+      }
+      bk.set_index(code, next_index);
+      bk.set_lowlink(code, next_index);
+      ++next_index;
+      tarjan_stack.push_back(code);
+      bk.set_on_stack(code, true);
+      frames.push_back(std::move(frame));
+      return true;
+    };
+
+    if (!push_node(start)) {
+      record_convergence_metrics(report);
+      return report;
+    }
+
+    while (!frames.empty()) {
+      TarjanFrame& frame = frames.back();
+      if (frame.next < frame.succs.size()) {
+        const std::uint64_t next = frame.succs[frame.next++];
+        if (!in_region(next)) continue;  // exits to S
+        if (!bk.visited(next)) {
+          if (!push_node(next)) {
+            record_convergence_metrics(report);
+            return report;
+          }
+        } else if (bk.on_stack(next)) {
+          bk.set_lowlink(frame.code,
+                         std::min(bk.lowlink(frame.code), bk.index(next)));
+        }
+      } else {
+        const std::uint64_t v = frame.code;
+        if (bk.lowlink(v) == bk.index(v)) {
+          std::vector<std::uint64_t> scc;
+          while (true) {
+            const std::uint64_t w = tarjan_stack.back();
+            tarjan_stack.pop_back();
+            bk.set_on_stack(w, false);
+            bk.mark_component(w, num_components);
+            scc.push_back(w);
+            if (w == v) break;
+          }
+          // Member lists are kept only for SCCs that can host an infinite
+          // computation: size > 1, or a singleton with a self-loop (v among
+          // its own sorted-distinct successors).
+          const bool has_internal_transition =
+              scc.size() > 1 ||
+              std::binary_search(frame.succs.begin(), frame.succs.end(), v);
+          if (has_internal_transition) {
+            bk.seal_component(num_components, scc);
+            nontrivial.push_back({num_components, std::move(scc)});
+          }
+          ++num_components;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          bk.set_lowlink(
+              frames.back().code,
+              std::min(bk.lowlink(frames.back().code), bk.lowlink(v)));
+        }
+      }
+    }
+  }
+
+  // Analyze each nontrivial SCC of the region, in pop order.
+  meter.aux("sccs", static_cast<std::uint64_t>(num_components));
+  if (obs::Metrics::enabled()) {
+    obs::Registry::instance()
+        .counter("checker.scc.components")
+        .add(static_cast<std::uint64_t>(num_components));
+  }
+  bool all_escape = true;
+  for (const NontrivialScc& entry : nontrivial) {
+    const std::vector<std::uint64_t>& scc = entry.members;
+
+    // Fair-escape: some action enabled at every SCC state whose firing
+    // always exits the SCC.
+    bool escapable = false;
+    for (std::size_t idx : actions) {
+      const Action& a = p.action(idx);
+      bool candidate = true;
+      for (std::uint64_t code : scc) {
+        space.decode_into(code, scratch);
+        if (!a.enabled(scratch)) {
+          candidate = false;
+          break;
+        }
+        const std::uint64_t next = space.encode(a.apply(scratch));
+        if (in_region(next) && bk.in_component(next, entry.id)) {
+          candidate = false;
+          break;
+        }
+      }
+      if (candidate) {
+        escapable = true;
+        break;
+      }
+    }
+
+    if (!escapable) {
+      // Exact violation when every enabled action at every SCC state stays
+      // inside the SCC: even fair computations can loop forever.
+      bool closed_scc = true;
+      for (std::uint64_t code : scc) {
+        space.decode_into(code, scratch);
+        for (std::size_t idx : actions) {
+          const Action& a = p.action(idx);
+          if (!a.enabled(scratch)) continue;
+          const std::uint64_t next = space.encode(a.apply(scratch));
+          if (!in_region(next) || !bk.in_component(next, entry.id)) {
+            closed_scc = false;
+            break;
+          }
+        }
+        if (!closed_scc) break;
+      }
+      if (closed_scc) {
+        std::vector<State> cycle;
+        for (std::uint64_t code : scc) cycle.push_back(space.decode(code));
+        report.verdict = ConvergenceVerdict::kViolated;
+        report.cycle = std::move(cycle);
+        record_convergence_metrics(report);
+        return report;
+      }
+      all_escape = false;
+    }
+  }
+
+  report.verdict = all_escape ? ConvergenceVerdict::kConverges
+                              : ConvergenceVerdict::kUnknown;
+  record_convergence_metrics(report);
+  return report;
+}
+
+}  // namespace nonmask::detail

@@ -9,6 +9,7 @@
 #include "obs/progress.hpp"
 #include "obs/span.hpp"
 #include "parallel/thread_pool.hpp"
+#include "store/frontier.hpp"
 
 namespace nonmask {
 
@@ -122,6 +123,19 @@ CampaignResults run_campaign(const Design& design,
     for (std::size_t i = completed; i < config.trials; ++i) {
       timed_trial(i);
     }
+  } else if (opts.store.backend == store::StoreBackend::kStore) {
+    // Store-engine routing: same grain-1 dynamic schedule, shared engine
+    // surface with the store sweeps. Trials are item-order-independent
+    // (pure functions of their seeds, streamed in trial order), so this
+    // keeps the byte-identity contract.
+    store::StoreConfig engine_config = opts.store;
+    engine_config.threads = threads;
+    store::FrontierEngine engine(engine_config);
+    engine.for_items(completed, config.trials,
+                     [&](std::uint64_t trial, unsigned worker) {
+                       (void)worker;
+                       timed_trial(trial);
+                     });
   } else {
     ThreadPool pool(threads);
     parallel_for_chunked(

@@ -19,17 +19,38 @@ ConcurrentPackedSet::ConcurrentPackedSet(const PackedLayout& layout,
     : layout_(&layout),
       shard_bits_(shard_bits),
       shard_mask_((std::uint64_t{1} << shard_bits) - 1),
-      seed_(seed) {
+      seed_(seed),
+      slots_(std::size_t{1} << shard_bits) {
   const std::size_t count = std::size_t{1} << shard_bits;
   // Size each table so the expected load sits under the 0.7 growth
-  // threshold from the start.
-  const std::size_t capacity =
+  // threshold from materialization.
+  initial_capacity_ =
       round_up_pow2(expected == 0 ? 64 : (expected / count) * 2 + 64);
-  shards_.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    shards_.push_back(std::make_unique<Shard>(layout.words(), capacity));
-  }
+  for (auto& slot : slots_) slot.store(nullptr, std::memory_order_relaxed);
 }
+
+ConcurrentPackedSet::~ConcurrentPackedSet() {
+  for (auto& slot : slots_) delete slot.load(std::memory_order_acquire);
+}
+
+ConcurrentPackedSet::Shard& ConcurrentPackedSet::shard_at(
+    std::uint64_t index) {
+  Shard* existing = slots_[index].load(std::memory_order_acquire);
+  if (existing != nullptr) return *existing;
+  // First touch: this thread allocates the table and arena, so their pages
+  // fault in on its NUMA node. On a lost race the winner's shard is kept
+  // (its pages are already placed) and our candidate is freed.
+  auto fresh = std::make_unique<Shard>(layout_->words(), initial_capacity_);
+  Shard* expected = nullptr;
+  if (slots_[index].compare_exchange_strong(expected, fresh.get(),
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+    return *fresh.release();
+  }
+  return *expected;
+}
+
+void ConcurrentPackedSet::touch(unsigned index) { shard_at(index); }
 
 void ConcurrentPackedSet::grow(Shard& shard) const {
   std::vector<std::uint64_t> table(shard.table.size() * 2, 0);
@@ -47,7 +68,7 @@ std::pair<std::uint64_t, bool> ConcurrentPackedSet::insert(
     const std::uint64_t* words) {
   const std::uint64_t h = layout_->hash(words, seed_);
   const std::uint64_t shard_idx = shard_of(h);
-  Shard& shard = *shards_[shard_idx];
+  Shard& shard = shard_at(shard_idx);
   std::lock_guard<std::mutex> lock(shard.mutex);
   if ((shard.entries + 1) * 10 > shard.table.size() * 7) grow(shard);
   const std::uint64_t mask = shard.table.size() - 1;
@@ -71,7 +92,9 @@ std::optional<std::uint64_t> ConcurrentPackedSet::find(
     const std::uint64_t* words) const {
   const std::uint64_t h = layout_->hash(words, seed_);
   const std::uint64_t shard_idx = shard_of(h);
-  const Shard& shard = *shards_[shard_idx];
+  const Shard* shard_ptr = shard_if(shard_idx);
+  if (shard_ptr == nullptr) return std::nullopt;  // never touched: empty
+  const Shard& shard = *shard_ptr;
   std::lock_guard<std::mutex> lock(shard.mutex);
   const std::uint64_t mask = shard.table.size() - 1;
   std::uint64_t pos = h & mask;
@@ -87,7 +110,9 @@ std::optional<std::uint64_t> ConcurrentPackedSet::find(
 
 std::uint64_t ConcurrentPackedSet::size() const {
   std::uint64_t total = 0;
-  for (const auto& shard : shards_) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Shard* shard = shard_if(i);
+    if (shard == nullptr) continue;
     std::lock_guard<std::mutex> lock(shard->mutex);
     total += shard->entries;
   }
@@ -97,8 +122,13 @@ std::uint64_t ConcurrentPackedSet::size() const {
 std::vector<ConcurrentPackedSet::ShardStats> ConcurrentPackedSet::shard_stats()
     const {
   std::vector<ShardStats> stats;
-  stats.reserve(shards_.size());
-  for (const auto& shard : shards_) {
+  stats.reserve(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Shard* shard = shard_if(i);
+    if (shard == nullptr) {
+      stats.push_back({0, 0});
+      continue;
+    }
     std::lock_guard<std::mutex> lock(shard->mutex);
     stats.push_back({shard->entries, shard->table.size()});
   }

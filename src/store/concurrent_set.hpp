@@ -16,8 +16,18 @@
 // with inserts into the same shard requires no synchronization *after* the
 // inserting thread has been joined or otherwise synchronized-with (the
 // frontier engine only reads between parallel phases).
+//
+// Shards materialize on first touch, not in the constructor: the worker
+// that first inserts into (or explicitly touch()es) a shard allocates its
+// table and arena, so under a first-touch NUMA policy the shard's pages
+// land on that worker's node. Per-worker shard affinity then keeps the hot
+// tables local: give each worker a contiguous shard range to pre-touch
+// (worker w of n owns shards [w*count/n, (w+1)*count/n)) before a parallel
+// insert phase, as bench_store does. Creation races are resolved with one
+// compare-exchange per shard; losers free their candidate.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -32,10 +42,15 @@ namespace nonmask::store {
 
 class ConcurrentPackedSet {
  public:
-  /// 2^shard_bits shards; `expected` pre-sizes each shard's table for
-  /// expected/2^shard_bits entries (they still grow on demand).
+  /// 2^shard_bits shards; `expected` sizes each shard's table for
+  /// expected/2^shard_bits entries at materialization (they still grow on
+  /// demand).
   ConcurrentPackedSet(const PackedLayout& layout, unsigned shard_bits,
                       std::uint64_t seed, std::uint64_t expected = 0);
+  ~ConcurrentPackedSet();
+
+  ConcurrentPackedSet(const ConcurrentPackedSet&) = delete;
+  ConcurrentPackedSet& operator=(const ConcurrentPackedSet&) = delete;
 
   /// Intern `words`; returns (id, true) on first insertion and the
   /// existing (id, false) thereafter. Thread-safe.
@@ -48,24 +63,32 @@ class ConcurrentPackedSet {
     return find(words).has_value();
   }
 
+  /// Materialize shard `index` from the calling thread (first-touch page
+  /// placement). Thread-safe, idempotent, never blocks behind an existing
+  /// shard's lock.
+  void touch(unsigned index);
+
   /// Stable pointer to the packed words of `id` (see header comment for
-  /// the synchronization contract).
+  /// the synchronization contract). `id` must come from insert()/find(),
+  /// so its shard exists.
   const std::uint64_t* get(std::uint64_t id) const {
-    return shards_[id & shard_mask_]->arena.get(id >> shard_bits_);
+    return slots_[id & shard_mask_].load(std::memory_order_acquire)
+        ->arena.get(id >> shard_bits_);
   }
 
-  /// Total interned states (takes every shard lock).
+  /// Total interned states (takes every materialized shard's lock).
   std::uint64_t size() const;
 
   unsigned shard_count() const noexcept {
-    return static_cast<unsigned>(shards_.size());
+    return static_cast<unsigned>(slots_.size());
   }
 
   struct ShardStats {
     std::uint64_t size = 0;
     std::uint64_t capacity = 0;
   };
-  /// Per-shard occupancy, for the bench's shard-balance report.
+  /// Per-shard occupancy, for the bench's shard-balance report; untouched
+  /// shards report {0, 0}.
   std::vector<ShardStats> shard_stats() const;
 
  private:
@@ -82,15 +105,23 @@ class ConcurrentPackedSet {
   std::uint64_t shard_of(std::uint64_t hash) const noexcept {
     return shard_bits_ == 0 ? 0 : hash >> (64 - shard_bits_);
   }
+  /// The shard at `index`, materializing it on first touch.
+  Shard& shard_at(std::uint64_t index);
+  /// The shard at `index`, or nullptr if never touched.
+  const Shard* shard_if(std::uint64_t index) const {
+    return slots_[index].load(std::memory_order_acquire);
+  }
   void grow(Shard& shard) const;
 
   const PackedLayout* layout_;
   unsigned shard_bits_;
   std::uint64_t shard_mask_;
   std::uint64_t seed_;
-  // unique_ptr because Shard owns a mutex (immovable) and arena pointers
-  // must stay stable while other shards are appended during construction.
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t initial_capacity_;
+  // Raw Shard pointers behind atomics: Shard owns a mutex (immovable), and
+  // a slot flips nullptr → pointer exactly once, published with acq_rel so
+  // the winning toucher's construction happens-before every use.
+  std::vector<std::atomic<Shard*>> slots_;
 };
 
 }  // namespace nonmask::store

@@ -72,10 +72,42 @@ ConvergenceReport check_convergence_weakly_fair_via(const StoreConfig& config,
                                                     const StateSpace& space,
                                                     const PredicateFn& S,
                                                     const PredicateFn& T) {
-  // Compact Tarjan bookkeeping is not implemented yet (facade.hpp header
-  // comment); both backends take the legacy/sweep path.
+  if (config.backend == StoreBackend::kStore &&
+      !backend_fallback_reason(config, space)) {
+    return check_convergence_weakly_fair_store(space, S, T, config);
+  }
   return check_convergence_weakly_fair_parallel(space, S, T,
                                                 sweep_options(config));
+}
+
+std::optional<VariantFunction> compute_variant_via(const StoreConfig& config,
+                                                   const StateSpace& space,
+                                                   const PredicateFn& S) {
+  if (config.backend == StoreBackend::kStore &&
+      !backend_fallback_reason(config, space)) {
+    return compute_variant_store(space, S, config);
+  }
+  return compute_variant(space, S);
+}
+
+std::optional<std::string> backend_fallback_reason_for_size(
+    const StoreConfig& config, std::uint64_t states) {
+  if (config.backend != StoreBackend::kStore) return std::nullopt;
+  // The compact Tarjan/DFS bookkeeping assigns each visited state a dense
+  // u32 visit id, reserving 0xFFFFFFFF as the "unvisited" stamp.
+  constexpr std::uint64_t kMaxCompactStates = 0xFFFFFFFFull;
+  if (states >= kMaxCompactStates) {
+    return "state space of " + std::to_string(states) +
+           " codes exceeds the u32 dense visit-id range of the compact "
+           "bookkeeping (max " +
+           std::to_string(kMaxCompactStates - 1) + "); dense path used";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> backend_fallback_reason(const StoreConfig& config,
+                                                   const StateSpace& space) {
+  return backend_fallback_reason_for_size(config, space.size());
 }
 
 StateSet compute_reachable_via(const StoreConfig& config,

@@ -15,18 +15,23 @@
 // themselves — NONMASK_STORE_BACKEND / NONMASK_STATE_BUDGET select it at
 // run time via StoreConfig::from_env().
 //
-// Known scope limit: the weakly-fair check needs Tarjan index/lowlink
-// arrays over the full code range, which the compact layout does not yet
-// cover; check_convergence_weakly_fair_via therefore runs the legacy
-// (sweep) path under both backends.
+// Every checker path — closure, convergence (unfair and weakly-fair SCC),
+// reachability/fault-span, and variant extraction — runs store-native
+// under kStore. The one residual fallback (state spaces whose code range
+// exceeds the u32 dense visit-id space of the compact Tarjan bookkeeping)
+// is no longer silent: backend_fallback_reason() names it, and run-report
+// writers record it.
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "checker/closure_check.hpp"
 #include "checker/convergence_check.hpp"
 #include "checker/fault_span.hpp"
+#include "checker/variant.hpp"
 #include "store/config.hpp"
 
 namespace nonmask::store {
@@ -70,6 +75,25 @@ ConvergenceReport check_convergence_weakly_fair_via(const StoreConfig& config,
                                                     const StateSpace& space,
                                                     const PredicateFn& S,
                                                     const PredicateFn& T);
+
+/// compute_variant through the selected backend (store-native single
+/// traversal under kStore; the legacy double traversal otherwise).
+std::optional<VariantFunction> compute_variant_via(const StoreConfig& config,
+                                                   const StateSpace& space,
+                                                   const PredicateFn& S);
+
+/// Why the compact backend cannot serve this state-space size, or nullopt
+/// when it can (or when the config never asked for it). Currently the one
+/// reason is a code range at or beyond 2^32-1, which would overflow the
+/// u32 dense visit ids of the compact Tarjan/DFS bookkeeping. Run-report
+/// writers surface this as `backend_fallback_reason` instead of silently
+/// checking on the dense path.
+std::optional<std::string> backend_fallback_reason_for_size(
+    const StoreConfig& config, std::uint64_t states);
+
+/// backend_fallback_reason_for_size over a built state space.
+std::optional<std::string> backend_fallback_reason(const StoreConfig& config,
+                                                   const StateSpace& space);
 
 StateSet compute_reachable_via(const StoreConfig& config,
                                const StateSpace& space,

@@ -121,10 +121,30 @@ FrontierEngine::FrontierEngine(const StateSpace& space,
                                const StoreConfig& config)
     : space_(&space), config_(config), pool_(config.threads) {}
 
+FrontierEngine::FrontierEngine(const StoreConfig& config)
+    : space_(nullptr), config_(config), pool_(config.threads) {}
+
+void FrontierEngine::for_items(
+    std::uint64_t begin, std::uint64_t end,
+    const std::function<void(std::uint64_t, unsigned)>& fn) {
+  obs::Span span("store.for_items");
+  parallel_for_chunked(pool_, begin, end, /*grain=*/1,
+                       [&](std::size_t chunk, std::uint64_t lo,
+                           std::uint64_t hi, unsigned worker) {
+                         (void)chunk;
+                         (void)hi;  // grain 1: [lo, hi) is a single item
+                         fn(lo, worker);
+                       });
+}
+
 StateSet FrontierEngine::reachable(const PredicateFn& start,
                                    const std::vector<std::size_t>& actions,
                                    const FaultSpanOptions& opts) {
   obs::Span span("store.reach");
+  if (space_ == nullptr) {
+    throw std::logic_error(
+        "FrontierEngine: reachable() needs the state-space constructor");
+  }
   stats_ = {};
   const StateSpace& space = *space_;
   const Program& p = space.program();
@@ -245,6 +265,11 @@ std::uint64_t FrontierEngine::backward_distances(
     const PredicateFn& target, const std::vector<std::size_t>& actions,
     StampedDistanceArray& dist, std::uint32_t max_rounds) {
   obs::Span span("store.backward");
+  if (space_ == nullptr) {
+    throw std::logic_error(
+        "FrontierEngine: backward_distances() needs the state-space "
+        "constructor");
+  }
   stats_ = {};
   const StateSpace& space = *space_;
   const Program& p = space.program();

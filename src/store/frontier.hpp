@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -73,6 +74,21 @@ struct FrontierStats {
 class FrontierEngine {
  public:
   FrontierEngine(const StateSpace& space, const StoreConfig& config);
+
+  /// Work-distribution-only engine: owns the pool but no state space.
+  /// for_items works; reachable/backward_distances throw. This is the
+  /// engine the campaign runner routes its trial loop through, so trials
+  /// and store sweeps share one pool shape and config surface.
+  explicit FrontierEngine(const StoreConfig& config);
+
+  /// Dispatch items [begin, end) one at a time onto the pool's shared
+  /// queue (idle workers steal the next item — the same grain-1 dynamic
+  /// schedule the campaign trial loop has always used, so any
+  /// item-order-independent caller keeps byte-identical output). Blocks
+  /// until every item has run. `fn(item, worker)` may run concurrently
+  /// with itself on distinct items.
+  void for_items(std::uint64_t begin, std::uint64_t end,
+                 const std::function<void(std::uint64_t, unsigned)>& fn);
 
   /// Store-backed compute_reachable: BFS closure of `start` under
   /// `actions`, byte-identical to the serial checker's StateSet.

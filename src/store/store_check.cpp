@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 
 #include "checker/convergence_core.hpp"
+#include "checker/scc_core.hpp"
 #include "core/candidate.hpp"
 #include "obs/progress.hpp"
 #include "obs/span.hpp"
@@ -139,6 +141,78 @@ struct CompactDfsBookkeeping {
   std::unordered_map<std::uint64_t, std::int64_t> stack_pos_;
 };
 
+/// Store-native Tarjan bookkeeping (checker/scc_core.hpp contract). The
+/// per-code state is a stamped u32 visit index (kUnset = unvisited,
+/// reusable across runs without an O(n) clear) plus one on-stack bit;
+/// visit ids are dense, so lowlinks are indexed by id in fixed-size slabs
+/// appended as the traversal grows — 4 bytes per *visited* state with no
+/// realloc-copy spike at 2× peak, instead of 4 bytes per code up front.
+/// The legacy component array (4 bytes/code) is replaced by sorted member
+/// snapshots of the sealed (nontrivial) SCCs: membership queries only
+/// ever name sealed components, and states outside them answer false
+/// exactly like a component-id mismatch would.
+class CompactTarjanBookkeeping {
+ public:
+  explicit CompactTarjanBookkeeping(std::uint64_t size)
+      : index_(size), on_stack_((size + 63) / 64, 0) {}
+
+  bool visited(std::uint64_t code) const { return index_.known(code); }
+  std::uint32_t index(std::uint64_t code) const { return index_.get(code); }
+  void set_index(std::uint64_t code, std::uint32_t v) { index_.set(code, v); }
+  std::uint32_t lowlink(std::uint64_t code) const {
+    return slab_get(index_.get(code));
+  }
+  void set_lowlink(std::uint64_t code, std::uint32_t v) {
+    slab_set(index_.get(code), v);
+  }
+  bool on_stack(std::uint64_t code) const {
+    return (on_stack_[code >> 6] >> (code & 63)) & 1;
+  }
+  void set_on_stack(std::uint64_t code, bool b) {
+    const std::uint64_t mask = std::uint64_t{1} << (code & 63);
+    if (b) {
+      on_stack_[code >> 6] |= mask;
+    } else {
+      on_stack_[code >> 6] &= ~mask;
+    }
+  }
+  void mark_component(std::uint64_t, std::int32_t) {}
+  void seal_component(std::int32_t comp,
+                      const std::vector<std::uint64_t>& scc) {
+    std::vector<std::uint64_t> sorted = scc;
+    std::sort(sorted.begin(), sorted.end());
+    sealed_.emplace(comp, std::move(sorted));
+  }
+  bool in_component(std::uint64_t code, std::int32_t comp) const {
+    const auto it = sealed_.find(comp);
+    return it != sealed_.end() &&
+           std::binary_search(it->second.begin(), it->second.end(), code);
+  }
+
+ private:
+  static constexpr std::uint32_t kSlabBits = 20;  // 1M ids / 4 MB per slab
+  static constexpr std::uint32_t kSlabMask = (1u << kSlabBits) - 1;
+
+  std::uint32_t slab_get(std::uint32_t id) const {
+    return slabs_[id >> kSlabBits][id & kSlabMask];
+  }
+  void slab_set(std::uint32_t id, std::uint32_t v) {
+    const std::uint32_t slab = id >> kSlabBits;
+    // Visit ids are assigned in push order, so at most one new slab at a
+    // time; the loop only guards the first touch.
+    while (slabs_.size() <= slab) {
+      slabs_.push_back(
+          std::make_unique<std::uint32_t[]>(std::size_t{1} << kSlabBits));
+    }
+    slabs_[slab][id & kSlabMask] = v;
+  }
+
+  StampedDistanceArray index_;
+  std::vector<std::unique_ptr<std::uint32_t[]>> slabs_;
+  std::vector<std::uint64_t> on_stack_;
+  std::unordered_map<std::int32_t, std::vector<std::uint64_t>> sealed_;
+};
+
 }  // namespace
 
 ClosureReport check_closed_store(const StateSpace& space,
@@ -215,6 +289,40 @@ ConvergenceReport check_convergence_store(const StateSpace& space,
   StoreBackedSuccessors succ(space, actions);
   return detail::check_convergence_core_impl(space, flags, succ,
                                              std::move(report), bk);
+}
+
+ConvergenceReport check_convergence_weakly_fair_store(
+    const StateSpace& space, const PredicateFn& S, const PredicateFn& T,
+    const StoreConfig& config) {
+  obs::Span span("store.convergence_fair");
+  ThreadPool pool(config.threads);
+  ConvergenceReport report;
+  const TwoBitArray flags =
+      evaluate_flags_store(pool, space, S, T, aligned_grain(config), report);
+  const std::vector<std::size_t> actions = non_fault_actions(space.program());
+  StoreBackedSuccessors succ(space, actions);
+  CompactTarjanBookkeeping bk(space.size());
+  return detail::check_convergence_weakly_fair_core_impl(
+      space, flags, succ, actions, std::move(report), bk);
+}
+
+std::optional<VariantFunction> compute_variant_store(const StateSpace& space,
+                                                     const PredicateFn& S,
+                                                     const StoreConfig& config) {
+  obs::Span span("store.variant");
+  ThreadPool pool(config.threads);
+  ConvergenceReport report;
+  const TwoBitArray flags = evaluate_flags_store(
+      pool, space, S, true_predicate(), aligned_grain(config), report);
+  const std::vector<std::size_t> actions = non_fault_actions(space.program());
+  StoreBackedSuccessors succ(space, actions);
+  // u32 distances directly: the dist vector doubles as the variant values,
+  // so the u16 first-attempt trick would force a copy-widen on success.
+  CompactDfsBookkeeping<std::uint32_t> bk(space.size());
+  report = detail::check_convergence_core_impl(space, flags, succ,
+                                               std::move(report), bk);
+  if (report.verdict != ConvergenceVerdict::kConverges) return std::nullopt;
+  return VariantFunction(space, std::move(bk.dist_));
 }
 
 StateSet compute_reachable_store(const StateSpace& space,

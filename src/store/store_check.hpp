@@ -12,9 +12,12 @@
 // count (see DESIGN.md §11).
 #pragma once
 
+#include <optional>
+
 #include "checker/closure_check.hpp"
 #include "checker/convergence_check.hpp"
 #include "checker/fault_span.hpp"
+#include "checker/variant.hpp"
 #include "store/config.hpp"
 
 namespace nonmask::store {
@@ -39,6 +42,25 @@ ConvergenceReport check_convergence_store(const StateSpace& space,
                                           const PredicateFn& S,
                                           const PredicateFn& T,
                                           const StoreConfig& config);
+
+/// Weakly-fair convergence (Tarjan/SCC + fair-escape analysis) with
+/// store-native bookkeeping: the visit index lives in a stamped u32 array
+/// over the code range, lowlinks in slab-grown arenas indexed by dense
+/// visit id, on-stack marks in one bit per state, and SCC membership in
+/// sorted snapshots of the nontrivial components only — never the legacy
+/// ~17-bytes/state int32 arrays. Reports are byte-identical to
+/// check_convergence_weakly_fair at any thread count.
+ConvergenceReport check_convergence_weakly_fair_store(
+    const StateSpace& space, const PredicateFn& S, const PredicateFn& T,
+    const StoreConfig& config);
+
+/// compute_variant on the compact backend: one shared-core DFS with u32
+/// distances (parallel flag sweep, 2-bit colors) materializes the
+/// longest-path-to-S vector directly, instead of the legacy path's
+/// check-then-recompute double traversal. Same dist vector byte-for-byte.
+std::optional<VariantFunction> compute_variant_store(const StateSpace& space,
+                                                     const PredicateFn& S,
+                                                     const StoreConfig& config);
 
 /// compute_reachable through the FrontierEngine.
 StateSet compute_reachable_store(const StateSpace& space,

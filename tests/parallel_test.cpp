@@ -369,6 +369,43 @@ TEST(CampaignTest, JsonlIsStreamedInTrialOrderAndThreadInvariant) {
   EXPECT_EQ(render(8), serial);
 }
 
+// Routing the multi-threaded trial loop through the store's FrontierEngine
+// (CampaignOptions::store.backend = kStore) must leave every output —
+// streamed JSONL and the aggregates — byte-identical to the legacy pool at
+// 1/2/8 threads, because the engine replays the same grain-1 dynamic
+// schedule over item-order-independent trials.
+TEST(CampaignTest, StoreRoutedTrialLoopIsByteIdentical) {
+  const auto dd = make_diffusing(RootedTree::chain(5), true);
+  ConvergenceExperiment config;
+  config.trials = 16;
+  config.seed = 3;
+
+  auto render = [&](unsigned threads, store::StoreBackend backend,
+                    SampleStats* steps_out) {
+    std::ostringstream out;
+    CampaignOptions opts;
+    opts.threads = threads;
+    opts.store.backend = backend;
+    opts.jsonl = &out;
+    const auto campaign = run_campaign(dd.design, config, opts);
+    *steps_out = campaign.aggregate.steps;
+    return out.str();
+  };
+
+  SampleStats legacy_steps;
+  const std::string legacy =
+      render(1, store::StoreBackend::kLegacyDense, &legacy_steps);
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SampleStats store_steps;
+    const std::string routed =
+        render(threads, store::StoreBackend::kStore, &store_steps);
+    EXPECT_EQ(routed, legacy) << threads << " threads";
+    EXPECT_EQ(store_steps.mean, legacy_steps.mean) << threads << " threads";
+    EXPECT_EQ(store_steps.max, legacy_steps.max) << threads << " threads";
+    EXPECT_EQ(store_steps.sum, legacy_steps.sum) << threads << " threads";
+  }
+}
+
 TEST(CampaignTest, RecordsCarrySeedsAndOutcomes) {
   const auto dd = make_diffusing(RootedTree::chain(4), true);
   ConvergenceExperiment config;

@@ -14,9 +14,11 @@
 #include "checker/convergence_check.hpp"
 #include "checker/fault_span.hpp"
 #include "checker/state_space.hpp"
+#include "checker/variant.hpp"
 #include "core/candidate.hpp"
 #include "protocols/coloring.hpp"
 #include "protocols/diffusing.hpp"
+#include "protocols/distributed_reset.hpp"
 #include "protocols/running_example.hpp"
 #include "protocols/token_ring.hpp"
 #include "protocols/token_ring_small.hpp"
@@ -161,6 +163,59 @@ TEST_P(BackendEquivalenceTest, CappedReachabilityTruncatesIdentically) {
       store::compute_reachable_via(packed, space, dd.design.S(), actions,
                                    opts),
       "capped reach @" + std::to_string(threads) + "t");
+}
+
+// The weakly-fair (Tarjan/SCC) checker runs store-native under kStore:
+// the compact bookkeeping must reproduce the dense reports byte for byte,
+// including the closed-SCC cycle counterexample of the broken running
+// example and the fairness-rescued distributed reset (where the unfair
+// check is kViolated but the SCC escape analysis proves convergence).
+TEST_P(BackendEquivalenceTest, WeaklyFairReportsByteIdentical) {
+  const unsigned threads = GetParam();
+  auto cases = equivalence_cases();
+  cases.push_back(
+      {"distributed-reset",
+       make_distributed_reset(RootedTree::balanced(3, 2), 2, true).design});
+  for (const auto& c : cases) {
+    const StateSpace space(c.design.program);
+    const auto dense =
+        config_for(store::StoreBackend::kLegacyDense, threads);
+    const auto packed = config_for(store::StoreBackend::kStore, threads);
+    const std::string ctx =
+        c.label + " fair @" + std::to_string(threads) + "t";
+
+    expect_same_convergence(
+        check_convergence_weakly_fair(space, c.design.S(), c.design.T()),
+        store::check_convergence_weakly_fair_via(packed, space, c.design.S(),
+                                                 c.design.T()),
+        ctx + " vs serial");
+    expect_same_convergence(
+        store::check_convergence_weakly_fair_via(dense, space, c.design.S(),
+                                                 c.design.T()),
+        store::check_convergence_weakly_fair_via(packed, space, c.design.S(),
+                                                 c.design.T()),
+        ctx);
+  }
+}
+
+// Variant extraction through the store facade produces the same function
+// (the raw per-state distance table) as the legacy serial extraction, and
+// the same "no variant exists" answer for a non-converging design.
+TEST_P(BackendEquivalenceTest, VariantExtractionMatchesDense) {
+  const unsigned threads = GetParam();
+  for (const auto& c : equivalence_cases()) {
+    const StateSpace space(c.design.program);
+    const auto packed = config_for(store::StoreBackend::kStore, threads);
+    const std::string ctx =
+        c.label + " variant @" + std::to_string(threads) + "t";
+
+    const auto serial = compute_variant(space, c.design.S());
+    const auto via = store::compute_variant_via(packed, space, c.design.S());
+    ASSERT_EQ(serial.has_value(), via.has_value()) << ctx;
+    if (serial) {
+      EXPECT_EQ(serial->raw(), via->raw()) << ctx;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, BackendEquivalenceTest,

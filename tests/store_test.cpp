@@ -4,9 +4,15 @@
 // serial reference implementations.
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -348,6 +354,61 @@ TEST(SpillableFrontierTest, SpillsToDiskAndReadsAcrossTheBoundary) {
   for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(out[i], i);
 }
 
+// Count directory entries other than "." / ".." — the spill file is
+// mkstemp'd and unlinked immediately, so a correctly-anonymous spill never
+// leaves a visible entry, even while the frontier is live.
+int visible_entries(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return -1;
+  int n = 0;
+  while (const dirent* e = ::readdir(d)) {
+    if (std::strcmp(e->d_name, ".") != 0 && std::strcmp(e->d_name, "..") != 0) {
+      ++n;
+    }
+  }
+  ::closedir(d);
+  return n;
+}
+
+TEST(SpillableFrontierTest, SpillFileIsAnonymousSoCrashesLeaveNoDebris) {
+  char tmpl[] = "/tmp/nonmask-spill-test-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  {
+    store::SpillableFrontier f(/*threshold=*/4, dir);
+    for (std::uint64_t i = 0; i < 64; ++i) f.append(i * 11);
+    ASSERT_TRUE(f.spilled());
+    // The flush already happened, yet the directory shows nothing: the
+    // backing file was unlinked at creation, so a crash at any later
+    // point cannot strand a spill file for an operator to clean up.
+    EXPECT_EQ(visible_entries(dir), 0);
+    // The anonymous file still serves reads for the frontier's lifetime.
+    std::vector<std::uint64_t> out;
+    f.read(0, 64, out);
+    ASSERT_EQ(out.size(), 64u);
+    for (std::uint64_t i = 0; i < 64; ++i) EXPECT_EQ(out[i], i * 11);
+  }
+  EXPECT_EQ(visible_entries(dir), 0);
+  EXPECT_EQ(::rmdir(dir.c_str()), 0);
+}
+
+TEST(SpillableFrontierTest, ClearAfterSpillRestartsFromEmpty) {
+  store::SpillableFrontier f(/*threshold=*/4, "");
+  for (std::uint64_t i = 0; i < 32; ++i) f.append(i);
+  ASSERT_TRUE(f.spilled());
+  f.clear();
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_FALSE(f.spilled());
+  // Refill past the threshold again: offsets restart at zero, so the
+  // truncated file must not leak stale codes into the new contents.
+  for (std::uint64_t i = 0; i < 32; ++i) f.append(100 + i);
+  ASSERT_TRUE(f.spilled());
+  std::vector<std::uint64_t> out;
+  f.read(0, 32, out);
+  ASSERT_EQ(out.size(), 32u);
+  for (std::uint64_t i = 0; i < 32; ++i) EXPECT_EQ(out[i], 100 + i);
+}
+
 store::StoreConfig engine_config(unsigned threads,
                                  std::uint64_t spill_threshold = 0) {
   store::StoreConfig cfg;
@@ -408,6 +469,26 @@ TEST(FrontierEngineTest, SpillingDoesNotChangeTheAnswer) {
   const StateSet got = engine.reachable(dd.design.S(), actions);
   expect_same_set(expect, got);
   EXPECT_GT(engine.stats().spills, 0u);
+}
+
+// Byte-identity must also hold when spilling interacts with max_states
+// truncation: every threshold (from spill-every-append up) must stop at
+// exactly the same state as the in-memory run.
+TEST(FrontierEngineTest, SpillingPreservesCapTruncationPoint) {
+  const auto dd = make_dijkstra_ring(4, 5);
+  const StateSpace space(dd.design.program);
+  const auto actions = non_fault_actions(dd.design.program);
+  FaultSpanOptions opts;
+  opts.max_states = 211;
+  const StateSet expect =
+      compute_reachable(space, dd.design.S(), actions, opts);
+
+  for (std::uint64_t threshold : {std::uint64_t{1}, std::uint64_t{4},
+                                  std::uint64_t{64}}) {
+    store::FrontierEngine engine(space, engine_config(2, threshold));
+    const StateSet got = engine.reachable(dd.design.S(), actions, opts);
+    expect_same_set(expect, got);
+  }
 }
 
 TEST(FrontierEngineTest, FaultSpanMatchesSerialReference) {
