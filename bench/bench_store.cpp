@@ -10,8 +10,6 @@
 // multi-level-frontier boundaries.
 #include <benchmark/benchmark.h>
 
-#include <sys/resource.h>
-
 #include <algorithm>
 #include <cstdint>
 #include <thread>
@@ -20,6 +18,7 @@
 #include "bench_report.hpp"
 
 #include "checker/state_space.hpp"
+#include "obs/rss.hpp"
 #include "protocols/diffusing.hpp"
 #include "protocols/token_ring.hpp"
 #include "store/concurrent_set.hpp"
@@ -28,14 +27,9 @@
 #include "store/packed.hpp"
 
 using namespace nonmask;
+using obs::peak_rss_mb;
 
 namespace {
-
-double peak_rss_mb() {
-  struct rusage ru;
-  getrusage(RUSAGE_SELF, &ru);
-  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
-}
 
 /// max/mean occupancy across shards — 1.0 is a perfectly balanced hash.
 double shard_imbalance(const store::ConcurrentPackedSet& set) {

@@ -15,6 +15,9 @@
 //   --state-budget=N   exhaustive-mode cutoff: the adversary switches to
 //                      hill-climbing above N states (default from
 //                      NONMASK_STATE_BUDGET, else 2^20)
+//   --dashboard-out=PATH  self-contained HTML dashboard from the telemetry
+//                      heartbeat series (in-memory sampler unless
+//                      NONMASK_TELEMETRY is set)
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -23,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/dashboard.hpp"
+#include "obs/telemetry.hpp"
 #include "protocols/diffusing.hpp"
 #include "protocols/token_ring.hpp"
 #include "resilience/adversary.hpp"
@@ -126,21 +131,28 @@ DemoResult run_demo(const Design& design, const AdversaryOptions& opts,
 
 int main(int argc, char** argv) {
   std::vector<std::string> pos;
-  std::string worst_out, state_budget;
+  std::string worst_out, state_budget, dashboard_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string value;
     if (arg == "--help" || arg == "-h") {
       std::cout << "usage: adversary_demo [ring|tree|both] [k] [seed] "
-                   "[trials] [--worst-out=PATH] [--state-budget=N]\n";
+                   "[trials] [--worst-out=PATH] [--state-budget=N]\n"
+                   "       [--dashboard-out=PATH]\n";
       return 0;
     } else if (flag_value(arg, "--worst-out", &value)) {
       worst_out = value;
     } else if (flag_value(arg, "--state-budget", &value)) {
       state_budget = value;
+    } else if (flag_value(arg, "--dashboard-out", &value)) {
+      dashboard_out = value;
     } else {
       pos.push_back(arg);
     }
+  }
+  obs::Telemetry::start_from_env();
+  if (!dashboard_out.empty() && !obs::Telemetry::running()) {
+    obs::Telemetry::start({});
   }
   const std::string which = pos.size() > 0 ? pos[0] : "both";
   AdversaryOptions opts;
@@ -201,6 +213,24 @@ int main(int argc, char** argv) {
     out << "]}\n";
     std::cout << artifacts.size() << " worst trace(s) written to " << worst_out
               << "\n";
+  }
+  obs::Telemetry::stop();
+  if (!dashboard_out.empty()) {
+    obs::DashboardSpec spec;
+    spec.title = "adversary_demo: " + which;
+    spec.subtitle = "corruption budget k=" + std::to_string(opts.budget_k) +
+                    ", seed " + std::to_string(opts.seed) + ", " +
+                    std::to_string(trials) + " baseline trials";
+    spec.summary = {
+        {"designs", which},
+        {"corruption budget k", std::to_string(opts.budget_k)},
+        {"seed", std::to_string(opts.seed)},
+        {"baseline trials", std::to_string(trials)},
+        {"exhaustive budget", std::to_string(opts.exhaustive_budget)},
+    };
+    spec.samples = obs::Telemetry::samples();
+    obs::write_dashboard_file(dashboard_out, spec);
+    std::cout << "dashboard written to " << dashboard_out << "\n";
   }
   return 0;
 }

@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/dashboard.hpp"
+#include "obs/telemetry.hpp"
 #include "cgraph/theorems.hpp"
 #include "synth/report.hpp"
 #include "synth/synthesize.hpp"
@@ -179,11 +181,14 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0x5e17ULL;
   std::uint64_t max_candidates = 50'000;
   std::string report_out;
+  std::string dashboard_out;
   store::StoreConfig store_cfg = store::StoreConfig::from_env();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--synthesize") {
       synthesize = true;
+    } else if (arg.rfind("--dashboard-out=", 0) == 0) {
+      dashboard_out = arg.substr(16);
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--max-candidates=", 0) == 0) {
@@ -205,12 +210,38 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: design_workbench [--synthesize] [--seed=N]\n"
                    "         [--max-candidates=N] [--report-out=PATH]\n"
-                   "         [--backend=legacy|store] [--state-budget=N]\n";
+                   "         [--backend=legacy|store] [--state-budget=N]\n"
+                   "         [--dashboard-out=PATH]\n";
       return 2;
     }
   }
+  obs::Telemetry::start_from_env();
+  if (!dashboard_out.empty() && !obs::Telemetry::running()) {
+    obs::Telemetry::start({});
+  }
+  const auto finish = [&](int rc) {
+    obs::Telemetry::stop();
+    if (!dashboard_out.empty()) {
+      obs::DashboardSpec spec;
+      spec.title = synthesize ? "design_workbench: CEGIS synthesis"
+                              : "design_workbench: theorem validation";
+      spec.subtitle = std::string("backend ") +
+                      store::to_string(store_cfg.backend) + ", state budget " +
+                      std::to_string(store_cfg.budget);
+      spec.summary = {
+          {"mode", synthesize ? "synthesize" : "validate"},
+          {"backend", store::to_string(store_cfg.backend)},
+          {"state budget", std::to_string(store_cfg.budget)},
+          {"exit code", std::to_string(rc)},
+      };
+      spec.samples = obs::Telemetry::samples();
+      obs::write_dashboard_file(dashboard_out, spec);
+      std::cout << "dashboard written to " << dashboard_out << "\n";
+    }
+    return rc;
+  };
   if (synthesize) {
-    return run_synthesize(seed, max_candidates, report_out, store_cfg);
+    return finish(run_synthesize(seed, max_candidates, report_out, store_cfg));
   }
   std::cout << "design workbench — theorem validation vs exact checking\n\n"
             << std::left << std::setw(34) << "design" << std::setw(23)
@@ -271,5 +302,5 @@ int main(int argc, char** argv) {
                "shows whether the paper's fair computation\nmodel (which the "
                "theorem validators assume) restores convergence —\nit does "
                "for distributed reset, not for the broken running example.\n";
-  return 0;
+  return finish(0);
 }

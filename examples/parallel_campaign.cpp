@@ -15,6 +15,9 @@
 //   --trace-out=PATH    Chrome trace-event JSON of the run (per-trial spans)
 //   --metrics-out=PATH  metrics-registry snapshot JSON
 //   --report-out=PATH   self-describing run-report JSON
+//   --dashboard-out=PATH  self-contained HTML dashboard from the telemetry
+//                         heartbeat series (in-memory sampler unless
+//                         NONMASK_TELEMETRY is set)
 //   --progress          rate-limited progress lines on stderr
 //   --threads=N         same as the positional threads argument
 //
@@ -32,10 +35,12 @@
 #include <string>
 #include <vector>
 
+#include "obs/dashboard.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "parallel/campaign.hpp"
 #include "parallel/thread_pool.hpp"
 #include "protocols/coloring.hpp"
@@ -92,7 +97,7 @@ int main(int argc, char** argv) {
   // Split --flags from the positional arguments so existing invocations
   // (tests, EXPERIMENTS.md recipes) keep working unchanged.
   std::vector<std::string> pos;
-  std::string trace_out, metrics_out, report_out, flag_threads;
+  std::string trace_out, metrics_out, report_out, dashboard_out, flag_threads;
   std::string checkpoint, deadline_ms, retries, backoff_ms;
   bool progress = false;
   bool resume = false;
@@ -103,7 +108,8 @@ int main(int argc, char** argv) {
       std::cout << "usage: parallel_campaign [design] [trials] [threads] "
                    "[seed] [jsonl-path]\n"
                    "       [--threads=N] [--trace-out=PATH] "
-                   "[--metrics-out=PATH] [--report-out=PATH] [--progress]\n"
+                   "[--metrics-out=PATH] [--report-out=PATH]\n"
+                   "       [--dashboard-out=PATH] [--progress]\n"
                    "       [--checkpoint=PATH] [--resume] [--deadline-ms=N] "
                    "[--retries=N] [--backoff-ms=N]\n";
       return 0;
@@ -127,6 +133,8 @@ int main(int argc, char** argv) {
       metrics_out = value;
     } else if (flag_value(arg, "--report-out", &value)) {
       report_out = value;
+    } else if (flag_value(arg, "--dashboard-out", &value)) {
+      dashboard_out = value;
     } else {
       pos.push_back(arg);
     }
@@ -175,6 +183,10 @@ int main(int argc, char** argv) {
     obs::Metrics::set_enabled(true);
   }
   if (progress) obs::Progress::enable(&std::cerr);
+  obs::Telemetry::start_from_env();
+  if (!dashboard_out.empty() && !obs::Telemetry::running()) {
+    obs::Telemetry::start({});
+  }
 
   std::ofstream jsonl_file;
   if (pos.size() > 4) {
@@ -214,6 +226,10 @@ int main(int argc, char** argv) {
     std::cout << config.trials << " records written to " << pos[4] << "\n";
   }
 
+  // Final heartbeat first, so the dashboard and report see the completed
+  // trial counters.
+  obs::Telemetry::stop();
+
   if (!trace_out.empty()) {
     std::ofstream out(trace_out);
     if (!out) {
@@ -245,8 +261,32 @@ int main(int argc, char** argv) {
     // reproducible without knowing the environment it ran under.
     report.add_text("store_backend", store::to_string(opts.store.backend));
     report.add_number("state_budget", opts.store.budget);
+    // Trial routing never falls back: the frontier engine only schedules
+    // trial indices, so any backend serves any campaign size.
+    report.add_text("backend_fallback_reason", "");
     report.add("campaign", obs::to_json(results.aggregate));
     report.write(out);
+  }
+  if (!dashboard_out.empty()) {
+    obs::DashboardSpec spec;
+    spec.title = "parallel_campaign: " + design.name;
+    spec.subtitle = std::to_string(config.trials) + " trials, seed " +
+                    std::to_string(config.seed) + ", " +
+                    std::to_string(threads) + " thread(s), backend " +
+                    store::to_string(opts.store.backend);
+    spec.summary = {
+        {"design", design.name},
+        {"trials", std::to_string(config.trials)},
+        {"seed", std::to_string(config.seed)},
+        {"threads", std::to_string(threads)},
+        {"store backend", store::to_string(opts.store.backend)},
+        {"resumed trials", std::to_string(results.resumed_trials)},
+        {"timed out", std::to_string(results.timed_out)},
+        {"failed", std::to_string(results.failed)},
+    };
+    spec.samples = obs::Telemetry::samples();
+    obs::write_dashboard_file(dashboard_out, spec);
+    std::cout << "dashboard written to " << dashboard_out << "\n";
   }
   if (progress) obs::Progress::disable();
   return 0;

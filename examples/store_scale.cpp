@@ -18,8 +18,10 @@
 //   --report-out=PATH       self-describing run-report JSON; records
 //                           backend_fallback_reason when the compact
 //                           backend cannot serve this size
-#include <sys/resource.h>
-
+//   --dashboard-out=PATH    self-contained HTML dashboard built from the
+//                           telemetry heartbeat series (starts an
+//                           in-memory sampler when NONMASK_TELEMETRY is
+//                           not already active)
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -27,27 +29,21 @@
 #include <string>
 
 #include "checker/state_space.hpp"
+#include "obs/dashboard.hpp"
 #include "obs/report.hpp"
+#include "obs/rss.hpp"
+#include "obs/telemetry.hpp"
 #include "protocols/token_ring.hpp"
 #include "store/facade.hpp"
 
 using namespace nonmask;
-
-namespace {
-
-double peak_rss_mb() {
-  struct rusage ru;
-  getrusage(RUSAGE_SELF, &ru);
-  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   int n = 4;
   int k = 0;
   bool weakly_fair = false;
   std::string report_out;
+  std::string dashboard_out;
   store::StoreConfig cfg = store::StoreConfig::from_env();
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -55,7 +51,8 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       std::cout << "usage: store_scale [N] [K] [--backend=legacy|store]\n"
                    "         [--state-budget=M] [--threads=T] "
-                   "[--weakly-fair] [--report-out=PATH]\n";
+                   "[--weakly-fair] [--report-out=PATH]\n"
+                   "         [--dashboard-out=PATH]\n";
       return 0;
     } else if (arg == "--weakly-fair") {
       weakly_fair = true;
@@ -75,6 +72,8 @@ int main(int argc, char** argv) {
       cfg.threads = static_cast<unsigned>(std::atoi(arg.c_str() + 10));
     } else if (arg.rfind("--report-out=", 0) == 0) {
       report_out = arg.substr(13);
+    } else if (arg.rfind("--dashboard-out=", 0) == 0) {
+      dashboard_out = arg.substr(16);
     } else if (positional == 0) {
       n = std::atoi(arg.c_str());
       ++positional;
@@ -88,6 +87,13 @@ int main(int argc, char** argv) {
     std::cerr << "need N >= 2 and K > N (got N=" << n << ", K=" << k
               << ")\n";
     return 2;
+  }
+
+  // Heartbeat sampling: the env sink wins; a dashboard request without it
+  // records in memory only.
+  obs::Telemetry::start_from_env();
+  if (!dashboard_out.empty() && !obs::Telemetry::running()) {
+    obs::Telemetry::start({});
   }
 
   const auto tr = make_dijkstra_ring(n, k);
@@ -131,7 +137,11 @@ int main(int argc, char** argv) {
             << ", region: " << report.region_states
             << ", transitions: " << report.transitions << "\n"
             << "elapsed: " << secs << " s  (" << rate << " states/s)\n"
-            << "peak RSS: " << peak_rss_mb() << " MB\n";
+            << "peak RSS: " << obs::peak_rss_mb() << " MB\n";
+
+  // Joins the sampler after one final heartbeat, so the last sample's
+  // cumulative state count equals the report's "states".
+  obs::Telemetry::stop();
 
   if (!report_out.empty()) {
     std::ofstream out(report_out);
@@ -145,14 +155,40 @@ int main(int argc, char** argv) {
     doc.add_text("mode", weakly_fair ? "weakly_fair" : "unfair");
     doc.add_number("state_budget", cfg.budget);
     doc.add_number("states", space.size());
+    // The ¬S region the convergence traversal actually pushes — the number
+    // a telemetry heartbeat's cumulative states counter converges to.
+    doc.add_number("region_states", report.region_states);
     doc.add_number("elapsed_s", secs);
     doc.add_number("states_per_sec", rate);
-    doc.add_number("peak_rss_mb", peak_rss_mb());
+    doc.add_number("peak_rss_mb", obs::peak_rss_mb());
     doc.add_text("verdict", to_string(report.verdict));
     if (!weakly_fair) doc.add_number("max_steps_to_S", report.max_steps_to_S);
     doc.add_number("transitions", report.transitions);
     doc.write(out);
     std::cout << "report written to " << report_out << "\n";
+  }
+
+  if (!dashboard_out.empty()) {
+    obs::DashboardSpec spec;
+    spec.title = "store_scale: " + tr.design.name;
+    spec.subtitle = "N=" + std::to_string(n) + " K=" + std::to_string(k) +
+                    ", " + std::to_string(space.size()) + " states, backend " +
+                    store::to_string(cfg.backend) +
+                    (weakly_fair ? ", weakly-fair (Tarjan/SCC)" : ", unfair");
+    spec.summary = {
+        {"backend", store::to_string(cfg.backend)},
+        {"mode", weakly_fair ? "weakly fair" : "unfair"},
+        {"states", std::to_string(space.size())},
+        {"transitions", std::to_string(report.transitions)},
+        {"verdict", to_string(report.verdict)},
+        {"elapsed", std::to_string(secs) + " s"},
+        {"throughput", std::to_string(static_cast<std::uint64_t>(rate)) +
+                           " states/s"},
+    };
+    if (fallback) spec.summary.push_back({"backend fallback", *fallback});
+    spec.samples = obs::Telemetry::samples();
+    obs::write_dashboard_file(dashboard_out, spec);
+    std::cout << "dashboard written to " << dashboard_out << "\n";
   }
   return report.verdict == ConvergenceVerdict::kConverges ? 0 : 1;
 }

@@ -2,6 +2,8 @@
 """Compare two BENCH_store.json files (google-benchmark JSON format).
 
 Usage: bench_compare.py BASELINE CURRENT [--max-regression FRAC]
+       bench_compare.py --telemetry BASELINE.jsonl CURRENT.jsonl \\
+           [--max-regression FRAC]
 
 Diffs the throughput ("states/s" counter) and peak RSS ("peak_rss_mb")
 of every benchmark present in BOTH files, prints a table, and exits
@@ -14,11 +16,59 @@ committed baseline in the same change. Extra top-level keys are
 tolerated; an optional "store_scale" section (injected by the
 acceptance run, not google-benchmark) is compared by the same rule when
 both files carry it.
+
+With --telemetry the two inputs are NONMASK_TELEMETRY heartbeat JSONL
+series instead: the gate compares steady-state throughput, the median
+of the instantaneous states_per_sec over the middle half of each run
+(the warm-up and drain quarters are dropped), plus final peak RSS.
 """
 
 import argparse
 import json
+import statistics
 import sys
+
+
+def load_heartbeats(path):
+    samples = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                samples.append(json.loads(line))
+    return samples
+
+
+def steady_state_rate(samples):
+    """Median instantaneous states/s over the middle half of the series."""
+    rates = [s["states_per_sec"] for s in samples]
+    if len(rates) >= 4:
+        rates = rates[len(rates) // 4 : -(len(rates) // 4)]
+    rates = [r for r in rates if r > 0]
+    return statistics.median(rates) if rates else None
+
+
+def compare_telemetry(args):
+    base = load_heartbeats(args.baseline)
+    cur = load_heartbeats(args.current)
+    if not base or not cur:
+        print("error: empty heartbeat series", file=sys.stderr)
+        return 2
+    failed, line = compare_entry(
+        "telemetry steady-state",
+        steady_state_rate(base), steady_state_rate(cur),
+        base[-1].get("peak_rss_mb"), cur[-1].get("peak_rss_mb"),
+        args.max_regression,
+    )
+    print(f"comparing heartbeat series: {args.baseline} "
+          f"({len(base)} samples) -> {args.current} ({len(cur)} samples)")
+    print(line)
+    if failed:
+        print(f"FAIL: >{args.max_regression:.0%} steady-state states/s "
+              "regression", file=sys.stderr)
+        return 1
+    print(f"ok: no steady-state regression beyond {args.max_regression:.0%}")
+    return 0
 
 
 def load_benchmarks(path):
@@ -73,7 +123,16 @@ def main():
         metavar="FRAC",
         help="fail when states/s drops by more than FRAC (default 0.25)",
     )
+    ap.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="inputs are telemetry heartbeat JSONL series; compare "
+             "steady-state (median mid-run) states/s",
+    )
     args = ap.parse_args()
+
+    if args.telemetry:
+        return compare_telemetry(args)
 
     base_doc, base = load_benchmarks(args.baseline)
     cur_doc, cur = load_benchmarks(args.current)

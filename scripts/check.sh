@@ -139,6 +139,35 @@ for t in 1 2 8; do
 done
 echo "ok: weakly-fair verdicts byte-identical across backends and 1/2/8 threads"
 
+# Telemetry + dashboard smoke: a weakly-fair store run with the heartbeat
+# sampler on must write parseable JSONL whose final cumulative states count
+# equals the report's region_states (the accounting identity behind the
+# dashboard), and the dashboard must be one self-contained HTML file.
+echo "== telemetry dashboard smoke =="
+NONMASK_TELEMETRY="${store_dir}/heartbeats.jsonl" NONMASK_TELEMETRY_MS=10 \
+  ./build/examples/store_scale 6 8 --weakly-fair --backend=store --threads=4 \
+  --report-out="${store_dir}/scale_report.json" \
+  --dashboard-out="${store_dir}/dashboard.html" >/dev/null
+if command -v python3 >/dev/null; then
+  python3 - "${store_dir}" <<'EOF'
+import json, sys
+d = sys.argv[1]
+beats = [json.loads(l) for l in open(f"{d}/heartbeats.jsonl") if l.strip()]
+assert len(beats) >= 2, f"expected periodic + final heartbeats, got {len(beats)}"
+assert [b["seq"] for b in beats] == list(range(len(beats))), "seq gap"
+report = json.load(open(f"{d}/scale_report.json"))
+final = beats[-1]["states"]
+assert final == report["region_states"], \
+    f"final heartbeat {final} != report region_states {report['region_states']}"
+html = open(f"{d}/dashboard.html").read()
+assert "<svg" in html and "<!DOCTYPE html>" in html
+for banned in ("http://", "https://", "src=", "<link", "@import"):
+    assert banned not in html, f"dashboard not self-contained: {banned}"
+print(f"ok: {len(beats)} heartbeats, final count {final} matches report; "
+      f"dashboard is {len(html)} bytes, self-contained")
+EOF
+fi
+
 # Benchmark regression gate: a fresh bench_store run must stay within 25%
 # states/s of the committed baseline (the fresh run goes to a temp path so
 # the baseline only changes when deliberately regenerated).

@@ -1,0 +1,39 @@
+// Self-contained HTML run dashboard: folds the telemetry heartbeat series
+// (obs/telemetry.hpp), the Chrome-trace span aggregate (obs/span.hpp), and
+// a caller-supplied run summary into one dependency-free HTML file —
+// inline SVG time-series (instantaneous states/s, cumulative states, RSS,
+// frontier, spill), a shard-occupancy heatmap, counter and heartbeat
+// tables, and a crosshair hover layer, with dark mode via CSS custom
+// properties. The file references nothing external: no scripts, fonts,
+// images, or stylesheets are fetched, so it renders offline and can be
+// archived as a CI artifact next to the JSONL it was built from.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace nonmask::obs {
+
+/// Everything the renderer needs. `summary` rows become the run-summary
+/// table (tool, design, backend, verdict, ...) and are HTML-escaped by the
+/// renderer. `samples` is typically Telemetry::samples() taken after
+/// Telemetry::stop(); with fewer than two samples the time-series cards
+/// are omitted and the tiles/tables still render.
+struct DashboardSpec {
+  std::string title;
+  std::string subtitle;
+  std::vector<std::pair<std::string, std::string>> summary;
+  std::vector<HeartbeatSample> samples;
+  bool include_trace = true;  ///< fold in Trace span aggregates when present
+};
+
+void write_dashboard_html(std::ostream& out, const DashboardSpec& spec);
+
+/// Open `path` (truncating) and write the dashboard; throws on failure.
+void write_dashboard_file(const std::string& path, const DashboardSpec& spec);
+
+}  // namespace nonmask::obs

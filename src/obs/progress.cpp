@@ -2,13 +2,31 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 #include <ostream>
 #include <string>
 
+#include "obs/telemetry.hpp"
+
 namespace nonmask::obs {
 
 namespace {
+
+/// Labels whose add() units are explored states — the meters that feed the
+/// cumulative states_explored depth counter. "flags" is deliberately
+/// absent: the flags pass precedes the DFS/SCC pass over the same codes,
+/// and counting both would double every state.
+bool is_explored_label(const char* label) {
+  static const char* const kExplored[] = {
+      "convergence-dfs", "convergence-scc", "store-reach",
+      "store-backward",  "reach",           "closure",
+  };
+  for (const char* candidate : kExplored) {
+    if (std::strcmp(label, candidate) == 0) return true;
+  }
+  return false;
+}
 
 std::atomic<std::ostream*> g_sink{nullptr};
 std::atomic<unsigned> g_interval_ms{500};
@@ -84,23 +102,33 @@ void Progress::write_line(const char* label, std::uint64_t done,
 
 ProgressMeter::ProgressMeter(const char* label, std::uint64_t total) noexcept
     : label_(label), total_(total) {
-  if (!Progress::active()) return;
+  telemetry_ = Telemetry::counting();
+  if (telemetry_) {
+    explored_ = is_explored_label(label);
+    Telemetry::register_meter(this);
+  }
+  if (!Progress::active() && !telemetry_) return;
   start_us_ = wall_us();
   last_report_us_.store(start_us_, std::memory_order_relaxed);
 }
 
 ProgressMeter::~ProgressMeter() {
   if (reported_.load(std::memory_order_relaxed)) maybe_report(true);
+  if (telemetry_) Telemetry::unregister_meter(this);
 }
 
 void ProgressMeter::add(std::uint64_t n) noexcept {
-  if (!Progress::active()) return;
+  const bool progress = Progress::active();
+  if (!progress && !telemetry_) return;
   done_.fetch_add(n, std::memory_order_relaxed);
-  maybe_report(false);
+  if (telemetry_ && explored_) {
+    Telemetry::depth().states_explored.fetch_add(n, std::memory_order_relaxed);
+  }
+  if (progress) maybe_report(false);
 }
 
 void ProgressMeter::aux(const char* label, std::uint64_t value) noexcept {
-  if (!Progress::active()) return;
+  if (!Progress::active() && !telemetry_) return;
   for (AuxSlot& slot : aux_) {
     const char* cur = slot.label.load(std::memory_order_acquire);
     if (cur == nullptr) {
@@ -115,6 +143,18 @@ void ProgressMeter::aux(const char* label, std::uint64_t value) noexcept {
       slot.value.store(value, std::memory_order_relaxed);
       return;
     }
+  }
+}
+
+void ProgressMeter::sample_into(MeterSample& out) const {
+  out.label = label_;
+  out.done = done_.load(std::memory_order_relaxed);
+  out.total = total_;
+  out.aux.clear();
+  for (const AuxSlot& slot : aux_) {
+    const char* label = slot.label.load(std::memory_order_acquire);
+    if (label == nullptr) break;
+    out.aux.emplace_back(label, slot.value.load(std::memory_order_relaxed));
   }
 }
 

@@ -8,6 +8,13 @@
 // reporting stays off the hot paths too. Meters are safe to tick from many
 // threads: counts accumulate with relaxed atomics and the interval gate
 // elects one reporting thread by compare-exchange.
+//
+// Meters double as the telemetry sampler's work-progress source: when
+// Telemetry::counting() is true at construction, the meter registers
+// itself, keeps done_ accumulating even without a progress sink, and — if
+// its label names a state-exploration pass — feeds the process-wide
+// states_explored depth counter. With both progress and telemetry off the
+// cost of add() is unchanged (one relaxed load plus a member test).
 #pragma once
 
 #include <atomic>
@@ -15,6 +22,8 @@
 #include <iosfwd>
 
 namespace nonmask::obs {
+
+struct MeterSample;
 
 /// Process-wide progress configuration.
 class Progress {
@@ -53,11 +62,17 @@ class ProgressMeter {
     return done_.load(std::memory_order_relaxed);
   }
 
+  /// Fill `out` with label/done/total and the published aux pairs — the
+  /// telemetry sampler's read path (safe concurrently with add/aux).
+  void sample_into(MeterSample& out) const;
+
  private:
   void maybe_report(bool force) noexcept;
 
   const char* label_;
   std::uint64_t total_;
+  bool telemetry_ = false;  ///< Telemetry::counting() at construction
+  bool explored_ = false;   ///< label counts explored states
   std::atomic<std::uint64_t> done_{0};
   std::uint64_t start_us_ = 0;
   std::atomic<std::uint64_t> last_report_us_{0};

@@ -1,0 +1,28 @@
+#include "obs/rss.hpp"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace nonmask::obs {
+
+double peak_rss_mb() {
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+double current_rss_mb() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0.0;
+  unsigned long long vm_pages = 0, rss_pages = 0;
+  const int matched = std::fscanf(f, "%llu %llu", &vm_pages, &rss_pages);
+  std::fclose(f);
+  if (matched != 2) return 0.0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return static_cast<double>(rss_pages) *
+         static_cast<double>(page > 0 ? page : 4096) / (1024.0 * 1024.0);
+}
+
+}  // namespace nonmask::obs

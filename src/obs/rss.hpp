@@ -1,0 +1,15 @@
+// Process memory sampling, shared by the telemetry sampler, the bench
+// mains, and the scale-probe CLI (which previously each carried their own
+// getrusage copy).
+#pragma once
+
+namespace nonmask::obs {
+
+/// Peak resident set size in MiB (getrusage ru_maxrss; Linux reports KiB).
+double peak_rss_mb();
+
+/// Current resident set size in MiB, read from /proc/self/statm. Returns
+/// 0.0 where procfs is unavailable — callers treat 0 as "unknown".
+double current_rss_mb();
+
+}  // namespace nonmask::obs

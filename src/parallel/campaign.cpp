@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "parallel/thread_pool.hpp"
 #include "store/frontier.hpp"
 
@@ -112,6 +113,17 @@ CampaignResults run_campaign(const Design& design,
     record.attempts = r.attempts;
     record.error = r.error;
     span.end();
+    if (obs::Telemetry::counting()) {
+      auto& depth = obs::Telemetry::depth();
+      depth.campaign_trials.fetch_add(1, std::memory_order_relaxed);
+      if (r.attempts > 1) {
+        depth.campaign_retries.fetch_add(r.attempts - 1,
+                                         std::memory_order_relaxed);
+      }
+      if (r.outcome.timed_out) {
+        depth.campaign_timeouts.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     lines[trial] = to_jsonl(design.name, record);
     streamer.on_complete(trial);
     meter.add(1);

@@ -1,5 +1,7 @@
 #include "store/arena.hpp"
 
+#include "obs/telemetry.hpp"
+
 namespace nonmask::store {
 
 PackedStateStore::PackedStateStore(std::size_t record_words,
@@ -15,6 +17,12 @@ std::uint64_t PackedStateStore::intern(const std::uint64_t* words) {
     slabs_.emplace_back(static_cast<std::uint64_t*>(
         ::operator new[](slab_words * sizeof(std::uint64_t),
                          std::align_val_t{64})));
+    if (obs::Telemetry::counting()) {
+      auto& depth = obs::Telemetry::depth();
+      depth.arena_slab_allocs.fetch_add(1, std::memory_order_relaxed);
+      depth.arena_slab_bytes.fetch_add(slab_words * sizeof(std::uint64_t),
+                                       std::memory_order_relaxed);
+    }
   }
   std::uint64_t* out = slabs_[slab].get() +
                        (id % slab_records_) * record_words_;

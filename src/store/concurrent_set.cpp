@@ -27,9 +27,13 @@ ConcurrentPackedSet::ConcurrentPackedSet(const PackedLayout& layout,
   initial_capacity_ =
       round_up_pow2(expected == 0 ? 64 : (expected / count) * 2 + 64);
   for (auto& slot : slots_) slot.store(nullptr, std::memory_order_relaxed);
+  obs::Telemetry::register_set(this);
 }
 
 ConcurrentPackedSet::~ConcurrentPackedSet() {
+  // Unregister first (folds a final sample into the retired aggregate and
+  // waits out any in-flight sampler pass), then tear the shards down.
+  obs::Telemetry::unregister_set(this);
   for (auto& slot : slots_) delete slot.load(std::memory_order_acquire);
 }
 
@@ -46,6 +50,10 @@ ConcurrentPackedSet::Shard& ConcurrentPackedSet::shard_at(
                                             std::memory_order_acq_rel,
                                             std::memory_order_acquire)) {
     return *fresh.release();
+  }
+  if (obs::Telemetry::counting()) {
+    obs::Telemetry::depth().set_cas_retries.fetch_add(
+        1, std::memory_order_relaxed);
   }
   return *expected;
 }
@@ -70,21 +78,42 @@ std::pair<std::uint64_t, bool> ConcurrentPackedSet::insert(
   const std::uint64_t shard_idx = shard_of(h);
   Shard& shard = shard_at(shard_idx);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  if ((shard.entries + 1) * 10 > shard.table.size() * 7) grow(shard);
+  if ((shard.entries + 1) * 10 > shard.table.size() * 7) {
+    grow(shard);
+    if (obs::Telemetry::counting()) {
+      obs::Telemetry::depth().set_grows.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    }
+  }
   const std::uint64_t mask = shard.table.size() - 1;
   std::uint64_t pos = h & mask;
+  // Probe depth is tracked per shard unconditionally (a register increment
+  // and one compare under a mutex already held); the process-wide counter
+  // is the gated one.
+  std::uint64_t probes = 1;
   while (true) {
     const std::uint64_t slot = shard.table[pos];
     if (slot == 0) {
       const std::uint64_t local = shard.arena.intern(words);
       shard.table[pos] = local + 1;
       ++shard.entries;
+      if (probes > shard.max_probe) shard.max_probe = probes;
+      if (obs::Telemetry::counting()) {
+        obs::Telemetry::depth().set_probes.fetch_add(
+            probes, std::memory_order_relaxed);
+      }
       return {(local << shard_bits_) | shard_idx, true};
     }
     if (equal(*layout_, shard.arena.get(slot - 1), words)) {
+      if (probes > shard.max_probe) shard.max_probe = probes;
+      if (obs::Telemetry::counting()) {
+        obs::Telemetry::depth().set_probes.fetch_add(
+            probes, std::memory_order_relaxed);
+      }
       return {((slot - 1) << shard_bits_) | shard_idx, false};
     }
     pos = (pos + 1) & mask;
+    ++probes;
   }
 }
 
@@ -126,13 +155,37 @@ std::vector<ConcurrentPackedSet::ShardStats> ConcurrentPackedSet::shard_stats()
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     const Shard* shard = shard_if(i);
     if (shard == nullptr) {
-      stats.push_back({0, 0});
+      stats.push_back({});
       continue;
     }
     std::lock_guard<std::mutex> lock(shard->mutex);
-    stats.push_back({shard->entries, shard->table.size()});
+    stats.push_back({shard->entries, shard->table.size(), shard->max_probe,
+                     shard->arena.bytes()});
   }
   return stats;
+}
+
+obs::SetSample ConcurrentPackedSet::sample_set_telemetry() const {
+  obs::SetSample sample;
+  sample.shards = slots_.size();
+  sample.shard_entries.reserve(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Shard* shard = shard_if(i);
+    if (shard == nullptr) {
+      sample.shard_entries.push_back(0);
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    ++sample.materialized;
+    sample.entries += shard->entries;
+    sample.capacity += shard->table.size();
+    if (shard->max_probe > sample.max_probe) {
+      sample.max_probe = shard->max_probe;
+    }
+    sample.arena_bytes += shard->arena.bytes();
+    sample.shard_entries.push_back(shard->entries);
+  }
+  return sample;
 }
 
 }  // namespace nonmask::store

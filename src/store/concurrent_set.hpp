@@ -35,19 +35,26 @@
 #include <utility>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "store/arena.hpp"
 #include "store/packed.hpp"
 
 namespace nonmask::store {
 
-class ConcurrentPackedSet {
+/// Registers with obs::Telemetry for its lifetime: the background sampler
+/// reads per-shard occupancy, probe depth, and arena bytes through
+/// sample_set_telemetry(), and the destructor folds a final sample into
+/// the retired-set aggregate the run reports print. Registration is a
+/// registry mutex hop at construction/destruction — never on the insert
+/// path; the gated depth counters there cost one relaxed load when off.
+class ConcurrentPackedSet final : public obs::SetTelemetrySource {
  public:
   /// 2^shard_bits shards; `expected` sizes each shard's table for
   /// expected/2^shard_bits entries at materialization (they still grow on
   /// demand).
   ConcurrentPackedSet(const PackedLayout& layout, unsigned shard_bits,
                       std::uint64_t seed, std::uint64_t expected = 0);
-  ~ConcurrentPackedSet();
+  ~ConcurrentPackedSet() override;
 
   ConcurrentPackedSet(const ConcurrentPackedSet&) = delete;
   ConcurrentPackedSet& operator=(const ConcurrentPackedSet&) = delete;
@@ -86,16 +93,23 @@ class ConcurrentPackedSet {
   struct ShardStats {
     std::uint64_t size = 0;
     std::uint64_t capacity = 0;
+    std::uint64_t max_probe = 0;  ///< longest insert probe sequence
+    std::uint64_t bytes = 0;      ///< arena slab bytes
   };
   /// Per-shard occupancy, for the bench's shard-balance report; untouched
-  /// shards report {0, 0}.
+  /// shards report all-zero.
   std::vector<ShardStats> shard_stats() const;
+
+  /// The telemetry sampler's view (obs/telemetry.hpp): totals plus the
+  /// per-shard occupancy vector behind the dashboard's shard heatmap.
+  obs::SetSample sample_set_telemetry() const override;
 
  private:
   struct Shard {
     mutable std::mutex mutex;
     std::vector<std::uint64_t> table;  ///< 0 = empty, else local_id + 1
     std::uint64_t entries = 0;
+    std::uint64_t max_probe = 0;  ///< maintained under mutex, always on
     PackedStateStore arena;
 
     explicit Shard(std::size_t record_words, std::size_t capacity)

@@ -13,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "store/odometer.hpp"
 
 namespace nonmask::store {
@@ -68,6 +69,12 @@ void SpillableFrontier::flush_mem() {
     bytes += n;
     offset += static_cast<std::uint64_t>(n);
     remaining -= static_cast<std::size_t>(n);
+  }
+  if (obs::Telemetry::counting()) {
+    auto& depth = obs::Telemetry::depth();
+    depth.frontier_spill_flushes.fetch_add(1, std::memory_order_relaxed);
+    depth.frontier_spill_bytes.fetch_add(mem_.size() * sizeof(std::uint64_t),
+                                         std::memory_order_relaxed);
   }
   spilled_ += mem_.size();
   mem_.clear();
@@ -198,6 +205,10 @@ StateSet FrontierEngine::reachable(const PredicateFn& start,
   while (frontier->size() != 0 && set.size() < cap) {
     const std::uint64_t fsize = frontier->size();
     ++stats_.levels;
+    if (obs::Telemetry::counting()) {
+      obs::Telemetry::depth().frontier_levels.fetch_add(
+          1, std::memory_order_relaxed);
+    }
     if (frontier->spilled()) ++stats_.spills;
     const std::uint64_t level_grain = std::min<std::uint64_t>(
         config_.grain,
@@ -320,6 +331,10 @@ std::uint64_t FrontierEngine::backward_distances(
     }
     resolved += new_this_round;
     meter.add(new_this_round);
+    if (obs::Telemetry::counting()) {
+      obs::Telemetry::depth().frontier_merge_rounds.fetch_add(
+          1, std::memory_order_relaxed);
+    }
     if (new_this_round == 0) break;
     ++stats_.levels;
     stats_.expanded += new_this_round;
