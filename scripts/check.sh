@@ -180,3 +180,44 @@ if [[ -f BENCH_store.json ]] && command -v python3 >/dev/null; then
 else
   echo "note: no committed BENCH_store.json baseline; skipping compare"
 fi
+
+# Byzantine containment smoke: the radius analysis must be deterministic —
+# the timestamp-free artifact is byte-diffed across 1/2/8 threads — the
+# spanning tree must contain its benchmark leaf placement (the min+1
+# shape), the token ring must never contain, and the dashboard must carry
+# the certification-triage table. CI uploads the JSON artifact.
+echo "== byzantine containment smoke =="
+cont_dir="$(mktemp -d)"
+trap 'rm -rf "${resume_dir}" "${obs_dir}" "${synth_dir}" "${store_dir}" "${cont_dir}"' EXIT
+for t in 1 2 8; do
+  NONMASK_THREADS="${t}" ./build/examples/containment_probe all 1 1 \
+    --containment-out="${cont_dir}/containment_t${t}.json" >/dev/null
+  diff "${cont_dir}/containment_t1.json" "${cont_dir}/containment_t${t}.json"
+done
+echo "ok: containment artifact byte-identical at 1/2/8 threads"
+NONMASK_THREADS=4 ./build/examples/containment_probe all 1 1 \
+  --containment-out="${cont_dir}/containment.json" \
+  --report-out="${cont_dir}/containment_report.json" \
+  --dashboard-out="${cont_dir}/containment.html" >/dev/null
+if command -v python3 >/dev/null; then
+  python3 - "${cont_dir}" <<'EOF2'
+import json, sys
+d = sys.argv[1]
+art = json.load(open(f"{d}/containment.json"))
+bench = {b["protocol"]: b for b in art["benchmarks"]}
+tree = bench["bfs-spanning-tree"]
+assert tree["contained"] and tree["radius"] == 1, tree
+ring = bench["dijkstra-k-state-ring"]
+assert not ring["contained"] and ring["radius"] == ring["horizon"], ring
+triage = {(t["design"], t["fault_model"]): t["verdict"] for t in art["triage"]}
+assert triage[("bfs-spanning-tree", "byzantine")] == "survives", triage
+assert triage[("dijkstra-k-state-ring", "byzantine")] == "refuted", triage
+assert triage[("bfs-spanning-tree+env", "environment")] == "falls-back", triage
+report = json.load(open(f"{d}/containment_report.json"))
+assert "triage" in report, sorted(report)
+html = open(f"{d}/containment.html").read()
+assert "Certification triage" in html, "dashboard missing the triage table"
+print(f"ok: tree contained (radius 1), ring refuted, "
+      f"{len(art['triage'])} triage rows in report + dashboard")
+EOF2
+fi

@@ -1,0 +1,161 @@
+#include "checker/restricted.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace nonmask {
+
+const char* to_string(FaultRegime regime) noexcept {
+  switch (regime) {
+    case FaultRegime::kTransient: return "transient";
+    case FaultRegime::kByzantine: return "byzantine";
+    case FaultRegime::kEnvironment: return "environment";
+  }
+  return "unknown";
+}
+
+void validate_environment(const Program& program) {
+  std::set<VarId> env_writes;
+  for (const auto& a : program.actions()) {
+    if (a.kind() != ActionKind::kEnvironment) continue;
+    env_writes.insert(a.writes().begin(), a.writes().end());
+  }
+  if (env_writes.empty()) return;
+  for (const auto& a : program.actions()) {
+    if (a.kind() != ActionKind::kClosure &&
+        a.kind() != ActionKind::kConvergence) {
+      continue;
+    }
+    for (VarId w : a.writes()) {
+      if (env_writes.count(w) != 0) {
+        throw std::invalid_argument(
+            "unchangeable-environment contract violated: program action '" +
+            a.name() + "' writes environment-owned variable '" +
+            program.variable(w).name + "'");
+      }
+    }
+  }
+}
+
+std::vector<VarId> byzantine_variables(const Program& program,
+                                       const std::vector<int>& byzantine) {
+  std::vector<VarId> out;
+  for (std::uint32_t i = 0; i < program.num_variables(); ++i) {
+    const VarId id(i);
+    const int p = program.variable(id).process;
+    if (p == VariableSpec::kNoProcess) continue;
+    if (std::find(byzantine.begin(), byzantine.end(), p) != byzantine.end()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+Program compose_byzantine(const Program& program,
+                          const std::vector<int>& byzantine) {
+  for (int p : byzantine) {
+    bool known = false;
+    for (const auto& v : program.variables()) {
+      if (v.process == p) { known = true; break; }
+    }
+    for (const auto& a : program.actions()) {
+      if (a.process() == p) { known = true; break; }
+    }
+    if (!known) {
+      throw std::invalid_argument("compose_byzantine: process " +
+                                  std::to_string(p) +
+                                  " owns no variables and no actions");
+    }
+  }
+
+  Program composed(program.name() + "+byz");
+  for (const auto& v : program.variables()) composed.add_variable(v);
+
+  const auto is_byz = [&byzantine](int p) {
+    return std::find(byzantine.begin(), byzantine.end(), p) != byzantine.end();
+  };
+  // A Byzantine process does not follow the protocol: its program actions
+  // are dropped and replaced by arbitrary writes below. Fault actions and
+  // declared environment actions pass through — they model forces outside
+  // any process.
+  for (const auto& a : program.actions()) {
+    if ((a.kind() == ActionKind::kClosure ||
+         a.kind() == ActionKind::kConvergence) &&
+        is_byz(a.process())) {
+      continue;
+    }
+    composed.add_action(a);
+  }
+
+  for (VarId v : byzantine_variables(program, byzantine)) {
+    const VariableSpec& spec = program.variable(v);
+    for (Value val = spec.lo; val <= spec.hi; ++val) {
+      composed.add_action(Action(
+          "byz." + spec.name + ":=" + std::to_string(val),
+          ActionKind::kEnvironment,
+          [v, val](const State& s) { return s.get(v) != val; },
+          [v, val](State& s) { s.set(v, val); }, {v}, {v}, spec.process));
+    }
+  }
+  return composed;
+}
+
+namespace {
+
+int num_processes(const Program& program) {
+  int max_p = -1;
+  for (const auto& v : program.variables()) max_p = std::max(max_p, v.process);
+  for (const auto& a : program.actions()) max_p = std::max(max_p, a.process());
+  return max_p + 1;
+}
+
+}  // namespace
+
+UndirectedGraph communication_graph(const Program& program) {
+  const int n = num_processes(program);
+  UndirectedGraph g(n);
+  std::set<std::pair<int, int>> seen;
+  const auto connect = [&](int p, int q) {
+    if (p == q || p < 0 || q < 0) return;
+    const auto e = std::minmax(p, q);
+    if (seen.insert({e.first, e.second}).second) {
+      g.add_edge(e.first, e.second);
+    }
+  };
+  for (const auto& a : program.actions()) {
+    if (a.kind() == ActionKind::kFault) continue;
+    const int p = a.process();
+    if (p < 0) continue;
+    for (VarId v : a.reads()) connect(p, program.variable(v).process);
+    for (VarId v : a.writes()) connect(p, program.variable(v).process);
+  }
+  return g;
+}
+
+std::vector<int> distances_from(const UndirectedGraph& g,
+                                const std::vector<int>& sources) {
+  std::vector<int> dist(static_cast<std::size_t>(g.size()), -1);
+  std::deque<int> frontier;
+  for (int s : sources) {
+    if (s < 0 || s >= g.size()) continue;
+    if (dist[static_cast<std::size_t>(s)] == 0) continue;
+    dist[static_cast<std::size_t>(s)] = 0;
+    frontier.push_back(s);
+  }
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop_front();
+    for (int v : g.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(v)] != -1) continue;
+      dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+      frontier.push_back(v);
+    }
+  }
+  return dist;
+}
+
+}  // namespace nonmask

@@ -1,0 +1,78 @@
+// Restricted fault models: composing a program with adversaries it cannot
+// out-converge.
+//
+// The paper proves nonmasking tolerance only for *transient* faults — a
+// finite burst of state perturbation after which convergence actions run
+// unopposed. Two restricted models break that assumption:
+//
+//  * Byzantine processes (Dubois–Masuzawa–Tixeuil): a fixed set of processes
+//    is permanently adversarial. Their program actions are dropped (an
+//    adversary need not follow the protocol) and every variable they own may
+//    be rewritten to any domain value at any time, interleaved with correct
+//    processes' steps.
+//  * Unchangeable environment actions (Roohitavaf–Kulkarni): guarded
+//    transitions the program can neither schedule away nor revert. They are
+//    declared as ActionKind::kEnvironment and must not write any variable a
+//    closure or convergence action writes.
+//
+// Both reduce to the same mechanism: build a *composed* Program whose
+// non-fault action set is "correct-process program actions ∪ adversarial /
+// environment actions", then run the ordinary store-native passes (closure,
+// convergence, fault-span) over it. No checker or store code changes: the
+// composed transition system is just a Program.
+#pragma once
+
+#include <vector>
+
+#include "core/program.hpp"
+#include "graphlib/topology.hpp"
+
+namespace nonmask {
+
+/// Which restricted fault model a composed system encodes.
+enum class FaultRegime {
+  kTransient,    ///< the paper's model: perturb once, then converge
+  kByzantine,    ///< fixed adversarial processes, re-corrupted forever
+  kEnvironment,  ///< unchangeable environment actions in the program
+};
+
+const char* to_string(FaultRegime regime) noexcept;
+
+/// Validate the unchangeable-environment contract: no variable written by a
+/// kEnvironment action may be written by any closure or convergence action
+/// (otherwise the program could revert the environment, contradicting
+/// "unchangeable"). Throws std::invalid_argument naming the offending
+/// variable/actions. Programs without environment actions pass trivially.
+void validate_environment(const Program& program);
+
+/// Variables owned by any process in `byzantine` (ascending VarId order).
+std::vector<VarId> byzantine_variables(const Program& program,
+                                       const std::vector<int>& byzantine);
+
+/// Compose `program` with a Byzantine adversary occupying `byzantine`
+/// processes:
+///  * closure/convergence actions of Byzantine processes are dropped;
+///  * for every variable owned by a Byzantine process and every value in its
+///    domain, a kEnvironment action "byz.<var>:=v" (guard: current value
+///    differs) is added, so daemons and checkers interleave arbitrary
+///    re-corruption with every correct step;
+///  * declared environment and fault actions pass through unchanged.
+/// The result is an ordinary Program: run the store-native passes on it to
+/// check the composed program∪adversary transition system. Throws
+/// std::invalid_argument if a Byzantine process id has no variables and no
+/// actions (likely a typo'd id).
+Program compose_byzantine(const Program& program,
+                          const std::vector<int>& byzantine);
+
+/// Communication graph over process ids 0..P-1: an edge {p, q} iff some
+/// non-fault action of process p reads or writes a variable owned by q (or
+/// vice versa). Process-less actions and shared variables (kNoProcess) do
+/// not induce edges. P is 1 + the max process id over variables and actions.
+UndirectedGraph communication_graph(const Program& program);
+
+/// BFS hop distances from the node set `sources` in `g`; -1 = unreachable.
+/// Sources themselves are at distance 0.
+std::vector<int> distances_from(const UndirectedGraph& g,
+                                const std::vector<int>& sources);
+
+}  // namespace nonmask

@@ -9,6 +9,7 @@ const char* to_string(ActionKind kind) noexcept {
     case ActionKind::kClosure: return "closure";
     case ActionKind::kConvergence: return "convergence";
     case ActionKind::kFault: return "fault";
+    case ActionKind::kEnvironment: return "environment";
   }
   return "unknown";
 }

@@ -30,6 +30,14 @@ enum class ActionKind {
   kClosure,      ///< performs the intended computation; preserves S and T
   kConvergence,  ///< re-establishes a violated constraint; preserves T
   kFault,        ///< models a fault as a state-changing action (Section 3)
+  /// An *unchangeable environment* action (Roohitavaf–Kulkarni): a guarded
+  /// transition the program can neither schedule away nor revert — its
+  /// written variables must not be written by any closure or convergence
+  /// action (checker/restricted.hpp validates this). Unlike kFault,
+  /// environment actions are part of the transition system proper: daemons
+  /// schedule them and every checker pass (closure, convergence,
+  /// fault-span) explores them alongside program actions.
+  kEnvironment,
 };
 
 const char* to_string(ActionKind kind) noexcept;

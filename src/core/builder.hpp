@@ -56,6 +56,19 @@ class ProgramBuilder {
     return *this;
   }
 
+  /// Add an *unchangeable environment* action: a guarded transition outside
+  /// the program's control that daemons schedule and checkers explore
+  /// alongside program actions, but whose written variables no closure or
+  /// convergence action may write (checker/restricted.hpp validates this).
+  ProgramBuilder& environment(std::string name, GuardFn guard,
+                              StatementFn statement, std::vector<VarId> reads,
+                              std::vector<VarId> writes, int process = -1) {
+    program_.add_action(Action(std::move(name), ActionKind::kEnvironment,
+                               std::move(guard), std::move(statement),
+                               std::move(reads), std::move(writes), process));
+    return *this;
+  }
+
   /// Add a fault action (applied by injectors, never by daemons).
   ProgramBuilder& fault(std::string name, GuardFn guard, StatementFn statement,
                         std::vector<VarId> reads, std::vector<VarId> writes,

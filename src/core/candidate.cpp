@@ -29,8 +29,14 @@ CandidateTriple Design::candidate() const {
   CandidateTriple t;
   t.program = Program(program.name());
   for (const auto& v : program.variables()) t.program.add_variable(v);
+  // Environment actions are outside the program's control, so a candidate
+  // (closure actions awaiting synthesized convergence) must keep them: any
+  // convergence layer is designed against the composed system.
   for (const auto& a : program.actions()) {
-    if (a.kind() == ActionKind::kClosure) t.program.add_action(a);
+    if (a.kind() == ActionKind::kClosure ||
+        a.kind() == ActionKind::kEnvironment) {
+      t.program.add_action(a);
+    }
   }
   t.invariant = invariant;
   t.fault_span = fault_span;

@@ -208,6 +208,10 @@ std::size_t add_action(ProgramBuilder& b, std::string name, ActionKind kind,
       b.fault(std::move(name), guard.fn(), stmt.fn(), reads, stmt.writes(),
               process);
       break;
+    case ActionKind::kEnvironment:
+      b.environment(std::move(name), guard.fn(), stmt.fn(), reads,
+                    stmt.writes(), process);
+      break;
   }
   return b.peek().num_actions() - 1;
 }

@@ -1,0 +1,52 @@
+#include "faults/byzantine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace nonmask {
+
+ByzantineModel::ByzantineModel(const Program& p, std::vector<int> byzantine,
+                               Policy policy)
+    : byzantine_(std::move(byzantine)), policy_(policy) {
+  if (byzantine_.empty()) {
+    throw std::invalid_argument(
+        "ByzantineModel: empty process set (use a transient model instead)");
+  }
+  std::vector<int> sorted = byzantine_;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    throw std::invalid_argument("ByzantineModel: duplicate process id");
+  }
+  for (int b : byzantine_) {
+    bool owns = false;
+    for (std::uint32_t i = 0; i < p.num_variables(); ++i) {
+      if (p.variable(VarId(i)).process == b) {
+        vars_.push_back(VarId(i));
+        owns = true;
+      }
+    }
+    if (!owns) {
+      throw std::invalid_argument("ByzantineModel: process " +
+                                  std::to_string(b) + " owns no variables");
+    }
+  }
+  std::sort(vars_.begin(), vars_.end());
+}
+
+void ByzantineModel::strike(const Program& p, State& s, Rng& rng) {
+  for (VarId v : vars_) {
+    const VariableSpec& spec = p.variable(v);
+    switch (policy_) {
+      case Policy::kRandom:
+        s.set(v, static_cast<Value>(rng.range(spec.lo, spec.hi)));
+        break;
+      case Policy::kExtremes:
+        s.set(v, rng.chance(0.5) ? spec.hi : spec.lo);
+        break;
+    }
+  }
+}
+
+}  // namespace nonmask

@@ -1,0 +1,51 @@
+// Byzantine fault actor.
+//
+// Dubois–Masuzawa–Tixeuil study self-stabilization despite *permanently*
+// malicious nodes: a fixed set of processes whose state may be rewritten
+// arbitrarily at every step, forever. Unlike the transient models in
+// fault.hpp (strike once, then let convergence run unopposed), a
+// ByzantineModel is meant to be installed as a *persistent* actor — see
+// FaultSchedule::persistent and FaultInjector::persistent — so its policy
+// interleaves with every program step of a simulation.
+//
+// The model-checking counterpart is compose_byzantine (checker/restricted.hpp),
+// which turns the same process set into explicit kEnvironment actions so the
+// exhaustive passes explore *all* adversarial choices, not one sampled policy.
+#pragma once
+
+#include <vector>
+
+#include "faults/fault.hpp"
+
+namespace nonmask {
+
+class ByzantineModel final : public FaultModel {
+ public:
+  /// How the adversary rewrites the variables it controls on each strike.
+  enum class Policy {
+    kRandom,    ///< independent uniform in-domain value per variable
+    kExtremes,  ///< domain endpoint per variable (coin-flip lo/hi) — the
+                ///< classic "lie as loudly as possible" adversary
+  };
+
+  /// Marks `byzantine` processes of `p` as adversarial. Resolves the owned
+  /// variable set once at construction. Throws std::invalid_argument when
+  /// the set is empty, contains a duplicate, or names a process owning no
+  /// variables (likely a typo'd id).
+  ByzantineModel(const Program& p, std::vector<int> byzantine,
+                 Policy policy = Policy::kRandom);
+
+  const char* name() const noexcept override { return "byzantine"; }
+  void strike(const Program& p, State& s, Rng& rng) override;
+
+  const std::vector<int>& processes() const noexcept { return byzantine_; }
+  const std::vector<VarId>& variables() const noexcept { return vars_; }
+  Policy policy() const noexcept { return policy_; }
+
+ private:
+  std::vector<int> byzantine_;
+  std::vector<VarId> vars_;
+  Policy policy_;
+};
+
+}  // namespace nonmask

@@ -1,6 +1,8 @@
 #include "faults/fault.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <unordered_set>
 
 namespace nonmask {
@@ -10,7 +12,39 @@ void corrupt_one(const Program& p, State& s, VarId id, Rng& rng) {
   const auto& spec = p.variable(id);
   s.set(id, static_cast<Value>(rng.range(spec.lo, spec.hi)));
 }
+
+std::size_t require_nonzero(std::size_t k, const char* who) {
+  if (k == 0) {
+    throw std::invalid_argument(std::string(who) +
+                                ": k must be >= 1 (a fault model that never "
+                                "corrupts anything is a configuration error)");
+  }
+  return k;
+}
+
+std::size_t count_processes(const Program& p) {
+  std::unordered_set<int> processes;
+  for (const auto& v : p.variables()) {
+    if (v.process != VariableSpec::kNoProcess) processes.insert(v.process);
+  }
+  return processes.size();
+}
 }  // namespace
+
+CorruptKVariables::CorruptKVariables(std::size_t k)
+    : k_(require_nonzero(k, "CorruptKVariables")) {}
+
+CorruptKVariables::CorruptKVariables(std::size_t k, const Program& p)
+    : k_(std::min(require_nonzero(k, "CorruptKVariables"),
+                  p.num_variables())) {}
+
+CorruptKProcesses::CorruptKProcesses(std::size_t k)
+    : k_(require_nonzero(k, "CorruptKProcesses")) {}
+
+CorruptKProcesses::CorruptKProcesses(std::size_t k, const Program& p)
+    : k_(std::max<std::size_t>(
+          1, std::min(require_nonzero(k, "CorruptKProcesses"),
+                      count_processes(p)))) {}
 
 void CorruptKVariables::strike(const Program& p, State& s, Rng& rng) {
   const std::size_t n = p.num_variables();

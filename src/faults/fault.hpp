@@ -28,9 +28,17 @@ using FaultModelPtr = std::shared_ptr<FaultModel>;
 
 /// Corrupt exactly k distinct variables, each to a uniformly random
 /// in-domain value.
+///
+/// k == 0 is rejected at construction (a fault model that never faults is a
+/// configuration error, mirroring the bernoulli p-validation in
+/// FaultInjector). The two-argument constructor clamps k to the program's
+/// variable count once, so `k` thereafter states exactly how many variables
+/// each strike corrupts; the one-argument form clamps per strike instead
+/// (the program is not known yet).
 class CorruptKVariables final : public FaultModel {
  public:
-  explicit CorruptKVariables(std::size_t k) : k_(k) {}
+  explicit CorruptKVariables(std::size_t k);
+  CorruptKVariables(std::size_t k, const Program& p);
   const char* name() const noexcept override { return "corrupt-k-variables"; }
   void strike(const Program& p, State& s, Rng& rng) override;
 
@@ -40,9 +48,15 @@ class CorruptKVariables final : public FaultModel {
 
 /// Corrupt every variable belonging to each of k distinct processes
 /// (the paper's "arbitrarily corrupt the state of any number of nodes").
+///
+/// k == 0 is rejected at construction; the two-argument constructor clamps
+/// k to the program's process count once (one-argument form clamps per
+/// strike). Programs without process structure fall back to corrupting k
+/// variables.
 class CorruptKProcesses final : public FaultModel {
  public:
-  explicit CorruptKProcesses(std::size_t k) : k_(k) {}
+  explicit CorruptKProcesses(std::size_t k);
+  CorruptKProcesses(std::size_t k, const Program& p);
   const char* name() const noexcept override { return "corrupt-k-processes"; }
   void strike(const Program& p, State& s, Rng& rng) override;
 

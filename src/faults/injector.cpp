@@ -36,6 +36,11 @@ FaultInjector FaultInjector::bernoulli(FaultModelPtr model, double p,
   return inj;
 }
 
+FaultInjector FaultInjector::persistent(FaultModelPtr model,
+                                        std::uint64_t seed) {
+  return FaultInjector(Mode::kPersistent, std::move(model), seed);
+}
+
 void FaultInjector::operator()(std::size_t step, const Program& p, State& s) {
   if (injected_ >= max_faults_) return;
   bool strike = false;
@@ -48,6 +53,9 @@ void FaultInjector::operator()(std::size_t step, const Program& p, State& s) {
       break;
     case Mode::kBernoulli:
       strike = rng_.chance(probability_);
+      break;
+    case Mode::kPersistent:
+      strike = true;
       break;
   }
   if (strike) {

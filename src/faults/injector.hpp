@@ -25,6 +25,10 @@ class FaultInjector {
   /// Throws std::invalid_argument unless p ∈ [0, 1].
   static FaultInjector bernoulli(FaultModelPtr model, double p,
                                  std::size_t max_faults, std::uint64_t seed);
+  /// Strike at *every* step, without limit — the persistent-actor policy a
+  /// ByzantineModel needs: the adversary re-corrupts its variables
+  /// interleaved with every program step, forever.
+  static FaultInjector persistent(FaultModelPtr model, std::uint64_t seed);
 
   /// Apply to a state; called by the engine before each daemon selection.
   void operator()(std::size_t step, const Program& p, State& s);
@@ -63,7 +67,7 @@ class FaultInjector {
   }
 
  private:
-  enum class Mode { kOneShot, kPeriodic, kBernoulli };
+  enum class Mode { kOneShot, kPeriodic, kBernoulli, kPersistent };
 
   FaultInjector(Mode mode, FaultModelPtr model, std::uint64_t seed)
       : mode_(mode), model_(std::move(model)), seed_(seed), rng_(seed) {}

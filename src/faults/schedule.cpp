@@ -33,12 +33,21 @@ FaultSchedule FaultSchedule::sustained(FaultModelPtr model, std::size_t start,
   return s;
 }
 
+FaultSchedule FaultSchedule::persistent(FaultModelPtr model) {
+  FaultSchedule s;
+  s.persistent_.push_back(std::move(model));
+  return s;
+}
+
 FaultSchedule FaultSchedule::compose(std::vector<FaultSchedule> parts) {
   FaultSchedule merged;
   for (auto& part : parts) {
     merged.strikes_.insert(merged.strikes_.end(),
                            std::make_move_iterator(part.strikes_.begin()),
                            std::make_move_iterator(part.strikes_.end()));
+    merged.persistent_.insert(merged.persistent_.end(),
+                              std::make_move_iterator(part.persistent_.begin()),
+                              std::make_move_iterator(part.persistent_.end()));
   }
   std::stable_sort(merged.strikes_.begin(), merged.strikes_.end(),
                    [](const Strike& a, const Strike& b) {
@@ -49,15 +58,22 @@ FaultSchedule FaultSchedule::compose(std::vector<FaultSchedule> parts) {
 
 FaultSchedule FaultSchedule::then(const FaultSchedule& next,
                                   std::size_t gap) const {
-  if (strikes_.empty()) return next;
+  if (strikes_.empty()) return compose({*this, next});
   FaultSchedule shifted = next;
-  const std::size_t offset = last_step() + gap;
-  for (auto& strike : shifted.strikes_) strike.step += offset;
+  // Land next's *first* strike exactly gap after our last one. Subtracting
+  // next.first_step() is what makes chained placements at nonzero steps
+  // compose: a plan already starting at step 5 is not pushed 5 steps late.
+  const std::size_t target = last_step() + gap;
+  const std::size_t first = next.first_step();
+  for (auto& strike : shifted.strikes_) {
+    strike.step = strike.step - first + target;
+  }
   return compose({*this, std::move(shifted)});
 }
 
 void FaultSchedule::apply(std::size_t step, const Program& p, State& s,
                           Rng& rng) const {
+  for (const auto& actor : persistent_) actor->strike(p, s, rng);
   const auto lo = std::lower_bound(
       strikes_.begin(), strikes_.end(), step,
       [](const Strike& a, std::size_t b) { return a.step < b; });
@@ -70,14 +86,17 @@ std::function<void(std::size_t, State&)> FaultSchedule::hook(
     const Program& p, std::uint64_t seed) const {
   struct Cursor {
     std::vector<Strike> strikes;
+    std::vector<FaultModelPtr> persistent;
     std::size_t next = 0;
     Rng rng;
-    Cursor(std::vector<Strike> s, std::uint64_t seed_)
-        : strikes(std::move(s)), rng(seed_) {}
+    Cursor(std::vector<Strike> s, std::vector<FaultModelPtr> actors,
+           std::uint64_t seed_)
+        : strikes(std::move(s)), persistent(std::move(actors)), rng(seed_) {}
   };
-  auto cursor = std::make_shared<Cursor>(strikes_, seed);
+  auto cursor = std::make_shared<Cursor>(strikes_, persistent_, seed);
   return [cursor, &p](std::size_t step, State& s) {
     auto& c = *cursor;
+    for (const auto& actor : c.persistent) actor->strike(p, s, c.rng);
     // Steps arrive in nondecreasing order from the engine; strikes whose
     // step has passed (a run shorter than the plan, then a fresh run of the
     // same hook) are skipped, not replayed late.

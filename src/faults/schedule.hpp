@@ -38,23 +38,42 @@ class FaultSchedule {
   /// treated as 1).
   static FaultSchedule sustained(FaultModelPtr model, std::size_t start,
                                  std::size_t period, std::size_t count);
+  /// A *persistent actor*: `model` strikes at every step of the run, before
+  /// any step-scheduled strike of that step. This is how a ByzantineModel
+  /// rides a schedule — permanently adversarial, not a finite plan entry.
+  /// Persistent actors are unaffected by then()'s shifting and survive
+  /// composition (actors of all parts are concatenated in order).
+  static FaultSchedule persistent(FaultModelPtr model);
+
   /// Union of schedules; strikes landing on the same step apply in the
   /// order given (composition order is preserved).
   static FaultSchedule compose(std::vector<FaultSchedule> parts);
 
-  /// Sequencing: `next` shifted to begin `gap` steps after this schedule's
-  /// last strike, then merged. An empty receiver returns `next` unshifted.
+  /// Sequencing: `next` shifted so its *first* strike lands exactly `gap`
+  /// steps after this schedule's last strike, then merged (a `next` whose
+  /// plan already starts at a nonzero step is not double-shifted). An empty
+  /// receiver returns `next` unshifted; persistent actors of both sides are
+  /// kept as-is.
   FaultSchedule then(const FaultSchedule& next, std::size_t gap = 1) const;
 
   const std::vector<Strike>& strikes() const noexcept { return strikes_; }
-  bool empty() const noexcept { return strikes_.empty(); }
+  const std::vector<FaultModelPtr>& persistent_actors() const noexcept {
+    return persistent_;
+  }
+  bool empty() const noexcept {
+    return strikes_.empty() && persistent_.empty();
+  }
   std::size_t size() const noexcept { return strikes_.size(); }
+  /// Step of the first strike; 0 when empty.
+  std::size_t first_step() const noexcept {
+    return strikes_.empty() ? 0 : strikes_.front().step;
+  }
   /// Step of the final strike; 0 when empty.
   std::size_t last_step() const noexcept {
     return strikes_.empty() ? 0 : strikes_.back().step;
   }
 
-  /// Apply every strike scheduled at `step` to `s`.
+  /// Apply every persistent actor, then every strike scheduled at `step`.
   void apply(std::size_t step, const Program& p, State& s, Rng& rng) const;
 
   /// Bind to a program, yielding a RunOptions::perturb hook. The hook owns
@@ -66,6 +85,7 @@ class FaultSchedule {
 
  private:
   std::vector<Strike> strikes_;  // sorted by step (stable order within one)
+  std::vector<FaultModelPtr> persistent_;  // strike every step, in order
 };
 
 }  // namespace nonmask

@@ -541,6 +541,23 @@ void render_kv_table(
   out << "</table>\n</div>\n";
 }
 
+void render_data_table(std::ostream& out, const DashboardTable& table) {
+  out << "<div class=\"card\">\n<h3>" << html_escape(table.title)
+      << "</h3>\n<table>\n<tr>";
+  for (const std::string& c : table.columns) {
+    out << "<th>" << html_escape(c) << "</th>";
+  }
+  out << "</tr>\n";
+  for (const auto& row : table.rows) {
+    out << "<tr>";
+    for (std::size_t i = 0; i < table.columns.size(); ++i) {
+      out << "<td>" << (i < row.size() ? html_escape(row[i]) : "") << "</td>";
+    }
+    out << "</tr>\n";
+  }
+  out << "</table>\n</div>\n";
+}
+
 void render_trace_table(std::ostream& out) {
   struct Agg {
     std::uint64_t count = 0;
@@ -680,6 +697,9 @@ void write_dashboard_html(std::ostream& out, const DashboardSpec& spec) {
 
   out << "<div class=\"grid2\">\n";
   if (!spec.summary.empty()) render_kv_table(out, "Run summary", spec.summary);
+  for (const DashboardTable& table : spec.tables) {
+    render_data_table(out, table);
+  }
   if (last != nullptr) {
     std::vector<std::pair<std::string, std::string>> rows = {
         {"set probes", with_commas(last->set_probes)},

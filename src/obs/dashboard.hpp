@@ -23,10 +23,20 @@ namespace nonmask::obs {
 /// renderer. `samples` is typically Telemetry::samples() taken after
 /// Telemetry::stop(); with fewer than two samples the time-series cards
 /// are omitted and the tiles/tables still render.
+/// A free-form table card (e.g. the certification-triage matrix): one
+/// header row plus data rows, HTML-escaped by the renderer. Rows shorter
+/// than `columns` render with trailing empty cells.
+struct DashboardTable {
+  std::string title;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
 struct DashboardSpec {
   std::string title;
   std::string subtitle;
   std::vector<std::pair<std::string, std::string>> summary;
+  std::vector<DashboardTable> tables;  ///< rendered after the summary card
   std::vector<HeartbeatSample> samples;
   bool include_trace = true;  ///< fold in Trace span aggregates when present
 };

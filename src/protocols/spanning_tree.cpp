@@ -99,4 +99,19 @@ SpanningTreeDesign make_spanning_tree(const UndirectedGraph& g, int root) {
   return st;
 }
 
+SpanningTreeDesign make_spanning_tree_with_environment(
+    const UndirectedGraph& g, int root) {
+  SpanningTreeDesign st = make_spanning_tree(g, root);
+  Program& p = st.design.program;
+  const VarId noise = p.add_variable(VariableSpec("env.noise", 0, 1));
+  p.add_action(Action(
+      "env.toggle-noise", ActionKind::kEnvironment,
+      [](const State&) { return true; },
+      [noise](State& s) { s.set(noise, s.get(noise) == 0 ? 1 : 0); }, {noise},
+      {noise}));
+  p.set_name("bfs-spanning-tree+env");
+  st.design.name = p.name();
+  return st;
+}
+
 }  // namespace nonmask

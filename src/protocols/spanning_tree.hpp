@@ -34,4 +34,15 @@ struct SpanningTreeDesign {
 /// Build the design over a connected graph; `root` in [0, g.size()).
 SpanningTreeDesign make_spanning_tree(const UndirectedGraph& g, int root = 0);
 
+/// The same design composed with an *unchangeable environment*
+/// (checker/restricted.hpp): a shared "env.noise" bit, appended after the
+/// dist variables, that a free-running kEnvironment action toggles forever.
+/// No program action writes it (the unchangeable contract), and the
+/// invariant ignores it — yet unfair convergence is refuted (the
+/// environment can starve every convergence action), while the weakly-fair
+/// SCC escape analysis still proves convergence. The canonical demo of why
+/// environment composition needs fairness-aware checking.
+SpanningTreeDesign make_spanning_tree_with_environment(
+    const UndirectedGraph& g, int root = 0);
+
 }  // namespace nonmask

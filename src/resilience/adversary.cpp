@@ -1,11 +1,13 @@
 #include "resilience/adversary.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 #include "checker/convergence_check.hpp"
 #include "checker/state_space.hpp"
 #include "engine/simulator.hpp"
+#include "faults/byzantine.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "sched/daemons.hpp"
@@ -385,6 +387,272 @@ std::vector<std::uint64_t> random_placement_baseline(
                         : static_cast<std::uint64_t>(opts.max_steps) + 1);
   }
   return steps;
+}
+
+namespace {
+
+/// Score a placement by exact containment analysis: worse = containment
+/// lost outright, then larger radius, then larger adversarial region; total
+/// order completed by the (sorted) placement itself so ties resolve
+/// deterministically.
+bool containment_worse(const ContainmentReport& a, const ContainmentReport& b) {
+  if (a.contained != b.contained) return !a.contained;
+  if (a.radius != b.radius) return a.radius > b.radius;
+  if (a.reachable_states != b.reachable_states) {
+    return a.reachable_states > b.reachable_states;
+  }
+  return a.byzantine < b.byzantine;
+}
+
+/// Hill-climb score: sampled damage radius plus dirty-process count from a
+/// seeded simulation under a persistent ByzantineModel.
+struct SimScore {
+  int radius = 0;
+  std::uint64_t dirty = 0;
+};
+
+bool sim_worse(const SimScore& a, const SimScore& b) {
+  if (a.radius != b.radius) return a.radius > b.radius;
+  return a.dirty > b.dirty;
+}
+
+SimScore simulate_byzantine(const Design& design, const std::vector<int>& byz,
+                            const State& reference,
+                            const ByzantinePlacementOptions& opts,
+                            std::uint64_t salt) {
+  auto model = std::make_shared<ByzantineModel>(design.program, byz);
+  const std::vector<int> dist =
+      distances_from(communication_graph(design.program), byz);
+  std::vector<std::uint8_t> byz_var(design.program.num_variables(), 0);
+  for (VarId v : model->variables()) byz_var[v.index()] = 1;
+
+  SimScore score;
+  std::vector<std::uint8_t> dirty(dist.size(), 0);
+  Rng strike_rng(derived_seed(opts.seed, salt));
+  RandomDaemon daemon(derived_seed(opts.seed, salt + 1));
+  RunOptions run_opts;
+  run_opts.max_steps = opts.sim_steps;
+  run_opts.perturb = [&](std::size_t, State& s) {
+    // Account the damage the *previous* program step left behind, then let
+    // the adversary strike again.
+    for (std::uint32_t v = 0; v < design.program.num_variables(); ++v) {
+      if (byz_var[v] != 0) continue;
+      const int p = design.program.variable(VarId(v)).process;
+      if (p < 0 || dirty[static_cast<std::size_t>(p)] != 0) continue;
+      if (s.get(VarId(v)) != reference.get(VarId(v))) {
+        dirty[static_cast<std::size_t>(p)] = 1;
+        ++score.dirty;
+        const int d = dist[static_cast<std::size_t>(p)];
+        if (d > score.radius) score.radius = d;
+      }
+    }
+    model->strike(design.program, s, strike_rng);
+  };
+  Simulator sim(design.program, daemon);
+  sim.run(reference, run_opts);
+  return score;
+}
+
+std::vector<int> random_subset(int num_procs, std::size_t m, Rng& rng) {
+  std::vector<int> procs(static_cast<std::size_t>(num_procs));
+  for (int i = 0; i < num_procs; ++i) procs[static_cast<std::size_t>(i)] = i;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t j = i + rng.below(procs.size() - i);
+    std::swap(procs[i], procs[j]);
+  }
+  std::vector<int> out(procs.begin(), procs.begin() + static_cast<long>(m));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t subset_count(int n, std::size_t m, std::uint64_t cap) {
+  std::uint64_t count = 1;
+  for (std::size_t i = 0; i < m; ++i) {
+    count = count * static_cast<std::uint64_t>(n - static_cast<int>(i)) /
+            (i + 1);
+    if (count > cap) return cap + 1;
+  }
+  return count;
+}
+
+}  // namespace
+
+ByzantinePlacementResult find_worst_byzantine_placement(
+    const Design& design, const ByzantinePlacementOptions& opts) {
+  const UndirectedGraph comm = communication_graph(design.program);
+  const int num_procs = comm.size();
+  if (num_procs < 2) {
+    throw std::invalid_argument(
+        "find_worst_byzantine_placement: need >= 2 processes");
+  }
+  const std::size_t m = std::min<std::size_t>(
+      std::max<std::size_t>(opts.num_byzantine, 1),
+      static_cast<std::size_t>(num_procs - 1));
+
+  ByzantinePlacementResult result;
+  const bool exhaustive =
+      !opts.force_hill_climb &&
+      fits_in_budget(design.program, opts.exhaustive_budget) &&
+      subset_count(num_procs, m, opts.exhaustive_subsets) <=
+          opts.exhaustive_subsets;
+
+  AdversaryOptions leg_opts;
+  leg_opts.seed = opts.seed;
+  const State legitimate = legitimate_state(design, leg_opts);
+
+  if (exhaustive) {
+    result.exhaustive = true;
+    // Lexicographic enumeration of all size-m process subsets.
+    std::vector<int> subset(m);
+    for (std::size_t i = 0; i < m; ++i) subset[i] = static_cast<int>(i);
+    bool have_best = false;
+    while (true) {
+      // Skip subsets containing a process that owns no variables (the
+      // composition rejects them — nothing to corrupt).
+      bool placeable = true;
+      for (int p : subset) {
+        bool owns = false;
+        for (const auto& v : design.program.variables()) {
+          if (v.process == p) {
+            owns = true;
+            break;
+          }
+        }
+        if (!owns) {
+          placeable = false;
+          break;
+        }
+      }
+      if (placeable) {
+        ContainmentOptions copts = opts.containment;
+        copts.state_budget = opts.exhaustive_budget;
+        const ContainmentReport rep =
+            measure_containment(design.program, subset, legitimate, copts);
+        ++result.evaluations;
+        if (!have_best || containment_worse(rep, result.report)) {
+          have_best = true;
+          result.report = rep;
+          result.byzantine = rep.byzantine;
+          result.report_exact = true;
+        }
+      }
+      // Advance to the next combination.
+      std::size_t i = m;
+      while (i > 0 &&
+             subset[i - 1] == num_procs - static_cast<int>(m - i) - 1) {
+        --i;
+      }
+      if (i == 0) break;
+      ++subset[i - 1];
+      for (std::size_t j = i; j < m; ++j) subset[j] = subset[j - 1] + 1;
+    }
+    if (!have_best) {
+      throw std::invalid_argument(
+          "find_worst_byzantine_placement: no size-" + std::to_string(m) +
+          " subset of processes owns variables");
+    }
+  } else {
+    Rng rng(derived_seed(opts.seed, 4));
+    std::vector<int> best;
+    SimScore best_score;
+    bool have_best = false;
+    std::uint64_t salt = 8;
+    const auto placeable = [&](const std::vector<int>& byz) {
+      for (int p : byz) {
+        bool owns = false;
+        for (const auto& v : design.program.variables()) {
+          if (v.process == p) {
+            owns = true;
+            break;
+          }
+        }
+        if (!owns) return false;
+      }
+      return true;
+    };
+    for (std::size_t restart = 0; restart < opts.restarts; ++restart) {
+      std::vector<int> local = random_subset(num_procs, m, rng);
+      while (!placeable(local)) local = random_subset(num_procs, m, rng);
+      SimScore local_score =
+          simulate_byzantine(design, local, legitimate, opts, salt += 2);
+      ++result.evaluations;
+      for (std::size_t iter = 0; iter < opts.iterations; ++iter) {
+        // Swap one member for a random outsider.
+        std::vector<int> candidate = local;
+        const std::size_t slot = rng.below(m);
+        int fresh;
+        do {
+          fresh = static_cast<int>(rng.below(static_cast<std::size_t>(
+              num_procs)));
+        } while (std::find(candidate.begin(), candidate.end(), fresh) !=
+                 candidate.end());
+        candidate[slot] = fresh;
+        std::sort(candidate.begin(), candidate.end());
+        if (!placeable(candidate)) continue;
+        const SimScore s =
+            simulate_byzantine(design, candidate, legitimate, opts, salt += 2);
+        ++result.evaluations;
+        if (sim_worse(s, local_score)) {
+          local = std::move(candidate);
+          local_score = s;
+        }
+      }
+      if (!have_best || sim_worse(local_score, best_score) ||
+          (!sim_worse(best_score, local_score) && local < best)) {
+        have_best = true;
+        best = local;
+        best_score = local_score;
+      }
+    }
+    result.byzantine = std::move(best);
+    result.report.byzantine = result.byzantine;
+    result.report.radius = best_score.radius;
+    // Exact containment for the winning placement when the space allows.
+    try {
+      result.report = measure_containment(design.program, result.byzantine,
+                                          legitimate, opts.containment);
+      result.report_exact = true;
+    } catch (const StateSpaceTooLarge&) {
+      result.report_exact = false;
+    }
+  }
+
+  result.convergence_destroyed =
+      result.report_exact && !result.report.contained;
+  if (obs::Metrics::enabled()) {
+    auto& registry = obs::Registry::instance();
+    registry.counter("resilience.adversary.byzantine_searches").add(1);
+    registry.counter("resilience.adversary.byzantine_evaluations")
+        .add(result.evaluations);
+  }
+  return result;
+}
+
+std::string byzantine_placement_json(const Design& design,
+                                     const ByzantinePlacementResult& r) {
+  std::string out;
+  obs::JsonWriter w(&out);
+  w.begin_object();
+  w.key("design");
+  w.value(design.name);
+  w.key("mode");
+  w.value(r.exhaustive ? "exhaustive-subsets" : "hill-climb");
+  w.key("byzantine");
+  w.begin_array();
+  for (int p : r.byzantine) w.value(p);
+  w.end_array();
+  w.key("evaluations");
+  w.value(r.evaluations);
+  w.key("convergence_destroyed");
+  w.value(r.convergence_destroyed);
+  w.key("containment");
+  if (r.report_exact) {
+    w.raw(containment_to_json(design.program, r.report));
+  } else {
+    w.null();
+  }
+  w.end_object();
+  return out;
 }
 
 std::string worst_trace_json(const Design& design, const AdversaryResult& r) {

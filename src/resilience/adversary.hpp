@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "checker/containment.hpp"
 #include "core/candidate.hpp"
 #include "core/state.hpp"
 #include "engine/experiment.hpp"
@@ -97,5 +98,59 @@ std::vector<std::uint64_t> random_placement_baseline(
 
 /// The worst trace found, as one self-describing JSON document.
 std::string worst_trace_json(const Design& design, const AdversaryResult& r);
+
+// --- Byzantine placement search --------------------------------------------
+//
+// Transient adversaries hunt the corruption maximizing convergence *time*;
+// a Byzantine adversary never stops, so the prize is the process set
+// maximizing the containment *radius* (or abolishing containment outright).
+
+struct ByzantinePlacementOptions {
+  /// Number of Byzantine processes to place (clamped to the process count
+  /// minus one — an all-Byzantine system has nothing left to contain).
+  std::size_t num_byzantine = 1;
+  std::uint64_t seed = 1;
+  /// Exhaustive subset enumeration runs when the composed state space fits
+  /// this budget and the subset count fits `exhaustive_subsets`.
+  std::uint64_t exhaustive_budget = 1u << 20;
+  std::uint64_t exhaustive_subsets = 4096;
+  bool force_hill_climb = false;
+  /// Hill-climb shape (large spaces): `restarts` random sets, each mutated
+  /// `iterations` times, scored by a seeded simulation of `sim_steps` steps
+  /// under a persistent ByzantineModel.
+  std::size_t restarts = 4;
+  std::size_t iterations = 16;
+  std::size_t sim_steps = 2000;
+  /// Passed through to measure_containment for exact scoring / the final
+  /// report (its config picks the store backend and thread count).
+  ContainmentOptions containment;
+};
+
+struct ByzantinePlacementResult {
+  std::vector<int> byzantine;  ///< worst placement found (sorted)
+  /// Exact containment analysis of that placement. Valid when
+  /// `report_exact`; hill-climb runs on spaces past the budget leave it
+  /// default-initialized except for `byzantine`.
+  ContainmentReport report;
+  bool report_exact = false;
+  bool exhaustive = false;  ///< exhaustive subset enumeration used
+  std::uint64_t evaluations = 0;
+  /// Damage reaches the farthest correct process (radius == horizon): the
+  /// protocol cannot contain this adversary at all.
+  bool convergence_destroyed = false;
+};
+
+/// Hunt the Byzantine process set maximizing the containment radius.
+/// Exhaustive on small spaces (every size-m subset, scored by
+/// measure_containment; deterministic), seeded hill-climb otherwise
+/// (simulation-scored; deterministic per seed). Throws
+/// std::invalid_argument when the program has fewer than two processes.
+ByzantinePlacementResult find_worst_byzantine_placement(
+    const Design& design, const ByzantinePlacementOptions& opts = {});
+
+/// The placement search outcome as one self-describing JSON document (the
+/// containment-report artifact embeds containment_to_json when exact).
+std::string byzantine_placement_json(const Design& design,
+                                     const ByzantinePlacementResult& r);
 
 }  // namespace nonmask

@@ -1,0 +1,135 @@
+// Cross-protocol domain-safety property test (the contract every checker
+// and store codec silently relies on): no FaultModel::strike may ever drive
+// a variable outside its declared [lo, hi] interval — the packed codecs
+// would alias a corrupted value onto a *different* legal state and the
+// exhaustive passes would silently explore the wrong region. Every model,
+// including the persistent Byzantine actor under both policies, is hammered
+// with seeded strikes against every shipped protocol.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "faults/byzantine.hpp"
+#include "faults/fault.hpp"
+#include "protocols/aggregation.hpp"
+#include "protocols/atomic_action.hpp"
+#include "protocols/coloring.hpp"
+#include "protocols/diffusing.hpp"
+#include "protocols/distributed_reset.hpp"
+#include "protocols/independent_set.hpp"
+#include "protocols/leader_election.hpp"
+#include "protocols/matching.hpp"
+#include "protocols/running_example.hpp"
+#include "protocols/spanning_tree.hpp"
+#include "protocols/tmr.hpp"
+#include "protocols/token_ring.hpp"
+#include "protocols/token_ring_small.hpp"
+#include "util/rng.hpp"
+
+namespace nonmask {
+namespace {
+
+constexpr int kStrikesPerCombo = 1000;
+
+std::vector<std::pair<std::string, Program>> all_protocols() {
+  std::vector<std::pair<std::string, Program>> out;
+  out.emplace_back("running-example",
+                   make_running_example(RunningExampleVariant::kWriteYZ)
+                       .program);
+  out.emplace_back("diffusing",
+                   make_diffusing(RootedTree::balanced(7, 2)).design.program);
+  out.emplace_back("spanning-tree",
+                   make_spanning_tree(UndirectedGraph::path(5)).design.program);
+  out.emplace_back(
+      "spanning-tree+env",
+      make_spanning_tree_with_environment(UndirectedGraph::path(4))
+          .design.program);
+  out.emplace_back("coloring",
+                   make_coloring(UndirectedGraph::cycle(5)).design.program);
+  out.emplace_back("matching",
+                   make_matching(UndirectedGraph::path(5)).design.program);
+  out.emplace_back("leader-election",
+                   make_leader_election(4).design.program);
+  out.emplace_back("atomic-action", make_atomic_action(3).design.program);
+  out.emplace_back(
+      "distributed-reset",
+      make_distributed_reset(RootedTree::balanced(5, 2)).design.program);
+  out.emplace_back(
+      "aggregation",
+      make_aggregation(RootedTree::balanced(7, 2), 3).design.program);
+  out.emplace_back(
+      "independent-set",
+      make_independent_set(UndirectedGraph::cycle(5)).design.program);
+  out.emplace_back("tmr", make_tmr(false).design.program);
+  out.emplace_back("token-ring-bounded",
+                   make_token_ring_bounded(4, 7).design.program);
+  out.emplace_back("dijkstra-ring", make_dijkstra_ring(4, 5).design.program);
+  out.emplace_back("dijkstra-3-state",
+                   make_dijkstra_three_state(4).design.program);
+  out.emplace_back("dijkstra-4-state",
+                   make_dijkstra_four_state(4).design.program);
+  return out;
+}
+
+/// A process of `p` that owns at least one variable, or -1.
+int variable_owning_process(const Program& p) {
+  for (const auto& v : p.variables()) {
+    if (v.process >= 0) return v.process;
+  }
+  return -1;
+}
+
+std::vector<std::pair<std::string, FaultModelPtr>> models_for(
+    const Program& p) {
+  std::vector<std::pair<std::string, FaultModelPtr>> out;
+  out.emplace_back("corrupt-1-var", std::make_shared<CorruptKVariables>(1));
+  out.emplace_back("corrupt-k-vars-clamped",
+                   std::make_shared<CorruptKVariables>(1000, p));
+  out.emplace_back("corrupt-1-proc", std::make_shared<CorruptKProcesses>(1));
+  out.emplace_back("corrupt-k-procs-clamped",
+                   std::make_shared<CorruptKProcesses>(1000, p));
+  out.emplace_back("corrupt-fraction",
+                   std::make_shared<CorruptFraction>(0.5));
+  // Targeted corruption with a deliberately out-of-range value: the model
+  // must clamp it into the domain.
+  out.emplace_back("targeted-clamping",
+                   std::make_shared<TargetedCorruption>(
+                       std::vector<VarId>{VarId(0)},
+                       std::vector<Value>{std::numeric_limits<Value>::max()}));
+  const int byz = variable_owning_process(p);
+  if (byz >= 0) {
+    out.emplace_back("byzantine-random",
+                     std::make_shared<ByzantineModel>(
+                         p, std::vector<int>{byz},
+                         ByzantineModel::Policy::kRandom));
+    out.emplace_back("byzantine-extremes",
+                     std::make_shared<ByzantineModel>(
+                         p, std::vector<int>{byz},
+                         ByzantineModel::Policy::kExtremes));
+  }
+  return out;
+}
+
+TEST(FaultDomainPropertyTest, EveryStrikeStaysInDomainOnEveryProtocol) {
+  std::uint64_t combo_seed = 1;
+  for (const auto& [proto_name, program] : all_protocols()) {
+    for (const auto& [model_name, model] : models_for(program)) {
+      Rng rng(combo_seed++);
+      State s = program.initial_state();
+      for (int strike = 0; strike < kStrikesPerCombo; ++strike) {
+        model->strike(program, s, rng);
+        if (!program.in_domain(s)) {
+          FAIL() << model_name << " drove " << proto_name
+                 << " out of domain on strike " << strike;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nonmask

@@ -7,6 +7,7 @@
 
 #include "core/builder.hpp"
 #include "engine/simulator.hpp"
+#include "faults/byzantine.hpp"
 #include "faults/fault.hpp"
 #include "faults/injector.hpp"
 #include "sched/daemons.hpp"
@@ -69,6 +70,57 @@ TEST(FaultModelTest, CorruptKProcessesTouchesOnlyVictims) {
       }
     }
     EXPECT_LE(touched.size(), 2u);
+  }
+}
+
+TEST(FaultModelTest, CorruptCtorsRejectZeroBudget) {
+  Program p = five_process_program();
+  EXPECT_THROW(CorruptKVariables(0), std::invalid_argument);
+  EXPECT_THROW(CorruptKProcesses(0), std::invalid_argument);
+  EXPECT_THROW(CorruptKVariables(0, p), std::invalid_argument);
+  EXPECT_THROW(CorruptKProcesses(0, p), std::invalid_argument);
+}
+
+TEST(FaultModelTest, ClampingCtorsStayInDomain) {
+  Program p = five_process_program();
+  Rng rng(6);
+  CorruptKVariables vars(1000, p);   // clamped to |vars| at construction
+  CorruptKProcesses procs(1000, p);  // clamped to the process count
+  State s = p.initial_state();
+  vars.strike(p, s, rng);
+  EXPECT_TRUE(p.in_domain(s));
+  procs.strike(p, s, rng);
+  EXPECT_TRUE(p.in_domain(s));
+}
+
+TEST(ByzantineModelTest, ValidatesPlacement) {
+  Program p = five_process_program();
+  EXPECT_THROW(ByzantineModel(p, std::vector<int>{}), std::invalid_argument);
+  EXPECT_THROW(ByzantineModel(p, std::vector<int>{1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(ByzantineModel(p, std::vector<int>{99}),
+               std::invalid_argument);
+}
+
+TEST(ByzantineModelTest, StrikesOnlyOwnedVariablesInDomain) {
+  Program p = five_process_program();
+  Rng rng(7);
+  ByzantineModel model(p, std::vector<int>{2},
+                       ByzantineModel::Policy::kExtremes);
+  EXPECT_EQ(model.variables().size(), 2u);  // a.2 and b.2
+  for (int trial = 0; trial < 100; ++trial) {
+    State s = p.initial_state();
+    const State before = s;
+    model.strike(p, s, rng);
+    EXPECT_TRUE(p.in_domain(s));
+    for (std::uint32_t i = 0; i < s.size(); ++i) {
+      if (p.variable(VarId(i)).process != 2) {
+        EXPECT_EQ(s.get(VarId(i)), before.get(VarId(i)));
+      } else {
+        // The extremes policy writes a domain endpoint.
+        EXPECT_TRUE(s.get(VarId(i)) == 0 || s.get(VarId(i)) == 9);
+      }
+    }
   }
 }
 
@@ -157,6 +209,15 @@ TEST(InjectorTest, HookDrivesSimulation) {
   EXPECT_TRUE(r.exhausted);
   EXPECT_EQ(r.final_state.get(x), 0);  // last fault long since repaired
   EXPECT_EQ(inj.faults_injected(), 5u);
+}
+
+TEST(InjectorTest, PersistentStrikesEveryStep) {
+  Program p = five_process_program();
+  auto inj = FaultInjector::persistent(
+      std::make_shared<ByzantineModel>(p, std::vector<int>{0}), 11);
+  State s = p.initial_state();
+  for (std::size_t step = 0; step < 25; ++step) inj(step, p, s);
+  EXPECT_EQ(inj.faults_injected(), 25u);
 }
 
 TEST(InjectorTest, BernoulliValidatesProbability) {

@@ -7,6 +7,7 @@
 #include "core/builder.hpp"
 #include "faults/fault.hpp"
 #include "faults/schedule.hpp"
+#include "resilience/adversary.hpp"
 
 namespace nonmask {
 namespace {
@@ -80,6 +81,67 @@ TEST(FaultScheduleTest, ThenSequencesAfterLastStrike) {
   // An empty receiver sequences to `next` unshifted.
   EXPECT_EQ(steps_of(FaultSchedule().then(second, 5)),
             (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(FaultScheduleTest, ThenDoesNotDoubleShiftNonzeroStarts) {
+  // Regression: FaultPlacement::schedule() yields one-strike plans starting
+  // at a *nonzero* step. then() must land the next plan's first strike
+  // exactly `gap` after the receiver's last strike — under the old
+  // shift-by-last+gap rule, a placement at step 5 chained after one at
+  // step 3 with gap 2 would land at 3+2+5 = 10 instead of 5.
+  Program p = two_var_program();
+  const VarId x = p.find_variable("x");
+  const VarId y = p.find_variable("y");
+  FaultPlacement first;
+  first.targets = {x};
+  first.values = {5};
+  first.at_step = 3;
+  FaultPlacement second;
+  second.targets = {y};
+  second.values = {6};
+  second.at_step = 5;
+  const auto seq = first.schedule().then(second.schedule(), 2);
+  EXPECT_EQ(steps_of(seq), (std::vector<std::size_t>{3, 5}));
+
+  // Chaining again still lands gap steps after the (new) last strike.
+  FaultPlacement third = first;
+  third.at_step = 4;
+  EXPECT_EQ(steps_of(seq.then(third.schedule(), 3)),
+            (std::vector<std::size_t>{3, 5, 8}));
+}
+
+TEST(FaultScheduleTest, PersistentActorStrikesEveryStep) {
+  Program p = two_var_program();
+  const VarId x = p.find_variable("x");
+  const auto sched = FaultSchedule::persistent(set_var(x, 7));
+  EXPECT_FALSE(sched.empty());
+  EXPECT_EQ(sched.size(), 0u);  // no step-scheduled strikes
+  State s = p.initial_state();
+  Rng rng(1);
+  for (std::size_t step : {0u, 1u, 17u}) {
+    s.set(x, 0);
+    sched.apply(step, p, s, rng);
+    EXPECT_EQ(s.get(x), 7);
+  }
+}
+
+TEST(FaultScheduleTest, PersistentActorsSurviveThenAndCompose) {
+  Program p = two_var_program();
+  const VarId x = p.find_variable("x");
+  const VarId y = p.find_variable("y");
+  const auto seq = FaultSchedule::persistent(set_var(x, 7))
+                       .then(FaultSchedule::at(set_var(y, 6), 4), 2);
+  EXPECT_EQ(seq.persistent_actors().size(), 1u);
+  // An actor-only receiver has no strikes, so `next` lands unshifted.
+  EXPECT_EQ(steps_of(seq), (std::vector<std::size_t>{4}));
+
+  State s = p.initial_state();
+  Rng rng(1);
+  seq.apply(0, p, s, rng);  // actor fires even off the strike plan
+  EXPECT_EQ(s.get(x), 7);
+  EXPECT_NE(s.get(y), 6);
+  seq.apply(4, p, s, rng);
+  EXPECT_EQ(s.get(y), 6);
 }
 
 TEST(FaultScheduleTest, ApplyOnlyStrikesTheGivenStep) {
