@@ -1,0 +1,113 @@
+// The verification job server: a long-running HTTP service that accepts
+// spec documents, shards them across a campaign worker pool, and persists
+// every artifact so a killed server resumes its in-flight campaigns.
+//
+// Usage: nonmask_serve --state-dir=DIR [flags]
+//   --state-dir=DIR     job persistence root (required)
+//   --port=N            listen port on 127.0.0.1 (default 0 = ephemeral)
+//   --workers=N         concurrent jobs (default 2)
+//   --max-queue=N       queued jobs before 429 (default 64)
+//   --deadline-ms=N     default per-trial watchdog deadline for campaigns
+//   --retries=N         default per-trial retries for campaigns
+//   --telemetry-ms=N    start the heartbeat sampler at this interval
+//
+// Prints "listening on 127.0.0.1:PORT" (stdout, flushed) once ready.
+// SIGTERM / SIGINT drain gracefully: stop accepting, finish queued and
+// running jobs, then exit 0.
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "obs/telemetry.hpp"
+#include "serve/http.hpp"
+#include "serve/jobs.hpp"
+#include "serve/server.hpp"
+
+using namespace nonmask;
+
+namespace {
+
+serve::HttpServer* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->shutdown();
+}
+
+bool flag_value(const std::string& arg, const char* name, std::string* out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServeOptions opts;
+  int port = 0;
+  long long telemetry_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: nonmask_serve --state-dir=DIR [--port=N] "
+                   "[--workers=N] [--max-queue=N]\n"
+                   "       [--deadline-ms=N] [--retries=N] "
+                   "[--telemetry-ms=N]\n";
+      return 0;
+    } else if (flag_value(arg, "--state-dir", &value)) {
+      opts.state_dir = value;
+    } else if (flag_value(arg, "--port", &value)) {
+      port = std::atoi(value.c_str());
+    } else if (flag_value(arg, "--workers", &value)) {
+      opts.workers = static_cast<unsigned>(std::atoi(value.c_str()));
+    } else if (flag_value(arg, "--max-queue", &value)) {
+      opts.max_queue = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (flag_value(arg, "--deadline-ms", &value)) {
+      opts.default_deadline_ms = std::atoll(value.c_str());
+    } else if (flag_value(arg, "--retries", &value)) {
+      opts.default_retries = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (flag_value(arg, "--telemetry-ms", &value)) {
+      telemetry_ms = std::atoll(value.c_str());
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (opts.state_dir.empty()) {
+    std::cerr << "--state-dir=DIR is required\n";
+    return 2;
+  }
+
+  if (telemetry_ms > 0) {
+    obs::TelemetryOptions topts;
+    topts.interval_ms = static_cast<unsigned>(telemetry_ms);
+    obs::Telemetry::start(topts);
+  }
+
+  try {
+    serve::JobManager manager(opts);
+    const std::size_t recovered = manager.recover();
+    if (recovered > 0) {
+      std::cerr << "recovered " << recovered
+                << " unfinished job(s) from " << opts.state_dir << "\n";
+    }
+
+    serve::HttpServer server(port);
+    g_server = &server;
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGINT, handle_signal);
+
+    std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+    server.serve_forever(serve::make_handler(manager));
+
+    std::cerr << "draining " << manager.pending() << " pending job(s)...\n";
+    manager.drain();
+  } catch (const std::exception& e) {
+    std::cerr << "fatal: " << e.what() << "\n";
+    return 1;
+  }
+  if (telemetry_ms > 0) obs::Telemetry::stop();
+  return 0;
+}

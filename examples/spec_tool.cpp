@@ -1,0 +1,206 @@
+// Spec DSL command-line tool: validate, emit, and run spec documents
+// without the job server.
+//
+// Usage:
+//   spec_tool validate <spec.json>          parse + compile; report errors
+//   spec_tool emit <protocol>               print a built-in as a spec
+//   spec_tool list                          list the built-in protocols
+//   spec_tool run <spec.json> [flags]       run the spec's job
+//   spec_tool run --builtin <protocol> [flags]
+//
+// Run flags:
+//   --job=JSON            merge/override the spec's "job" object, e.g.
+//                         --job='{"type":"campaign","trials":100}'
+//   --report-out=PATH     write the RunReport document (default: stdout)
+//   --checkpoint=PATH     campaign checkpoint journal
+//   --resume              replay the journal's valid prefix
+//   --jsonl=PATH          per-trial JSONL stream (campaign)
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "spec/compile.hpp"
+#include "spec/emit.hpp"
+#include "spec/job.hpp"
+#include "spec/registry.hpp"
+#include "spec/spec.hpp"
+#include "util/json.hpp"
+
+using namespace nonmask;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot read " << path << "\n";
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool flag_value(const std::string& arg, const char* name, std::string* out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+/// Merge `overrides` (a JSON object text) into the document's "job"
+/// member, overriding members with the same key. Returns the new document
+/// text.
+std::string merge_job(const std::string& spec_text,
+                      const std::string& overrides) {
+  util::JsonValue doc = util::parse_json(spec_text);
+  const util::JsonValue patch = util::parse_json(overrides);
+  if (!doc.is_object() || !patch.is_object()) {
+    throw std::runtime_error("--job must be a JSON object");
+  }
+  util::JsonValue* job = nullptr;
+  for (auto& [key, value] : doc.object) {
+    if (key == "job") job = &value;
+  }
+  if (job == nullptr) {
+    doc.add("job", util::jobj());
+    job = &doc.object.back().second;
+  }
+  for (const auto& [key, value] : patch.object) {
+    bool replaced = false;
+    for (auto& [jkey, jvalue] : job->object) {
+      if (jkey == key) {
+        jvalue = value;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) job->add(key, value);
+  }
+  return util::dump_json(doc);
+}
+
+int usage() {
+  std::cerr << "usage: spec_tool validate <spec.json>\n"
+               "       spec_tool emit <protocol>\n"
+               "       spec_tool list\n"
+               "       spec_tool run (<spec.json> | --builtin <protocol>) "
+               "[--job=JSON] [--report-out=PATH]\n"
+               "                [--checkpoint=PATH] [--resume] "
+               "[--jsonl=PATH]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "list") {
+    for (const auto& entry : spec::registry()) {
+      std::cout << entry.name << "\t" << entry.description << "\n";
+    }
+    return 0;
+  }
+
+  if (cmd == "emit") {
+    if (argc < 3) return usage();
+    try {
+      std::cout << spec::emit_builtin_spec(argv[2]);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+    return 0;
+  }
+
+  if (cmd == "validate") {
+    if (argc < 3) return usage();
+    const std::string text = read_file(argv[2]);
+    try {
+      const spec::CompiledSpec compiled = spec::compile_spec_text(text);
+      std::cout << "OK: " << compiled.design.name << " ("
+                << compiled.design.program.num_variables() << " variables, "
+                << compiled.design.program.num_actions() << " actions, "
+                << compiled.design.invariant.size() << " constraints)\n";
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "INVALID: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  if (cmd == "run") {
+    std::string spec_text, job_patch, report_out, checkpoint, jsonl_path;
+    bool resume = false;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      std::string value;
+      if (arg == "--builtin") {
+        if (i + 1 >= argc) return usage();
+        try {
+          spec_text = spec::emit_builtin_spec(argv[++i]);
+        } catch (const std::exception& e) {
+          std::cerr << e.what() << "\n";
+          return 2;
+        }
+      } else if (flag_value(arg, "--job", &value)) {
+        job_patch = value;
+      } else if (flag_value(arg, "--report-out", &value)) {
+        report_out = value;
+      } else if (flag_value(arg, "--checkpoint", &value)) {
+        checkpoint = value;
+      } else if (arg == "--resume") {
+        resume = true;
+      } else if (flag_value(arg, "--jsonl", &value)) {
+        jsonl_path = value;
+      } else if (!arg.empty() && arg[0] != '-' && spec_text.empty()) {
+        spec_text = read_file(arg);
+      } else {
+        std::cerr << "unknown argument: " << arg << "\n";
+        return usage();
+      }
+    }
+    if (spec_text.empty()) return usage();
+
+    try {
+      if (!job_patch.empty()) spec_text = merge_job(spec_text, job_patch);
+      const spec::CompiledSpec compiled = spec::compile_spec_text(spec_text);
+
+      spec::JobOptions jopts;
+      jopts.checkpoint = checkpoint;
+      jopts.resume = resume;
+      std::ofstream jsonl_file;
+      if (!jsonl_path.empty()) {
+        jsonl_file.open(jsonl_path);
+        if (!jsonl_file) {
+          std::cerr << "cannot open " << jsonl_path << " for writing\n";
+          return 2;
+        }
+        jopts.jsonl = &jsonl_file;
+      }
+
+      const spec::JobResult result = spec::run_spec_job(compiled, jopts);
+      std::cerr << result.summary << "\n";
+      if (report_out.empty()) {
+        std::cout << result.report_json;
+      } else {
+        std::ofstream out(report_out);
+        if (!out) {
+          std::cerr << "cannot open " << report_out << " for writing\n";
+          return 2;
+        }
+        out << result.report_json;
+      }
+      return result.ok ? 0 : 1;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  return usage();
+}

@@ -221,3 +221,12 @@ print(f"ok: tree contained (radius 1), ring refuted, "
       f"{len(art['triage'])} triage rows in report + dashboard")
 EOF2
 fi
+
+# Verification service smoke: POST every example spec to a live
+# nonmask_serve, diff each server report against the direct spec_tool run,
+# save the job dashboard, then kill -9 the server mid-campaign and check
+# the restart resumes from the checkpoint journal to an identical report.
+echo "== verification service smoke =="
+serve_dir="$(mktemp -d)"
+trap 'rm -rf "${resume_dir}" "${obs_dir}" "${synth_dir}" "${store_dir}" "${cont_dir}" "${serve_dir}"' EXIT
+scripts/serve_smoke.sh build "${serve_dir}"

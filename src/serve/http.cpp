@@ -1,0 +1,244 @@
+#include "serve/http.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace nonmask::serve {
+
+namespace {
+
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 16 * 1024 * 1024;
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+bool send_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void write_response(int fd, const HttpResponse& resp) {
+  std::string head = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                     status_text(resp.status) +
+                     "\r\nContent-Type: " + resp.content_type +
+                     "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  if (send_all(fd, head.data(), head.size())) {
+    send_all(fd, resp.body.data(), resp.body.size());
+  }
+}
+
+/// Read until the blank line, then Content-Length body bytes. Returns
+/// false on malformed input (connection is answered with 400 and closed).
+bool read_request(int fd, HttpRequest* req, int* error_status) {
+  std::string buf;
+  std::size_t header_end = std::string::npos;
+  char chunk[4096];
+  while (header_end == std::string::npos) {
+    if (buf.size() > kMaxHeaderBytes) {
+      *error_status = 431;
+      return false;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error_status = 400;
+      return false;
+    }
+    if (n == 0) {
+      *error_status = 400;
+      return false;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+    header_end = buf.find("\r\n\r\n");
+  }
+
+  // Request line.
+  const std::size_t line_end = buf.find("\r\n");
+  const std::string line = buf.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos
+                              ? std::string::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) {
+    *error_status = 400;
+    return false;
+  }
+  req->method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    req->query = target.substr(qmark + 1);
+    target.resize(qmark);
+  }
+  req->target = target;
+
+  // Headers.
+  std::size_t pos = line_end + 2;
+  while (pos < header_end) {
+    std::size_t eol = buf.find("\r\n", pos);
+    if (eol == std::string::npos || eol > header_end) eol = header_end;
+    const std::string h = buf.substr(pos, eol - pos);
+    const std::size_t colon = h.find(':');
+    if (colon != std::string::npos) {
+      std::string name = lower(h.substr(0, colon));
+      std::size_t vs = colon + 1;
+      while (vs < h.size() && h[vs] == ' ') ++vs;
+      req->headers[name] = h.substr(vs);
+    }
+    pos = eol + 2;
+  }
+
+  // Body.
+  std::size_t content_length = 0;
+  if (const auto it = req->headers.find("content-length");
+      it != req->headers.end()) {
+    content_length = static_cast<std::size_t>(
+        std::strtoull(it->second.c_str(), nullptr, 10));
+  }
+  if (content_length > kMaxBodyBytes) {
+    *error_status = 413;
+    return false;
+  }
+  req->body = buf.substr(header_end + 4);
+  while (req->body.size() < content_length) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error_status = 400;
+      return false;
+    }
+    if (n == 0) {
+      *error_status = 400;
+      return false;
+    }
+    req->body.append(chunk, static_cast<std::size_t>(n));
+  }
+  req->body.resize(content_length);
+  return true;
+}
+
+}  // namespace
+
+const char* status_text(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 422: return "Unprocessable Entity";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpServer::HttpServer(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int e = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind(127.0.0.1:" + std::to_string(port) +
+                             ") failed: " + std::strerror(e));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+  } else {
+    port_ = port;
+  }
+}
+
+HttpServer::~HttpServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void HttpServer::serve_forever(const Handler& handler) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // ::shutdown on the listener (our shutdown()) surfaces as EINVAL /
+      // ECONNABORTED; anything else on a live listener is transient.
+      if (stop_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    HttpRequest req;
+    int error_status = 0;
+    if (!read_request(fd, &req, &error_status)) {
+      HttpResponse err;
+      err.status = error_status;
+      err.body = std::string("{\"error\":\"") + status_text(error_status) +
+                 "\"}\n";
+      write_response(fd, err);
+      ::close(fd);
+      continue;
+    }
+    HttpResponse resp;
+    try {
+      resp = handler(req);
+    } catch (const std::exception& e) {
+      resp.status = 500;
+      std::string msg = e.what();
+      for (char& c : msg) {
+        if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) {
+          c = ' ';
+        }
+      }
+      resp.body = "{\"error\":\"" + msg + "\"}\n";
+    }
+    write_response(fd, resp);
+    ::close(fd);
+  }
+}
+
+void HttpServer::shutdown() noexcept {
+  stop_.store(true, std::memory_order_release);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+}  // namespace nonmask::serve

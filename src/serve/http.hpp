@@ -1,0 +1,72 @@
+// Minimal HTTP/1.1 server over plain POSIX sockets — just enough protocol
+// for the verification job service: request-line + headers +
+// Content-Length bodies in, status + headers + body out, one request per
+// connection ("Connection: close"). No external dependency, no TLS, no
+// chunked encoding; curl and the in-test client speak it fine.
+//
+// Threading model: accept loop on the caller's thread (serve_forever), one
+// short-lived handler call per connection. Handlers run on the accept
+// thread — the job manager behind them only *enqueues* work, so a handler
+// never blocks on a campaign. shutdown() wakes the accept loop via
+// ::shutdown on the listening socket and is async-signal-safe enough for a
+// SIGTERM handler (it only calls shutdown(2) on a pre-stored fd).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+
+namespace nonmask::serve {
+
+struct HttpRequest {
+  std::string method;  // GET | POST | ...
+  std::string target;  // path only (query string stripped into `query`)
+  std::string query;   // raw query string, "" when absent
+  std::map<std::string, std::string> headers;  // lower-cased names
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Reason phrase for the handful of statuses the server emits.
+const char* status_text(int status) noexcept;
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Bind + listen on 127.0.0.1:port (port 0 = ephemeral). Throws
+  /// std::runtime_error on bind failure.
+  explicit HttpServer(int port);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (resolved when constructed with port 0).
+  int port() const noexcept { return port_; }
+
+  /// Accept-and-dispatch loop; returns after shutdown(). Handler
+  /// exceptions become 500 responses.
+  void serve_forever(const Handler& handler);
+
+  /// Wake serve_forever and make it return. Safe from other threads and
+  /// from signal handlers.
+  void shutdown() noexcept;
+
+  bool shutting_down() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+ private:
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace nonmask::serve

@@ -1,0 +1,336 @@
+#include "serve/jobs.hpp"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/dashboard.hpp"
+#include "obs/telemetry.hpp"
+#include "spec/compile.hpp"
+#include "spec/job.hpp"
+#include "spec/spec.hpp"
+#include "util/json.hpp"
+
+namespace nonmask::serve {
+
+namespace {
+
+std::uint64_t unix_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// tmp + rename: a crash leaves the old file or the new one, never a torn
+/// write.
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write " + tmp);
+    out << content;
+    out.flush();
+    if (!out) throw std::runtime_error("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("rename " + tmp + " -> " + path + " failed: " +
+                             std::strerror(errno));
+  }
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+const char* to_string(JobState s) noexcept {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+JobManager::JobManager(ServeOptions opts) : opts_(std::move(opts)) {
+  if (opts_.state_dir.empty()) {
+    throw std::invalid_argument("JobManager: state_dir is required");
+  }
+  std::filesystem::create_directories(opts_.state_dir);
+  if (opts_.workers == 0) opts_.workers = 1;
+  workers_.reserve(opts_.workers);
+  for (unsigned i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobManager::~JobManager() { drain(); }
+
+std::string JobManager::path(const std::string& id,
+                             const char* suffix) const {
+  return opts_.state_dir + "/" + id + suffix;
+}
+
+std::string JobManager::next_id_locked() {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "job-%06llu",
+                static_cast<unsigned long long>(next_seq_++));
+  return buf;
+}
+
+JobManager::SubmitResult JobManager::submit(const std::string& spec_text) {
+  SubmitResult result;
+
+  // Validate before admitting: parse + compile, so a bad document is a 422
+  // at submit time, not a failed job later.
+  std::string design_name, job_type;
+  try {
+    const spec::CompiledSpec compiled = spec::compile_spec_text(spec_text);
+    design_name = compiled.design.name;
+    job_type = compiled.has_job ? compiled.job.type : "check";
+  } catch (const std::exception& e) {
+    result.status = 422;
+    result.error = e.what();
+    return result;
+  }
+
+  std::string id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      result.status = 503;
+      result.error = "server is draining";
+      return result;
+    }
+    if (queue_.size() >= opts_.max_queue) {
+      result.status = 429;
+      result.error = "job queue is full (" + std::to_string(opts_.max_queue) +
+                     " queued)";
+      return result;
+    }
+    id = next_id_locked();
+  }
+
+  // Persist the spec before acknowledging: a crash after the 201 must
+  // still find the job on disk for recover().
+  write_file_atomic(path(id, ".spec.json"), spec_text);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    JobInfo info;
+    info.id = id;
+    info.state = JobState::kQueued;
+    info.design = design_name;
+    info.type = job_type;
+    info.submitted_ms = unix_ms();
+    jobs_[id] = info;
+    queue_.push_back(id);
+  }
+  cv_.notify_one();
+
+  result.status = 201;
+  result.id = id;
+  return result;
+}
+
+std::optional<JobInfo> JobManager::info(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<JobInfo> JobManager::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobInfo> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, info] : jobs_) out.push_back(info);
+  return out;
+}
+
+std::string JobManager::report_json(const std::string& id) const {
+  return read_file(path(id, ".report.json"));
+}
+
+std::string JobManager::dashboard_html(const std::string& id) const {
+  return read_file(path(id, ".dashboard.html"));
+}
+
+std::size_t JobManager::recover() {
+  namespace fs = std::filesystem;
+  std::vector<std::string> ids;
+  std::uint64_t max_seq = 0;
+  for (const auto& entry : fs::directory_iterator(opts_.state_dir)) {
+    const std::string name = entry.path().filename().string();
+    // job-NNNNNN.spec.json
+    if (name.rfind("job-", 0) != 0) continue;
+    const std::string suffix = ".spec.json";
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    const std::string id = name.substr(0, name.size() - suffix.size());
+    const std::uint64_t seq = std::strtoull(id.c_str() + 4, nullptr, 10);
+    if (seq > max_seq) max_seq = seq;
+    if (!file_exists(path(id, ".report.json")) &&
+        !file_exists(path(id, ".error.txt"))) {
+      ids.push_back(id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (max_seq >= next_seq_) next_seq_ = max_seq + 1;
+  for (const auto& id : ids) {
+    if (jobs_.count(id) != 0) continue;
+    JobInfo info;
+    info.id = id;
+    info.state = JobState::kQueued;
+    info.submitted_ms = unix_ms();
+    info.recovered = true;
+    // Design/type are refreshed when the worker recompiles the spec.
+    jobs_[id] = info;
+    queue_.push_back(id);
+    cv_.notify_one();
+  }
+  return ids.size();
+}
+
+std::size_t JobManager::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + running_;
+}
+
+void JobManager::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ && workers_.empty()) return;
+    draining_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void JobManager::worker_loop() {
+  for (;;) {
+    std::string id;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (draining_) return;
+        continue;
+      }
+      id = queue_.front();
+      queue_.pop_front();
+      ++running_;
+      auto it = jobs_.find(id);
+      if (it != jobs_.end()) {
+        it->second.state = JobState::kRunning;
+        it->second.started_ms = unix_ms();
+      }
+    }
+    run_one(id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+    }
+  }
+}
+
+void JobManager::run_one(const std::string& id) {
+  const std::string spec_text = read_file(path(id, ".spec.json"));
+  std::string error;
+  spec::JobResult result;
+  bool done = false;
+  bool was_recovered = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = jobs_.find(id);
+    if (it != jobs_.end()) was_recovered = it->second.recovered;
+  }
+
+  try {
+    spec::CompiledSpec compiled = spec::compile_spec_text(spec_text);
+    {
+      // Refresh metadata (recovered jobs were enqueued before compiling).
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = jobs_.find(id);
+      if (it != jobs_.end()) {
+        it->second.design = compiled.design.name;
+        it->second.type = compiled.has_job ? compiled.job.type : "check";
+      }
+    }
+    // Server-level defaults for specs that left resilience knobs unset.
+    if (compiled.has_job && compiled.job.type == "campaign") {
+      if (compiled.job.deadline_ms == 0) {
+        compiled.job.deadline_ms = opts_.default_deadline_ms;
+      }
+      if (compiled.job.retries == 0) {
+        compiled.job.retries = opts_.default_retries;
+      }
+    }
+
+    spec::JobOptions jopts;
+    if (compiled.has_job && compiled.job.type == "campaign") {
+      jopts.checkpoint = path(id, ".checkpoint.jsonl");
+      // Resume the journal's valid prefix after a restart; a fresh job has
+      // no journal and runs from trial 0 either way.
+      jopts.resume = was_recovered && file_exists(jopts.checkpoint);
+    }
+    result = spec::run_spec_job(compiled, jopts);
+    done = true;
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+
+  if (done) {
+    write_file_atomic(path(id, ".report.json"), result.report_json);
+    if (obs::Telemetry::running()) {
+      obs::DashboardSpec dspec;
+      dspec.title = "job " + id;
+      dspec.subtitle = result.summary;
+      dspec.samples = obs::Telemetry::samples();
+      std::ostringstream html;
+      obs::write_dashboard_html(html, dspec);
+      write_file_atomic(path(id, ".dashboard.html"), html.str());
+    }
+  } else {
+    write_file_atomic(path(id, ".error.txt"), error + "\n");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  it->second.state = done ? JobState::kDone : JobState::kFailed;
+  it->second.ok = done && result.ok;
+  it->second.summary = done ? result.summary : error;
+  it->second.finished_ms = unix_ms();
+}
+
+}  // namespace nonmask::serve

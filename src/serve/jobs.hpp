@@ -1,0 +1,121 @@
+// The job manager behind the verification service: a bounded FIFO queue of
+// submitted specs sharded across a fixed pool of worker threads, with
+// crash-safe persistence under one state directory.
+//
+// Persistence layout (`<state_dir>/<id>.*`, ids "job-000001", ...):
+//   <id>.spec.json        the submitted spec text (written before accept)
+//   <id>.checkpoint.jsonl campaign checkpoint journal (run_campaign's own)
+//   <id>.report.json      the finished RunReport (tmp + rename, atomic)
+//   <id>.dashboard.html   telemetry dashboard for the job, when sampling
+//   <id>.error.txt        failure text when the job errored
+//
+// Every artifact is written tmp + rename, so a crash leaves either the old
+// file or the new one, never a torn write. recover() re-enqueues every
+// persisted spec without a report; campaign jobs then pass their existing
+// checkpoint journal to run_campaign with resume=true, which replays the
+// completed prefix bit-identically and runs only the remainder — the
+// ISSUE's kill-and-restart contract.
+//
+// Concurrency: one mutex guards the queue and the job table; workers pull
+// ids, run the (long) job without the lock, and re-take it only to publish
+// the result. Campaign internals shard across the job's own thread count
+// (parallel/campaign.hpp) independently of the worker pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace nonmask::serve {
+
+struct ServeOptions {
+  std::string state_dir;  ///< required; created if absent
+  unsigned workers = 2;   ///< job worker threads (jobs run concurrently)
+  /// Queued-but-not-running jobs admitted before submissions get 429.
+  std::size_t max_queue = 64;
+  /// Watchdog deadline / retry defaults applied to campaign jobs whose
+  /// spec leaves them unset (0 = no default).
+  long long default_deadline_ms = 0;
+  std::size_t default_retries = 0;
+};
+
+enum class JobState { kQueued, kRunning, kDone, kFailed };
+
+const char* to_string(JobState s) noexcept;
+
+struct JobInfo {
+  std::string id;
+  JobState state = JobState::kQueued;
+  std::string design;   ///< compiled design name
+  std::string type;     ///< job type (check / campaign / ...)
+  bool ok = false;      ///< job verdict (kDone only)
+  std::string summary;  ///< result one-liner, or the error text
+  std::uint64_t submitted_ms = 0;  ///< wall-clock unix ms
+  std::uint64_t started_ms = 0;
+  std::uint64_t finished_ms = 0;
+  bool recovered = false;  ///< re-enqueued by recover() after a restart
+};
+
+class JobManager {
+ public:
+  explicit JobManager(ServeOptions opts);
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  struct SubmitResult {
+    int status = 201;   ///< HTTP status (201 / 422 / 429 / 503)
+    std::string id;     ///< assigned id (status 201 only)
+    std::string error;  ///< validation error (422)
+  };
+
+  /// Validate (parse + compile) and enqueue one spec document. The spec
+  /// text is persisted before the submission is acknowledged.
+  SubmitResult submit(const std::string& spec_text);
+
+  std::optional<JobInfo> info(const std::string& id) const;
+  std::vector<JobInfo> list() const;
+
+  /// The finished report document, or "" when not (yet) available.
+  std::string report_json(const std::string& id) const;
+  /// The job's dashboard HTML, or "" when not available.
+  std::string dashboard_html(const std::string& id) const;
+
+  /// Scan the state directory and re-enqueue every spec without a report.
+  /// Returns the number of jobs recovered. Call once, before serving.
+  std::size_t recover();
+
+  /// Stop admitting work, finish everything queued and running, join the
+  /// workers. Idempotent.
+  void drain();
+
+  /// Active + queued job count (drain-progress reporting).
+  std::size_t pending() const;
+
+  const ServeOptions& options() const noexcept { return opts_; }
+
+ private:
+  void worker_loop();
+  void run_one(const std::string& id);
+  std::string next_id_locked();
+  std::string path(const std::string& id, const char* suffix) const;
+
+  ServeOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::string> queue_;
+  std::map<std::string, JobInfo> jobs_;
+  std::uint64_t next_seq_ = 1;
+  bool draining_ = false;
+  std::size_t running_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace nonmask::serve

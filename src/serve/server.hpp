@@ -1,0 +1,31 @@
+// Route layer of the verification service: maps the HTTP surface onto the
+// JobManager.
+//
+//   POST /jobs                submit a spec document; 201 {"id": ...}
+//   GET  /jobs                all jobs, newest last
+//   GET  /jobs/<id>           status + result summary + telemetry tail
+//   GET  /jobs/<id>/report    the finished RunReport document
+//   GET  /jobs/<id>/dashboard the job's telemetry dashboard (HTML)
+//   GET  /healthz             liveness + queue depth
+//
+// The handler is synchronous and cheap: submissions validate + enqueue,
+// queries read the job table and artifact files. All verification work
+// happens on the JobManager's worker pool.
+#pragma once
+
+#include "serve/http.hpp"
+#include "serve/jobs.hpp"
+
+namespace nonmask::serve {
+
+/// Build the request handler for `manager`. The manager must outlive the
+/// returned handler.
+HttpServer::Handler make_handler(JobManager& manager);
+
+/// Status JSON for one job (exposed for tests): state, type, design,
+/// verdict, timestamps, and the last `telemetry_tail` heartbeat samples
+/// when the sampler is running.
+std::string job_status_json(const JobManager& manager, const JobInfo& info,
+                            std::size_t telemetry_tail = 5);
+
+}  // namespace nonmask::serve

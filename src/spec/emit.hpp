@@ -1,0 +1,31 @@
+// Spec emitters: every built-in protocol of src/protocols/ rendered as a
+// spec DSL document.
+//
+// Emitters produce *fully expanded* specs — concrete per-process variable
+// names ("x.3"), one declaration per action instance, explicit process
+// pins, nested ternaries where the hand-coded builder loops — mirroring
+// the hand-coded factories declaration-for-declaration. Variable order and
+// action order are load-bearing: random start states draw per variable in
+// declaration order, and the random daemon indexes the enabled-action
+// list, so a reordered emission would change campaign trajectories even
+// though the transition system is isomorphic. The round-trip tests
+// (tests/spec_roundtrip_test.cpp) pin this: compile(emit(P)) must produce
+// byte-identical closure/convergence reports to the hand-coded P.
+//
+// The parameterized layer of the DSL (topology objects, per-process
+// declarations, comprehensions — docs/SPEC.md) is for human-authored
+// specs; emitters do not use it.
+#pragma once
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace nonmask::spec {
+
+/// The spec document (pretty-printed JSON text) for one built-in protocol
+/// instance. Throws std::invalid_argument on an unknown name; the valid
+/// names are exactly the registry entries (src/spec/registry.hpp).
+std::string emit_builtin_spec(const std::string& name);
+
+}  // namespace nonmask::spec

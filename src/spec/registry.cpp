@@ -1,0 +1,108 @@
+#include "spec/registry.hpp"
+
+#include "graphlib/topology.hpp"
+#include "protocols/aggregation.hpp"
+#include "protocols/atomic_action.hpp"
+#include "protocols/coloring.hpp"
+#include "protocols/diffusing.hpp"
+#include "protocols/distributed_reset.hpp"
+#include "protocols/independent_set.hpp"
+#include "protocols/leader_election.hpp"
+#include "protocols/matching.hpp"
+#include "protocols/running_example.hpp"
+#include "protocols/spanning_tree.hpp"
+#include "protocols/tmr.hpp"
+#include "protocols/token_ring.hpp"
+#include "protocols/token_ring_small.hpp"
+
+// The instance parameters here are the canonical ones the emitters
+// (src/spec/emit.cpp) bake into their documents — change either side and
+// the round-trip tests fail on the first report diff.
+
+namespace nonmask::spec {
+
+namespace {
+
+const std::vector<RegistryEntry>& entries() {
+  static const std::vector<RegistryEntry> kEntries = {
+      {"running-example-decrease-x",
+       "Sections 3/6 running example, x := x - 1 repair (linearly ordered)",
+       [] {
+         return make_running_example(RunningExampleVariant::kDecreaseX);
+       }},
+      {"running-example-write-y-z",
+       "Section 4 running example, out-tree repair writing y and z",
+       [] { return make_running_example(RunningExampleVariant::kWriteYZ); }},
+      {"running-example-write-x-both",
+       "Section 6 running example, both repairs write x (livelocks)",
+       [] {
+         return make_running_example(RunningExampleVariant::kWriteXBoth);
+       }},
+      {"token-ring",
+       "Section 7.1 bounded token ring, 4 nodes, combined copy actions",
+       [] { return make_token_ring_bounded(4, 3, true).design; }},
+      {"token-ring-layered",
+       "Section 7.1 bounded token ring, 4 nodes, Theorem-3 layered form",
+       [] { return make_token_ring_bounded(4, 3, false).design; }},
+      {"dijkstra-k-state-ring", "Dijkstra K-state token ring, n = 5, K = 5",
+       [] { return make_dijkstra_ring(5, 5).design; }},
+      {"dijkstra-three-state", "Dijkstra three-state machines, n = 4",
+       [] { return make_dijkstra_three_state(4).design; }},
+      {"dijkstra-four-state", "Dijkstra four-state machines, n = 4",
+       [] { return make_dijkstra_four_state(4).design; }},
+      {"bfs-spanning-tree", "BFS spanning tree on a 2x3 grid, root 0",
+       [] {
+         return make_spanning_tree(UndirectedGraph::grid(2, 3), 0).design;
+       }},
+      {"bfs-spanning-tree+env",
+       "BFS spanning tree on a 2x3 grid with an environment noise bit",
+       [] {
+         return make_spanning_tree_with_environment(
+                    UndirectedGraph::grid(2, 3), 0)
+             .design;
+       }},
+      {"diffusing-computation",
+       "Diffusing computation on a 7-node balanced binary tree",
+       [] { return make_diffusing(RootedTree::balanced(7, 2), true).design; }},
+      {"diffusing-computation-separated",
+       "Diffusing computation, separated propagate/correct actions",
+       [] {
+         return make_diffusing(RootedTree::balanced(7, 2), false).design;
+       }},
+      {"stabilizing-coloring", "Greedy mex coloring of a 5-cycle",
+       [] { return make_coloring(UndirectedGraph::cycle(5)).design; }},
+      {"hsu-huang-matching", "Hsu-Huang maximal matching on a 4-path",
+       [] { return make_matching(UndirectedGraph::path(4)).design; }},
+      {"ring-leader-election", "Minimum-id leader election, 5 nodes",
+       [] { return make_leader_election(5).design; }},
+      {"atomic-action", "Section 6 atomic action, 3 participants",
+       [] { return make_atomic_action(3, 4).design; }},
+      {"distributed-reset", "Distributed reset on a 3-chain",
+       [] {
+         return make_distributed_reset(RootedTree::chain(3), 3, true).design;
+       }},
+      {"tree-aggregation", "Max aggregation over a 4-chain",
+       [] { return make_aggregation(RootedTree::chain(4), 2).design; }},
+      {"maximal-independent-set", "Maximal independent set on a 5-cycle",
+       [] { return make_independent_set(UndirectedGraph::cycle(5)).design; }},
+      {"tmr-masking", "Triple modular redundancy, masking fault placement",
+       [] { return make_tmr(true, 2, 1).design; }},
+      {"tmr-nonmasking",
+       "Triple modular redundancy, nonmasking fault placement",
+       [] { return make_tmr(false, 2, 1).design; }},
+  };
+  return kEntries;
+}
+
+}  // namespace
+
+const std::vector<RegistryEntry>& registry() { return entries(); }
+
+const RegistryEntry* find_protocol(const std::string& name) {
+  for (const auto& e : entries()) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace nonmask::spec

@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+
+#include "util/logging.hpp"
 
 namespace nonmask::store {
 
@@ -18,6 +21,19 @@ StoreConfig StoreConfig::from_env() {
   if (const char* backend = std::getenv("NONMASK_STORE_BACKEND")) {
     if (std::strcmp(backend, "store") == 0) {
       config.backend = StoreBackend::kStore;
+    } else if (std::strcmp(backend, "dense") == 0 ||
+               std::strcmp(backend, "") == 0) {
+      config.backend = StoreBackend::kLegacyDense;
+    } else {
+      // A typo ("Store", "compact", ...) silently running the dense
+      // backend is exactly the failure a budget-motivated user won't
+      // notice until the run OOMs. Warn once per process.
+      static std::once_flag warned;
+      std::call_once(warned, [backend] {
+        NONMASK_WARN() << "NONMASK_STORE_BACKEND='" << backend
+                       << "' is not a backend (want 'dense' or 'store'); "
+                          "using dense";
+      });
     }
   }
   if (const char* budget = std::getenv("NONMASK_STATE_BUDGET")) {

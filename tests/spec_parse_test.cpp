@@ -1,0 +1,345 @@
+// The spec DSL front end: expression parsing/evaluation (including the
+// total `/`-and-`%`-by-zero semantics), schema validation with
+// field-precise paths and lines, and compile-time expansion semantics
+// (per-process families, {j} names, group interleaving, derived reads).
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/program.hpp"
+#include "spec/compile.hpp"
+#include "spec/expr.hpp"
+#include "spec/spec.hpp"
+
+namespace nonmask {
+namespace {
+
+using spec::CompileEnv;
+using spec::CompiledSpec;
+using spec::ExprError;
+using spec::SpecError;
+using spec::Topology;
+using spec::compile_expr;
+using spec::compile_spec_text;
+using spec::eval_index_expr;
+using spec::parse_expr;
+using spec::parse_spec;
+
+long long idx(const std::string& text,
+              const std::unordered_map<std::string, long long>& params = {},
+              const Topology* topo = nullptr) {
+  CompileEnv env;
+  env.params = &params;
+  env.topo = topo;
+  return eval_index_expr(text, env);
+}
+
+TEST(SpecExprTest, PrecedenceAndArithmetic) {
+  EXPECT_EQ(idx("2 + 3 * 4"), 14);
+  EXPECT_EQ(idx("(2 + 3) * 4"), 20);
+  EXPECT_EQ(idx("10 - 4 - 3"), 3);  // left associative
+  EXPECT_EQ(idx("7 % 3"), 1);
+  EXPECT_EQ(idx("-5 + 2"), -3);
+  EXPECT_EQ(idx("!0"), 1);
+  EXPECT_EQ(idx("!7"), 0);
+}
+
+TEST(SpecExprTest, DivisionAndModuloByZeroAreTotal) {
+  // Documented totality: x / 0 == 0 and x % 0 == 0, never a trap.
+  EXPECT_EQ(idx("7 / 0"), 0);
+  EXPECT_EQ(idx("7 % 0"), 0);
+  EXPECT_EQ(idx("0 / 0"), 0);
+  EXPECT_EQ(idx("(3 - 3) % (2 - 2)"), 0);
+}
+
+TEST(SpecExprTest, ComparisonsBoolOpsTernary) {
+  EXPECT_EQ(idx("3 < 4"), 1);
+  EXPECT_EQ(idx("3 >= 4"), 0);
+  EXPECT_EQ(idx("1 && 0 || 1"), 1);
+  EXPECT_EQ(idx("1 ? 10 : 20"), 10);
+  EXPECT_EQ(idx("0 ? 10 : 1 ? 20 : 30"), 20);  // right associative
+}
+
+TEST(SpecExprTest, ParamsAndMalformedInput) {
+  EXPECT_EQ(idx("x_max + 1", {{"x_max", 3}}), 4);
+  EXPECT_THROW(idx("2 +"), ExprError);
+  EXPECT_THROW(idx("2 3"), ExprError);       // trailing garbage
+  EXPECT_THROW(idx("nope"), ExprError);      // unknown identifier
+  EXPECT_THROW(idx("(1 + 2"), ExprError);    // unbalanced paren
+  EXPECT_THROW(idx("f(1, 2)"), ExprError);   // unknown call
+}
+
+Topology ring4() {
+  Topology t;
+  t.kind = Topology::Kind::kRing;
+  t.n = 4;
+  t.nbrs = {{3, 1}, {0, 2}, {1, 3}, {2, 0}};
+  return t;
+}
+
+TEST(SpecExprTest, TopologyFunctionsAndComprehensions) {
+  const Topology t = ring4();
+  std::unordered_map<std::string, long long> params{{"n", 4}};
+  EXPECT_EQ(idx("next(1)", params, &t), 2);
+  EXPECT_EQ(idx("prev(0)", params, &t), 3);
+  EXPECT_EQ(idx("nproc()", params, &t), 4);
+  EXPECT_EQ(idx("sum(k : procs(), k)", params, &t), 6);
+  EXPECT_EQ(idx("count(k : range(0, 4), k % 2 == 0)", params, &t), 2);
+  EXPECT_EQ(idx("max(k : nbrs(0), k)", params, &t), 3);
+  EXPECT_EQ(idx("all(k : procs(), k < 4)", params, &t), 1);
+  EXPECT_EQ(idx("any(k : procs(), k == 9)", params, &t), 0);
+  // mex/first always compile to state-time closures (never index consts).
+  CompileEnv env;
+  std::unordered_map<std::string, long long> p2{{"n", 4}};
+  env.params = &p2;
+  env.topo = &t;
+  const State empty(0);
+  EXPECT_EQ(compile_expr(parse_expr("mex(k : range(0, 3), k)"), env).eval(empty),
+            3);
+  EXPECT_EQ(
+      compile_expr(parse_expr("first(k : procs(), k >= 2)"), env).eval(empty),
+      2);
+}
+
+TEST(SpecExprTest, StateClosuresCollectReadsInFirstOccurrenceOrder) {
+  Program p("t");
+  const VarId x = p.add_variable(VariableSpec("x", 0, 7));
+  const VarId y = p.add_variable(VariableSpec("y", 0, 7));
+  CompileEnv env;
+  std::unordered_map<std::string, long long> params;
+  env.params = &params;
+  env.program = &p;
+  const auto ce = compile_expr(parse_expr("y + x * 2 + y"), env);
+  ASSERT_FALSE(ce.is_const);
+  ASSERT_EQ(ce.reads.size(), 2u);  // deduplicated
+  EXPECT_EQ(ce.reads[0], y);       // first occurrence first
+  EXPECT_EQ(ce.reads[1], x);
+  State s(2);
+  s.set(x, 3);
+  s.set(y, 1);
+  EXPECT_EQ(ce.eval(s), 1 + 3 * 2 + 1);
+}
+
+TEST(SpecExprTest, ConstantSubexpressionsFold) {
+  Program p("t");
+  p.add_variable(VariableSpec("x", 0, 7));
+  CompileEnv env;
+  std::unordered_map<std::string, long long> params{{"n", 4}};
+  env.params = &params;
+  env.program = &p;
+  // No program variable referenced -> whole expression is a constant.
+  const auto ce = compile_expr(parse_expr("n * 2 + 1"), env);
+  EXPECT_TRUE(ce.is_const);
+  EXPECT_EQ(ce.value, 9);
+  EXPECT_TRUE(ce.reads.empty());
+}
+
+// --- schema validation ----------------------------------------------------
+
+std::string minimal_spec(const std::string& extra = "") {
+  return std::string("{\n")
+      + "  \"schema\": \"nonmask-spec/1\",\n"
+      + "  \"name\": \"mini\",\n"
+      + "  \"variables\": [{\"name\": \"x\", \"min\": \"0\", \"max\": \"3\"}],\n"
+      + "  \"actions\": [{\"name\": \"step\", \"kind\": \"convergence\",\n"
+      + "                \"guard\": \"x > 0\", \"assign\": {\"x\": \"x - 1\"},\n"
+      + "                \"constraint\": \"0\"}],\n"
+      + "  \"constraints\": [{\"name\": \"zero\", \"expr\": \"x == 0\"}]"
+      + extra + "\n}\n";
+}
+
+TEST(SpecParseTest, AcceptsMinimalSpec) {
+  const auto doc = parse_spec(minimal_spec());
+  EXPECT_EQ(doc.name, "mini");
+  EXPECT_EQ(doc.variables.size(), 1u);
+  EXPECT_EQ(doc.actions.size(), 1u);
+  EXPECT_EQ(doc.constraints.size(), 1u);
+}
+
+TEST(SpecParseTest, RejectsWrongSchema) {
+  try {
+    parse_spec("{\"schema\": \"nonmask-spec/99\", \"name\": \"x\"}");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_EQ(e.path(), "$.schema");
+  }
+  EXPECT_THROW(parse_spec("{\"name\": \"x\"}"), SpecError);  // schema missing
+}
+
+TEST(SpecParseTest, ErrorsCarryPathAndLine) {
+  // guard must be a string; the error names the exact field and line.
+  const std::string text =
+      "{\n"
+      "  \"schema\": \"nonmask-spec/1\",\n"
+      "  \"name\": \"bad\",\n"
+      "  \"variables\": [{\"name\": \"x\", \"min\": \"0\", \"max\": \"1\"}],\n"
+      "  \"actions\": [\n"
+      "    {\"name\": \"a\", \"kind\": \"closure\",\n"
+      "     \"guard\": 17,\n"
+      "     \"assign\": {\"x\": \"0\"}}\n"
+      "  ]\n"
+      "}\n";
+  try {
+    parse_spec(text);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_EQ(e.path(), "$.actions[0].guard");
+    EXPECT_EQ(e.line(), 7);
+    EXPECT_NE(std::string(e.what()).find("line 7"), std::string::npos);
+  }
+}
+
+TEST(SpecParseTest, RejectsUnknownActionKindAndJobType) {
+  EXPECT_THROW(
+      parse_spec(
+          "{\"schema\": \"nonmask-spec/1\", \"name\": \"x\","
+          " \"variables\": [{\"name\": \"x\", \"min\": \"0\", \"max\": \"1\"}],"
+          " \"actions\": [{\"name\": \"a\", \"kind\": \"sideways\","
+          "                \"assign\": {\"x\": \"0\"}}]}"),
+      SpecError);
+  EXPECT_THROW(parse_spec(minimal_spec(",\n  \"job\": {\"type\": \"dance\"}")),
+               SpecError);
+}
+
+TEST(SpecParseTest, RejectsUnknownTopLevelField) {
+  EXPECT_THROW(parse_spec(minimal_spec(",\n  \"typo_field\": 1")), SpecError);
+}
+
+TEST(SpecParseTest, ContentHashIsStableAndTextSensitive) {
+  const std::string a = minimal_spec();
+  EXPECT_EQ(spec::fnv1a64_hex(a), spec::fnv1a64_hex(a));
+  EXPECT_EQ(spec::fnv1a64_hex(a).size(), 16u);
+  EXPECT_NE(spec::fnv1a64_hex(a), spec::fnv1a64_hex(a + " "));
+}
+
+// --- compilation semantics ------------------------------------------------
+
+const char* kRingSpec = R"({
+  "schema": "nonmask-spec/1",
+  "name": "ring-demo",
+  "topology": {"kind": "ring", "n": 3},
+  "variables": [{"name": "x", "per": "process", "min": "0", "max": "2"}],
+  "constraints": [
+    {"name": "eq.{j}", "per": "process", "where": "j > 0",
+     "expr": "x[j] == x[j - 1]"}
+  ],
+  "actions": [
+    {"name": "copy@{j}", "kind": "convergence", "per": "process",
+     "where": "j > 0", "guard": "x[j] != x[j - 1]",
+     "assign": {"x[j]": "x[j - 1]"}, "constraint": "j - 1"}
+  ]
+})";
+
+TEST(SpecCompileTest, ExpandsPerProcessDeclarations) {
+  const CompiledSpec cs = compile_spec_text(kRingSpec);
+  const Program& p = cs.design.program;
+  ASSERT_EQ(p.num_variables(), 3u);
+  EXPECT_EQ(p.variable(VarId(0)).name, "x.0");
+  EXPECT_EQ(p.variable(VarId(2)).name, "x.2");
+  EXPECT_EQ(p.variable(VarId(1)).process, 1);
+  ASSERT_EQ(p.num_actions(), 2u);
+  EXPECT_EQ(p.action(0).name(), "copy@1");
+  EXPECT_EQ(p.action(1).name(), "copy@2");
+  EXPECT_EQ(p.action(0).constraint_id(), 0);
+  EXPECT_EQ(p.action(1).constraint_id(), 1);
+  ASSERT_EQ(cs.design.invariant.size(), 2u);
+  EXPECT_EQ(cs.design.invariant.at(0).name, "eq.1");
+  // Derived reads: guard + rhs first-occurrence order, deduplicated.
+  ASSERT_EQ(p.action(0).reads().size(), 2u);
+  EXPECT_EQ(p.action(0).reads()[0], p.find_variable("x.1"));
+  EXPECT_EQ(p.action(0).reads()[1], p.find_variable("x.0"));
+  // Provenance fields round through.
+  EXPECT_EQ(cs.spec_name, "ring-demo");
+  EXPECT_EQ(cs.schema, spec::kSchemaVersion);
+  EXPECT_EQ(cs.content_hash.size(), 16u);
+}
+
+TEST(SpecCompileTest, ActionSemanticsAreSimultaneous) {
+  // Both right-hand sides read the pre-state: a swap really swaps.
+  const char* text = R"({
+    "schema": "nonmask-spec/1",
+    "name": "swap",
+    "variables": [
+      {"name": "a", "min": "0", "max": "9"},
+      {"name": "b", "min": "0", "max": "9"}
+    ],
+    "constraints": [{"name": "eq", "expr": "a == b"}],
+    "actions": [
+      {"name": "swap", "kind": "convergence", "guard": "a != b",
+       "assign": {"a": "b", "b": "a"}, "constraint": "0"}
+    ]
+  })";
+  const CompiledSpec cs = compile_spec_text(text);
+  const Program& p = cs.design.program;
+  State s(2);
+  s.set(VarId(0), 3);
+  s.set(VarId(1), 8);
+  const State t = p.action(0).apply(s);
+  EXPECT_EQ(t.get(VarId(0)), 8);
+  EXPECT_EQ(t.get(VarId(1)), 3);
+}
+
+TEST(SpecCompileTest, GroupedDeclarationsInterleaveProcessMajor) {
+  const char* text = R"({
+    "schema": "nonmask-spec/1",
+    "name": "grouped",
+    "topology": {"kind": "ring", "n": 2},
+    "variables": [{"name": "x", "per": "process", "min": "0", "max": "1"}],
+    "constraints": [
+      {"name": "ge.{j}", "per": "process", "expr": "x[j] >= 0",
+       "group": "layers"},
+      {"name": "eq.{j}", "per": "process", "expr": "x[j] == 0",
+       "group": "layers"}
+    ],
+    "actions": [
+      {"name": "fix@{j}", "kind": "convergence", "per": "process",
+       "guard": "x[j] != 0", "assign": {"x[j]": "0"}, "constraint": "2 * j + 1"}
+    ]
+  })";
+  const CompiledSpec cs = compile_spec_text(text);
+  // Interleaved: ge.0, eq.0, ge.1, eq.1 — not ge.0, ge.1, eq.0, eq.1.
+  ASSERT_EQ(cs.design.invariant.size(), 4u);
+  EXPECT_EQ(cs.design.invariant.at(0).name, "ge.0");
+  EXPECT_EQ(cs.design.invariant.at(1).name, "eq.0");
+  EXPECT_EQ(cs.design.invariant.at(2).name, "ge.1");
+  EXPECT_EQ(cs.design.invariant.at(3).name, "eq.1");
+}
+
+TEST(SpecCompileTest, RejectsSemanticErrorsWithPath) {
+  // Unknown variable in a guard.
+  const char* text = R"({
+    "schema": "nonmask-spec/1",
+    "name": "bad",
+    "variables": [{"name": "x", "min": "0", "max": "1"}],
+    "constraints": [{"name": "c", "expr": "x == 0"}],
+    "actions": [
+      {"name": "a", "kind": "convergence", "guard": "ghost > 0",
+       "assign": {"x": "0"}, "constraint": "0"}
+    ]
+  })";
+  try {
+    compile_spec_text(text);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(e.path().find("$.actions[0]"), std::string::npos);
+  }
+}
+
+TEST(SpecCompileTest, RejectsOutOfRangeConstraintId) {
+  const char* text = R"({
+    "schema": "nonmask-spec/1",
+    "name": "bad",
+    "variables": [{"name": "x", "min": "0", "max": "1"}],
+    "constraints": [{"name": "c", "expr": "x == 0"}],
+    "actions": [
+      {"name": "a", "kind": "convergence", "guard": "x > 0",
+       "assign": {"x": "0"}, "constraint": "5"}
+    ]
+  })";
+  EXPECT_THROW(compile_spec_text(text), SpecError);
+}
+
+}  // namespace
+}  // namespace nonmask

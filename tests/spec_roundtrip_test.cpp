@@ -1,0 +1,232 @@
+// The golden round-trip: for every registry protocol, compile(emit(P))
+// must reproduce the hand-coded Design declaration-for-declaration —
+// same variables (names, domains, owners, order), same actions (names,
+// kinds, constraint ids, read sets, and transition semantics on sampled
+// states), same constraint decomposition — and the checker reports for the
+// spec-born design must be BYTE-identical to the hand-coded ones at 1, 2,
+// and 8 threads. This is the contract that lets a spec job stand in for
+// the C++ path.
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "checker/state_space.hpp"
+#include "core/candidate.hpp"
+#include "obs/report.hpp"
+#include "parallel/campaign.hpp"
+#include "spec/compile.hpp"
+#include "spec/emit.hpp"
+#include "spec/registry.hpp"
+#include "store/config.hpp"
+#include "store/facade.hpp"
+
+namespace nonmask {
+namespace {
+
+using spec::CompiledSpec;
+using spec::RegistryEntry;
+using spec::compile_spec_text;
+using spec::emit_builtin_spec;
+using spec::find_protocol;
+using spec::registry;
+
+std::vector<std::uint32_t> indices(const std::vector<VarId>& ids) {
+  std::vector<std::uint32_t> out;
+  out.reserve(ids.size());
+  for (VarId id : ids) out.push_back(id.index());
+  return out;
+}
+
+/// Uniform random in-domain states, fixed seed: the semantic sample.
+std::vector<State> sample_states(const Program& p, std::size_t count) {
+  std::mt19937_64 rng(0xBEEFu);
+  std::vector<State> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    State s(p.num_variables());
+    for (std::size_t v = 0; v < p.num_variables(); ++v) {
+      const VariableSpec& spec = p.variable(VarId(static_cast<unsigned>(v)));
+      std::uniform_int_distribution<long long> dist(spec.lo, spec.hi);
+      s.set(VarId(static_cast<unsigned>(v)),
+            static_cast<Value>(dist(rng)));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void expect_structurally_equal(const Design& got, const Design& want,
+                               const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(got.program.name(), want.program.name());
+  ASSERT_EQ(got.program.num_variables(), want.program.num_variables());
+  for (std::size_t v = 0; v < want.program.num_variables(); ++v) {
+    const auto& gv = got.program.variable(VarId(static_cast<unsigned>(v)));
+    const auto& wv = want.program.variable(VarId(static_cast<unsigned>(v)));
+    EXPECT_EQ(gv.name, wv.name) << "variable " << v;
+    EXPECT_EQ(gv.lo, wv.lo) << gv.name;
+    EXPECT_EQ(gv.hi, wv.hi) << gv.name;
+    EXPECT_EQ(gv.process, wv.process) << gv.name;
+  }
+  ASSERT_EQ(got.program.num_actions(), want.program.num_actions());
+  for (std::size_t a = 0; a < want.program.num_actions(); ++a) {
+    const Action& ga = got.program.action(a);
+    const Action& wa = want.program.action(a);
+    EXPECT_EQ(ga.name(), wa.name()) << "action " << a;
+    EXPECT_EQ(ga.kind(), wa.kind()) << ga.name();
+    EXPECT_EQ(ga.constraint_id(), wa.constraint_id()) << ga.name();
+    EXPECT_EQ(indices(ga.reads()), indices(wa.reads())) << ga.name();
+  }
+  ASSERT_EQ(got.invariant.size(), want.invariant.size());
+  for (std::size_t c = 0; c < want.invariant.size(); ++c) {
+    EXPECT_EQ(got.invariant.at(c).name, want.invariant.at(c).name)
+        << "constraint " << c;
+    EXPECT_EQ(indices(got.invariant.at(c).support),
+              indices(want.invariant.at(c).support))
+        << got.invariant.at(c).name;
+  }
+  EXPECT_EQ(got.stabilizing, want.stabilizing);
+}
+
+void expect_semantically_equal(const Design& got, const Design& want,
+                               const std::string& label) {
+  SCOPED_TRACE(label);
+  const auto S_got = got.S();
+  const auto S_want = want.S();
+  const auto T_got = got.T();
+  const auto T_want = want.T();
+  for (const State& s : sample_states(want.program, 200)) {
+    EXPECT_EQ(S_got(s), S_want(s));
+    EXPECT_EQ(T_got(s), T_want(s));
+    for (std::size_t c = 0; c < want.invariant.size(); ++c) {
+      EXPECT_EQ(got.invariant.at(c).holds(s), want.invariant.at(c).holds(s))
+          << want.invariant.at(c).name;
+    }
+    for (std::size_t a = 0; a < want.program.num_actions(); ++a) {
+      const Action& ga = got.program.action(a);
+      const Action& wa = want.program.action(a);
+      ASSERT_EQ(ga.enabled(s), wa.enabled(s)) << wa.name();
+      if (wa.enabled(s)) {
+        EXPECT_EQ(ga.apply(s), wa.apply(s)) << wa.name();
+      }
+    }
+  }
+}
+
+TEST(SpecRoundtripTest, EveryRegistryEntryRoundTripsStructurally) {
+  ASSERT_FALSE(registry().empty());
+  for (const RegistryEntry& entry : registry()) {
+    const CompiledSpec cs = compile_spec_text(emit_builtin_spec(entry.name));
+    const Design hand = entry.make();
+    expect_structurally_equal(cs.design, hand, entry.name);
+    expect_semantically_equal(cs.design, hand, entry.name);
+  }
+}
+
+TEST(SpecRoundtripTest, FindProtocolResolvesEveryEntry) {
+  for (const RegistryEntry& entry : registry()) {
+    const RegistryEntry* found = find_protocol(entry.name);
+    ASSERT_NE(found, nullptr) << entry.name;
+    EXPECT_EQ(found->name, entry.name);
+  }
+  EXPECT_EQ(find_protocol("no-such-protocol"), nullptr);
+  EXPECT_THROW(emit_builtin_spec("no-such-protocol"), std::invalid_argument);
+}
+
+// Exhaustive checker byte-identity. The smaller protocols run the full
+// closure(S) + closure(T) + convergence battery at 1, 2, and 8 threads;
+// the reports must serialize to the same bytes as the hand-coded design's.
+void expect_reports_identical(const std::string& name) {
+  SCOPED_TRACE(name);
+  const RegistryEntry* entry = find_protocol(name);
+  ASSERT_NE(entry, nullptr);
+  const CompiledSpec cs = compile_spec_text(emit_builtin_spec(name));
+  const Design hand = entry->make();
+  const StateSpace space_spec(cs.design.program);
+  const StateSpace space_hand(hand.program);
+  ASSERT_EQ(space_spec.size(), space_hand.size());
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    store::StoreConfig config;
+    config.threads = threads;
+    const std::string closure_s_spec = obs::to_json(
+        store::check_closed_via(config, space_spec, cs.design.S()));
+    const std::string closure_s_hand =
+        obs::to_json(store::check_closed_via(config, space_hand, hand.S()));
+    EXPECT_EQ(closure_s_spec, closure_s_hand);
+    const std::string closure_t_spec = obs::to_json(
+        store::check_closed_via(config, space_spec, cs.design.T()));
+    const std::string closure_t_hand =
+        obs::to_json(store::check_closed_via(config, space_hand, hand.T()));
+    EXPECT_EQ(closure_t_spec, closure_t_hand);
+    const std::string conv_spec = obs::to_json(store::check_convergence_via(
+        config, space_spec, cs.design.S(), cs.design.T()));
+    const std::string conv_hand = obs::to_json(store::check_convergence_via(
+        config, space_hand, hand.S(), hand.T()));
+    EXPECT_EQ(conv_spec, conv_hand);
+  }
+}
+
+TEST(SpecRoundtripTest, TokenRingReportsByteIdentical) {
+  expect_reports_identical("token-ring");
+  expect_reports_identical("token-ring-layered");
+}
+
+TEST(SpecRoundtripTest, DijkstraReportsByteIdentical) {
+  expect_reports_identical("dijkstra-k-state-ring");
+  expect_reports_identical("dijkstra-three-state");
+  expect_reports_identical("dijkstra-four-state");
+}
+
+TEST(SpecRoundtripTest, TreeProtocolReportsByteIdentical) {
+  expect_reports_identical("bfs-spanning-tree");
+  expect_reports_identical("tree-aggregation");
+  expect_reports_identical("distributed-reset");
+}
+
+TEST(SpecRoundtripTest, GraphProtocolReportsByteIdentical) {
+  expect_reports_identical("stabilizing-coloring");
+  expect_reports_identical("hsu-huang-matching");
+  expect_reports_identical("maximal-independent-set");
+  expect_reports_identical("ring-leader-election");
+}
+
+TEST(SpecRoundtripTest, SmallProtocolReportsByteIdentical) {
+  expect_reports_identical("running-example-decrease-x");
+  expect_reports_identical("atomic-action");
+  expect_reports_identical("tmr-nonmasking");
+}
+
+// Campaign aggregates (the statistical path: random starts, random daemon,
+// per-trial seed derivation) must also be byte-identical, at every thread
+// count. This is what makes a spec campaign job a drop-in replacement for
+// the hand-coded parallel_campaign run.
+TEST(SpecRoundtripTest, TokenRingCampaignAggregateByteIdentical) {
+  const RegistryEntry* entry = find_protocol("token-ring");
+  ASSERT_NE(entry, nullptr);
+  const CompiledSpec cs = compile_spec_text(emit_builtin_spec("token-ring"));
+  const Design hand = entry->make();
+  ConvergenceExperiment config;
+  config.trials = 40;
+  config.seed = 9;
+  config.max_steps = 100000;
+  std::string baseline;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    CampaignOptions opts;
+    opts.threads = threads;
+    const CampaignResults spec_results = run_campaign(cs.design, config, opts);
+    const CampaignResults hand_results = run_campaign(hand, config, opts);
+    const std::string spec_json = obs::to_json(spec_results.aggregate);
+    EXPECT_EQ(spec_json, obs::to_json(hand_results.aggregate));
+    if (baseline.empty()) {
+      baseline = spec_json;
+    } else {
+      EXPECT_EQ(spec_json, baseline);  // thread-count invariance
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nonmask

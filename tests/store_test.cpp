@@ -27,6 +27,7 @@
 #include "store/concurrent_set.hpp"
 #include "store/config.hpp"
 #include "store/frontier.hpp"
+#include "store/config.hpp"
 #include "store/odometer.hpp"
 #include "store/packed.hpp"
 
@@ -556,6 +557,33 @@ TEST(FrontierEngineTest, BackwardDistancesAreExactMinSteps) {
     }
     EXPECT_EQ(resolved, expect_resolved);
   }
+}
+
+TEST(StoreConfigTest, FromEnvAcceptsBothBackendNames) {
+  // "store" and the explicit "dense" are both valid; anything else falls
+  // back to dense (with a one-time warning, not silently).
+  ::setenv("NONMASK_STORE_BACKEND", "store", 1);
+  EXPECT_EQ(store::StoreConfig::from_env().backend,
+            store::StoreBackend::kStore);
+  ::setenv("NONMASK_STORE_BACKEND", "dense", 1);
+  EXPECT_EQ(store::StoreConfig::from_env().backend,
+            store::StoreBackend::kLegacyDense);
+  ::setenv("NONMASK_STORE_BACKEND", "", 1);
+  EXPECT_EQ(store::StoreConfig::from_env().backend,
+            store::StoreBackend::kLegacyDense);
+  ::setenv("NONMASK_STORE_BACKEND", "compact", 1);  // typo -> dense + warn
+  EXPECT_EQ(store::StoreConfig::from_env().backend,
+            store::StoreBackend::kLegacyDense);
+  ::unsetenv("NONMASK_STORE_BACKEND");
+  EXPECT_EQ(store::StoreConfig::from_env().backend,
+            store::StoreBackend::kLegacyDense);
+}
+
+TEST(StoreConfigTest, FromEnvParsesBudget) {
+  ::setenv("NONMASK_STATE_BUDGET", "123456", 1);
+  EXPECT_EQ(store::StoreConfig::from_env().budget, 123456u);
+  ::unsetenv("NONMASK_STATE_BUDGET");
+  EXPECT_EQ(store::StoreConfig::from_env().budget, 32'000'000u);
 }
 
 TEST(FrontierEngineTest, BackwardDistancesRespectRoundCap) {
