@@ -3,12 +3,19 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cctype>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+
+// A peer that closes early must surface as EPIPE on send, not SIGPIPE —
+// one impatient curl must not take down the whole service.
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
 
 namespace nonmask::serve {
 
@@ -24,7 +31,7 @@ std::string lower(std::string s) {
 
 bool send_all(int fd, const char* data, std::size_t len) {
   while (len > 0) {
-    const ssize_t n = ::send(fd, data, len, 0);
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -46,8 +53,27 @@ void write_response(int fd, const HttpResponse& resp) {
   }
 }
 
+/// One recv with the error taxonomy the server cares about: EINTR retries,
+/// a timed-out socket (SO_RCVTIMEO) is a 408, anything else — including a
+/// peer that hung up mid-request — is a 400.
+ssize_t recv_or_status(int fd, char* chunk, std::size_t len,
+                       int* error_status) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, len, 0);
+    if (n > 0) return n;
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      *error_status = 408;
+    } else {
+      *error_status = 400;
+    }
+    return -1;
+  }
+}
+
 /// Read until the blank line, then Content-Length body bytes. Returns
-/// false on malformed input (connection is answered with 400 and closed).
+/// false on malformed input (connection is answered with 400 and closed)
+/// or on a socket that idles past the io timeout (answered with 408).
 bool read_request(int fd, HttpRequest* req, int* error_status) {
   std::string buf;
   std::size_t header_end = std::string::npos;
@@ -57,16 +83,8 @@ bool read_request(int fd, HttpRequest* req, int* error_status) {
       *error_status = 431;
       return false;
     }
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      *error_status = 400;
-      return false;
-    }
-    if (n == 0) {
-      *error_status = 400;
-      return false;
-    }
+    const ssize_t n = recv_or_status(fd, chunk, sizeof(chunk), error_status);
+    if (n < 0) return false;
     buf.append(chunk, static_cast<std::size_t>(n));
     header_end = buf.find("\r\n\r\n");
   }
@@ -120,16 +138,8 @@ bool read_request(int fd, HttpRequest* req, int* error_status) {
   }
   req->body = buf.substr(header_end + 4);
   while (req->body.size() < content_length) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      *error_status = 400;
-      return false;
-    }
-    if (n == 0) {
-      *error_status = 400;
-      return false;
-    }
+    const ssize_t n = recv_or_status(fd, chunk, sizeof(chunk), error_status);
+    if (n < 0) return false;
     req->body.append(chunk, static_cast<std::size_t>(n));
   }
   req->body.resize(content_length);
@@ -147,6 +157,7 @@ const char* status_text(int status) noexcept {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 409: return "Conflict";
     case 413: return "Payload Too Large";
     case 422: return "Unprocessable Entity";
@@ -206,6 +217,14 @@ void HttpServer::serve_forever(const Handler& handler) {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Bound every recv/send on this connection: a client that connects and
+    // sends nothing (or never reads the response) must not wedge the
+    // single-threaded accept loop — it gets a 408 and the next connection
+    // is served.
+    timeval tv{};
+    tv.tv_sec = io_timeout_sec_;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 
     HttpRequest req;
     int error_status = 0;

@@ -51,6 +51,11 @@ class HttpServer {
   /// The bound port (resolved when constructed with port 0).
   int port() const noexcept { return port_; }
 
+  /// Per-connection recv/send timeout (SO_RCVTIMEO / SO_SNDTIMEO), applied
+  /// to sockets accepted after the call. A connection that idles past it
+  /// is answered with 408 and closed so the accept loop keeps moving.
+  void set_io_timeout(int seconds) noexcept { io_timeout_sec_ = seconds; }
+
   /// Accept-and-dispatch loop; returns after shutdown(). Handler
   /// exceptions become 500 responses.
   void serve_forever(const Handler& handler);
@@ -66,6 +71,7 @@ class HttpServer {
  private:
   int listen_fd_ = -1;
   int port_ = 0;
+  int io_timeout_sec_ = 10;
   std::atomic<bool> stop_{false};
 };
 

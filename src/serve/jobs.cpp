@@ -138,6 +138,21 @@ JobManager::SubmitResult JobManager::submit(const std::string& spec_text) {
 
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // The admission checks above ran in an earlier critical section; the
+    // file write between them dropped the lock, so drain() may have begun
+    // (workers gone — a 201 would acknowledge a job nobody will run) or
+    // concurrent submits may have filled the queue. Re-check both and
+    // unpersist the spec on rejection so recover() never resurrects it.
+    if (draining_ || queue_.size() >= opts_.max_queue) {
+      const bool was_draining = draining_;
+      std::remove(path(id, ".spec.json").c_str());
+      result.status = was_draining ? 503 : 429;
+      result.error = was_draining
+                         ? "server is draining"
+                         : "job queue is full (" +
+                               std::to_string(opts_.max_queue) + " queued)";
+      return result;
+    }
     JobInfo info;
     info.id = id;
     info.state = JobState::kQueued;
@@ -315,6 +330,15 @@ void JobManager::run_one(const std::string& id) {
       obs::DashboardSpec dspec;
       dspec.title = "job " + id;
       dspec.subtitle = result.summary;
+      // The sampler is process-global; with more than one worker, other
+      // jobs run concurrently and their throughput lands in the same
+      // sample stream. Say so rather than presenting mixed numbers as
+      // this job's own.
+      if (opts_.workers > 1) {
+        dspec.title += " (service-wide telemetry)";
+        dspec.subtitle += " — samples cover all jobs running concurrently "
+                          "on this server";
+      }
       dspec.samples = obs::Telemetry::samples();
       std::ostringstream html;
       obs::write_dashboard_html(html, dspec);

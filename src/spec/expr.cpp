@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <limits>
 #include <utility>
 
 namespace nonmask::spec {
@@ -64,7 +65,15 @@ class Lexer {
       long long value = 0;
       while (pos_ < text_.size() &&
              std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        value = value * 10 + (text_[pos_] - '0');
+        const long long digit = text_[pos_] - '0';
+        // Specs arrive over the network: a hostile digit string must be a
+        // parse error, not signed-overflow UB.
+        if (value > (std::numeric_limits<long long>::max() - digit) / 10) {
+          throw ExprError("integer literal overflows at position " +
+                          std::to_string(current_.pos) + " in expression \"" +
+                          text_ + "\"");
+        }
+        value = value * 10 + digit;
         ++pos_;
       }
       current_.kind = Token::Kind::kInt;

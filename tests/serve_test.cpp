@@ -203,6 +203,70 @@ TEST(HttpServerTest, HandlerExceptionsBecome500) {
   t.join();
 }
 
+TEST(HttpServerTest, SilentClientTimesOutWith408AndLoopKeepsServing) {
+  HttpServer server(0);
+  server.set_io_timeout(1);
+  std::thread t([&] {
+    server.serve_forever([](const HttpRequest&) { return HttpResponse{}; });
+  });
+  // Connect and send nothing: the accept loop must answer 408 and move on
+  // instead of blocking in recv() forever.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string raw;
+  char buf[512];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(raw.rfind("HTTP/1.1 408", 0), 0u) << raw;
+  // The stalled connection did not wedge the service.
+  EXPECT_EQ(http_request(server.port(), "GET", "/").status, 200);
+  server.shutdown();
+  t.join();
+}
+
+TEST(HttpServerTest, ClientDisconnectBeforeResponseDoesNotKillServer) {
+  HttpServer server(0);
+  std::thread t([&] {
+    server.serve_forever([](const HttpRequest&) {
+      // Give the peer time to vanish, then answer with a body large enough
+      // that send() runs after the RST lands — the EPIPE/SIGPIPE path.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      HttpResponse resp;
+      resp.body.assign(1 << 20, 'x');
+      return resp;
+    });
+  });
+  for (int i = 0; i < 4; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    const std::string req =
+        "GET /big HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n";
+    ::send(fd, req.data(), req.size(), 0);
+    ::close(fd);  // hang up before the response is written
+  }
+  // A SIGPIPE would have terminated the whole process; instead the server
+  // is still here and serving.
+  EXPECT_EQ(http_request(server.port(), "GET", "/after").status, 200);
+  server.shutdown();
+  t.join();
+}
+
 // --- job manager lifecycle ------------------------------------------------
 
 TEST(JobManagerTest, RunsCheckJobToCompletion) {

@@ -71,6 +71,15 @@ TEST(SpecExprTest, ParamsAndMalformedInput) {
   EXPECT_THROW(idx("f(1, 2)"), ExprError);   // unknown call
 }
 
+TEST(SpecExprTest, IntegerLiteralOverflowIsAParseError) {
+  // Specs are attacker-suppliable over HTTP: a literal past LLONG_MAX must
+  // throw, not silently wrap through signed-overflow UB.
+  EXPECT_EQ(idx("2147483647"), 2147483647LL);           // full Value range
+  EXPECT_THROW(idx("9223372036854775808"), ExprError);  // LLONG_MAX + 1
+  EXPECT_THROW(idx("99999999999999999999999999999999"), ExprError);
+  EXPECT_THROW(idx("1 + 18446744073709551616"), ExprError);
+}
+
 Topology ring4() {
   Topology t;
   t.kind = Topology::Kind::kRing;
